@@ -1,0 +1,64 @@
+// Ablation: the area/delay/power trade of the +S incrementer inside the
+// T0-family codecs — ripple carry (minimal cells, O(N) depth) vs
+// parallel-prefix AND tree (O(log N) depth, more cells). The paper's
+// 5.36 ns critical path runs through exactly this arithmetic plus the
+// bus-invert majority logic.
+#include <iostream>
+
+#include "bench/power_util.h"
+#include "gate/circuits.h"
+#include "gate/power.h"
+#include "gate/simulator.h"
+#include "gate/timing.h"
+#include "report/table.h"
+
+int main() {
+  using namespace abenc;
+  using namespace abenc::bench;
+
+  const auto stream = ReferenceStream(3000);
+
+  TextTable table({"Circuit", "Adder", "Cells", "Critical path (ns)",
+                   "Max clock (MHz)", "Power @0.2pF (mW)"});
+
+  const auto add_row = [&](const std::string& name,
+                           gate::CodecCircuit circuit,
+                           const std::string& style) {
+    gate::GateSimulator sim(circuit.netlist);
+    for (const BusAccess& access : stream) {
+      sim.Cycle(gate::DriveInputs(circuit, access.address, access.sel));
+    }
+    const auto timing = gate::AnalyzeTiming(circuit.netlist);
+    const auto power = gate::EstimatePower(
+        circuit.netlist, sim, gate::kClockHz, gate::kVddVolts,
+        gate::kDefaultGlitchPerLevel);
+    table.AddRow({name, style, std::to_string(circuit.netlist.gate_count()),
+                  FormatFixed(timing.critical_path_ns, 2),
+                  FormatFixed(timing.max_frequency_hz / 1e6, 0),
+                  FormatFixed(power.total_mw, 3)});
+  };
+
+  add_row("T0 encoder",
+          gate::BuildT0Encoder(32, 4, 0.2, gate::AdderStyle::kRipple),
+          "ripple");
+  add_row("T0 encoder",
+          gate::BuildT0Encoder(32, 4, 0.2, gate::AdderStyle::kPrefix),
+          "prefix");
+  add_row("Dual T0_BI encoder",
+          gate::BuildDualT0BIEncoder(32, 4, 0.2, gate::AdderStyle::kRipple),
+          "ripple");
+  add_row("Dual T0_BI encoder",
+          gate::BuildDualT0BIEncoder(32, 4, 0.2, gate::AdderStyle::kPrefix),
+          "prefix");
+
+  std::cout << "Ablation: incrementer style inside the T0-family codecs\n"
+            << "(" << stream.size() << " reference cycles; 32-bit bus, "
+               "stride 4; glitch-aware power)\n\n"
+            << table.ToString()
+            << "\nThe prefix tree costs cells but halves the T0 encoder's\n"
+               "critical path and, being shallower, also glitches less —\n"
+               "area buys both speed and power here. The dual T0_BI path\n"
+               "is dominated by the Hamming/majority section, so its clock\n"
+               "rate only moves once that tree is restructured too.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Extension (the paper's future-work scenario): what do the codes buy on
+// an external address bus *behind* split L1 caches? Only misses reach the
+// bus, as line addresses, so the natural stride is the line size and the
+// stream is far less sequential than the raw fetch stream — the regime
+// the paper's own 63%/11% measurements live in.
+#include <iostream>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "sim/cache.h"
+#include "sim/program_library.h"
+
+int main() {
+  using namespace abenc;
+  using sim::CacheConfig;
+
+  // Small split L1s (4 KiB I / 4 KiB D, 16-byte lines, 2-way), a
+  // mid-1990s embedded configuration.
+  const CacheConfig icache{16, 128, 2};
+  const CacheConfig dcache{16, 128, 2};
+
+  CodecOptions options;
+  options.stride = icache.line_bytes;  // the external bus steps by lines
+
+  const std::vector<std::string> codes = {"t0", "bus-invert", "t0-bi",
+                                          "dual-t0-bi"};
+  std::vector<std::string> headers = {"Benchmark", "Ext. refs", "I$ miss",
+                                      "D$ miss", "In-Seq"};
+  for (const auto& name : codes) {
+    headers.push_back(MakeCodec(name, options)->display_name());
+  }
+  TextTable table(std::move(headers));
+
+  std::cout << "Extension: codes on the post-L1 external multiplexed bus\n"
+            << "(4 KiB + 4 KiB split L1, 16 B lines, 2-way LRU, "
+               "write-back;\nstride = line size; savings vs binary)\n\n";
+
+  std::vector<double> sums(codes.size(), 0.0);
+  double in_seq_sum = 0.0;
+  std::size_t rows = 0;
+  for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
+    const sim::CachedProgramTraces cached =
+        sim::RunBenchmarkWithCaches(program, icache, dcache);
+    const auto accesses = cached.external.multiplexed.ToBusAccesses();
+    if (accesses.size() < 16) continue;  // fully cache-resident kernel
+
+    auto binary = MakeCodec("binary", options);
+    const EvalResult base =
+        Evaluate(*binary, accesses, options.stride, true);
+
+    std::vector<std::string> row = {
+        program.name, FormatCount(static_cast<long long>(accesses.size())),
+        FormatPercent(100.0 * cached.icache_miss_rate),
+        FormatPercent(100.0 * cached.dcache_miss_rate),
+        FormatPercent(base.in_sequence_percent)};
+    in_seq_sum += base.in_sequence_percent;
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+      auto codec = MakeCodec(codes[c], options);
+      const EvalResult r = Evaluate(*codec, accesses, options.stride, true);
+      const double savings =
+          SavingsPercent(r.transitions, base.transitions);
+      sums[c] += savings;
+      row.push_back(FormatPercent(savings));
+    }
+    table.AddRow(std::move(row));
+    ++rows;
+  }
+
+  std::vector<std::string> average = {"Average", "", "", "",
+                                      FormatPercent(in_seq_sum /
+                                                    static_cast<double>(rows))};
+  for (double s : sums) {
+    average.push_back(FormatPercent(s / static_cast<double>(rows)));
+  }
+  table.AddRule();
+  table.AddRow(std::move(average));
+  std::cout << table.ToString();
+  std::cout << "\nBehind a cache the sequential runs shorten and the data\n"
+               "bus turns bursty; the T0-family savings shrink towards the\n"
+               "paper's measured magnitudes while bus-invert holds up —\n"
+               "the hierarchy-dependence the paper flags as future work.\n\n";
+
+  // Second sweep: how the external-bus picture moves with the L1 size
+  // (aggregated over all nine benchmarks).
+  TextTable sweep({"L1 size (I+D)", "Ext. refs", "In-Seq", "T0", "T0_BI",
+                   "Dual T0_BI"});
+  for (unsigned sets : {32u, 128u, 512u}) {
+    const CacheConfig config{16, sets, 2};
+    long long binary_total = 0;
+    long long t0_total = 0;
+    long long t0bi_total = 0;
+    long long dual_total = 0;
+    std::size_t refs = 0;
+    double in_seq_weighted = 0.0;
+    for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
+      const sim::CachedProgramTraces cached =
+          sim::RunBenchmarkWithCaches(program, config, config);
+      const auto accesses = cached.external.multiplexed.ToBusAccesses();
+      if (accesses.size() < 16) continue;
+      refs += accesses.size();
+      const auto eval = [&](const char* name) {
+        auto codec = MakeCodec(name, options);
+        return Evaluate(*codec, accesses, options.stride, true).transitions;
+      };
+      auto binary = MakeCodec("binary", options);
+      const EvalResult base =
+          Evaluate(*binary, accesses, options.stride, true);
+      binary_total += base.transitions;
+      in_seq_weighted += base.in_sequence_percent *
+                         static_cast<double>(accesses.size());
+      t0_total += eval("t0");
+      t0bi_total += eval("t0-bi");
+      dual_total += eval("dual-t0-bi");
+    }
+    sweep.AddRow(
+        {std::to_string(2 * config.capacity_bytes() / 1024) + " KiB",
+         FormatCount(static_cast<long long>(refs)),
+         FormatPercent(in_seq_weighted / static_cast<double>(refs)),
+         FormatPercent(SavingsPercent(t0_total, binary_total)),
+         FormatPercent(SavingsPercent(t0bi_total, binary_total)),
+         FormatPercent(SavingsPercent(dual_total, binary_total))});
+  }
+  std::cout << "Aggregate external-bus savings vs L1 capacity:\n\n"
+            << sweep.ToString()
+            << "\nSmall caches thrash: the external bus carries conflict\n"
+               "misses with little order and every code struggles. Large\n"
+               "caches leave mostly cold misses — sequential sweeps of\n"
+               "fresh data — so line-granular runs reappear and the T0\n"
+               "family recovers. Code choice depends on where in the\n"
+               "hierarchy the bus sits: the paper's closing point.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks: software encode/decode throughput of
+// every code — the cost a simulator or trace-processing pipeline pays per
+// address. (The hardware cost is what Tables 8/9 measure; this is the
+// library-user cost.)
+#include <benchmark/benchmark.h>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "trace/synthetic.h"
+
+namespace {
+
+using namespace abenc;
+
+const std::vector<BusAccess>& Stream() {
+  static const std::vector<BusAccess> stream = [] {
+    SyntheticGenerator gen(5);
+    return gen.MultiplexedLike(1 << 14, 0.35, 4, 32).ToBusAccesses();
+  }();
+  return stream;
+}
+
+void EncodeThroughput(benchmark::State& state, const std::string& name) {
+  CodecOptions options;
+  auto codec = MakeCodec(name, options);
+  const auto& stream = Stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const BusAccess& access = stream[i];
+    benchmark::DoNotOptimize(codec->Encode(access.address, access.sel));
+    i = (i + 1) & (stream.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RoundTripThroughput(benchmark::State& state, const std::string& name) {
+  CodecOptions options;
+  auto codec = MakeCodec(name, options);
+  const auto& stream = Stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const BusAccess& access = stream[i];
+    const BusState bus = codec->Encode(access.address, access.sel);
+    benchmark::DoNotOptimize(codec->Decode(bus, access.sel));
+    i = (i + 1) & (stream.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& name : abenc::AllCodecNames()) {
+    benchmark::RegisterBenchmark(("encode/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   EncodeThroughput(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("roundtrip/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   RoundTripThroughput(s, name);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

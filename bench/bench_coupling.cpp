@@ -1,0 +1,106 @@
+// Extension: deep-submicron re-evaluation. The paper's metric charges one
+// unit per line toggle (ground capacitance dominates, as in 0.35 um). In
+// DSM metal the line-to-line capacitance dominates and the energy of a
+// cycle depends on *relative* switching of adjacent lines. This bench
+// rescores the codes with the lambda-weighted self+coupling model of
+// core/coupling.h on the benchmark multiplexed streams, for lambda = 0
+// (the paper's regime) up to 4 (aggressive DSM), including the
+// coupling-driven odd/even invert code.
+#include <iostream>
+
+#include "core/codec_factory.h"
+#include "core/coupling.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "sim/program_library.h"
+#include "trace/synthetic.h"
+
+int main() {
+  using namespace abenc;
+
+  const std::vector<std::string> codes = {"bus-invert", "t0", "dual-t0-bi",
+                                          "couple-invert"};
+  const std::vector<double> lambdas = {0.0, 1.0, 2.0, 4.0};
+  const CodecOptions base_options;
+
+  // Aggregate energies over all nine benchmarks.
+  std::vector<std::vector<double>> energy(lambdas.size(),
+                                          std::vector<double>(codes.size()));
+  std::vector<double> binary_energy(lambdas.size(), 0.0);
+
+  for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
+    const sim::ProgramTraces traces = sim::RunBenchmark(program);
+    const auto accesses = traces.multiplexed.ToBusAccesses();
+    for (std::size_t l = 0; l < lambdas.size(); ++l) {
+      auto binary = MakeCodec("binary", base_options);
+      binary_energy[l] +=
+          EvaluateCoupling(*binary, accesses, lambdas[l]).weighted_energy;
+      for (std::size_t c = 0; c < codes.size(); ++c) {
+        CodecOptions options = base_options;
+        options.coupling_lambda = lambdas[l];
+        auto codec = MakeCodec(codes[c], options);
+        energy[l][c] +=
+            EvaluateCoupling(*codec, accesses, lambdas[l]).weighted_energy;
+      }
+    }
+  }
+
+  std::vector<std::string> headers = {"lambda"};
+  for (const auto& name : codes) {
+    headers.push_back(MakeCodec(name, base_options)->display_name());
+  }
+  TextTable table(std::move(headers));
+  for (std::size_t l = 0; l < lambdas.size(); ++l) {
+    std::vector<std::string> row = {FormatFixed(lambdas[l], 1)};
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+      row.push_back(FormatPercent(
+          100.0 * (1.0 - energy[l][c] / binary_energy[l])));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::cout << "Extension: coupling-aware energy savings vs binary on the\n"
+               "multiplexed streams (weighted self + lambda*coupling;\n"
+               "lambda = 0 is the paper's pure-transition metric)\n\n"
+            << table.ToString()
+            << "\nOn *address* streams the T0 family keeps winning at any\n"
+               "lambda (frozen lines have no coupling activity either),\n"
+               "while both invert codes fade: their redundant-line wiggles\n"
+               "now also couple into the neighbouring MSB.\n\n";
+
+  // The invert family's classic arena is a random *data* bus; repeat the
+  // sweep there.
+  SyntheticGenerator gen(2718);
+  const AddressTrace random_trace = gen.UniformRandom(120000, 32);
+  const auto random_accesses = random_trace.ToBusAccesses();
+  std::vector<std::string> headers2 = {"lambda", "Bus-Invert", "OE-Invert"};
+  TextTable table2(std::move(headers2));
+  for (double lambda : lambdas) {
+    auto binary = MakeCodec("binary", base_options);
+    const double base_energy =
+        EvaluateCoupling(*binary, random_accesses, lambda).weighted_energy;
+    CodecOptions options = base_options;
+    options.coupling_lambda = lambda;
+    auto bi = MakeCodec("bus-invert", options);
+    auto oe = MakeCodec("couple-invert", options);
+    table2.AddRow(
+        {FormatFixed(lambda, 1),
+         FormatPercent(100.0 * (1.0 - EvaluateCoupling(*bi, random_accesses,
+                                                       lambda)
+                                          .weighted_energy /
+                                          base_energy)),
+         FormatPercent(100.0 * (1.0 - EvaluateCoupling(*oe, random_accesses,
+                                                       lambda)
+                                          .weighted_energy /
+                                          base_energy))});
+  }
+  std::cout << "Same sweep on a uniformly random 32-bit stream (the data-\n"
+               "bus regime the invert family targets):\n\n"
+            << table2.ToString()
+            << "\nHere the picture inverts with lambda: whole-bus invert\n"
+               "fades (it cannot fix neighbour activity) while the\n"
+               "odd/even code keeps earning its two redundant lines —\n"
+               "the reason the bus-invert family was revisited for DSM\n"
+               "processes after this paper.\n";
+  return 0;
+}

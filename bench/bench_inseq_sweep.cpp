@@ -1,0 +1,124 @@
+// Ablation: savings of every paper code as a function of the in-sequence
+// probability of the stream. This locates the crossovers the paper
+// explains qualitatively — bus-invert wins at low sequentiality, the T0
+// family wins at high sequentiality — and shows where the T0_BI / dual T0
+// ranking of Table 7 flips as streams become more or less branchy.
+#include <iostream>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "trace/synthetic.h"
+
+int main() {
+  using namespace abenc;
+
+  const CodecOptions options;  // 32-bit bus, stride 4
+  const std::vector<std::string> codes = {"t0", "bus-invert", "t0-bi",
+                                          "dual-t0", "dual-t0-bi"};
+  constexpr std::size_t kLength = 80000;
+  constexpr double kDataRatio = 0.35;  // data slots per instruction slot
+
+  std::cout << "Ablation: savings vs in-sequence probability of the\n"
+               "instruction part of a multiplexed stream ("
+            << kLength << " references, " << kDataRatio
+            << " data-slot ratio, data slots non-sequential)\n\n";
+
+  std::vector<std::string> headers = {"p(in-seq)", "measured in-seq"};
+  for (const auto& name : codes) {
+    headers.push_back(MakeCodec(name, options)->display_name());
+  }
+  TextTable table(std::move(headers));
+
+  for (double p = 0.1; p <= 0.96; p += 0.1) {
+    // Instruction slots follow a Markov chain with the dialled
+    // sequentiality; data slots jump within a separate region.
+    SyntheticGenerator gen(99);
+    const AddressTrace instr =
+        gen.Markov(kLength, p, options.stride, options.width);
+    const AddressTrace data = gen.DataLike(
+        static_cast<std::size_t>(kLength * kDataRatio), options.stride,
+        options.width);
+    std::vector<bool> schedule;
+    schedule.reserve(instr.size() + data.size());
+    SyntheticGenerator coin(7);
+    {
+      // Deterministic interleave at the requested ratio.
+      std::size_t d = 0;
+      for (std::size_t i = 0; i < instr.size(); ++i) {
+        schedule.push_back(true);
+        if (d < data.size() &&
+            (i * data.size()) / instr.size() > (d > 0 ? d - 1 : 0)) {
+          schedule.push_back(false);
+          ++d;
+        }
+      }
+    }
+    const AddressTrace mux = MultiplexTraces(instr, data, schedule);
+    const auto accesses = mux.ToBusAccesses();
+
+    auto binary = MakeCodec("binary", options);
+    const EvalResult base =
+        Evaluate(*binary, accesses, options.stride, true);
+
+    std::vector<std::string> row = {FormatFixed(p, 1),
+                                    FormatPercent(base.in_sequence_percent)};
+    for (const auto& name : codes) {
+      auto codec = MakeCodec(name, options);
+      const EvalResult r = Evaluate(*codec, accesses, options.stride, true);
+      row.push_back(
+          FormatPercent(SavingsPercent(r.transitions, base.transitions)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << table.ToString();
+  std::cout << "\nBus-invert is insensitive to p; the dual codes grow with\n"
+               "it. Below: the other lever — how often data slots interrupt\n"
+               "the instruction runs (p fixed at 0.85).\n\n";
+
+  std::vector<std::string> headers2 = {"data ratio", "measured in-seq"};
+  for (const auto& name : codes) {
+    headers2.push_back(MakeCodec(name, options)->display_name());
+  }
+  TextTable table2(std::move(headers2));
+  for (double ratio : {0.05, 0.1, 0.2, 0.35, 0.5, 0.8}) {
+    SyntheticGenerator gen(99);
+    const AddressTrace instr =
+        gen.Markov(kLength, 0.85, options.stride, options.width);
+    const AddressTrace data =
+        gen.DataLike(static_cast<std::size_t>(kLength * ratio),
+                     options.stride, options.width);
+    std::vector<bool> schedule;
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < instr.size(); ++i) {
+      schedule.push_back(true);
+      if (data.size() > 0 && (i * data.size()) / instr.size() >
+                                 (d > 0 ? d - 1 : 0) &&
+          d < data.size()) {
+        schedule.push_back(false);
+        ++d;
+      }
+    }
+    const AddressTrace mux = MultiplexTraces(instr, data, schedule);
+    const auto accesses = mux.ToBusAccesses();
+    auto binary = MakeCodec("binary", options);
+    const EvalResult base =
+        Evaluate(*binary, accesses, options.stride, true);
+    std::vector<std::string> row = {FormatFixed(ratio, 2),
+                                    FormatPercent(base.in_sequence_percent)};
+    for (const auto& name : codes) {
+      auto codec = MakeCodec(name, options);
+      const EvalResult r = Evaluate(*codec, accesses, options.stride, true);
+      row.push_back(
+          FormatPercent(SavingsPercent(r.transitions, base.transitions)));
+    }
+    table2.AddRow(std::move(row));
+  }
+  std::cout << table2.ToString();
+  std::cout << "\nWith rare data slots the plain-T0 family tracks the dual\n"
+               "codes (runs on the bus survive); frequent data slots kill\n"
+               "T0/T0_BI but not the SEL-gated dual codes — this is why\n"
+               "dual T0_BI wins Table 7 and why the T0_BI vs dual-T0\n"
+               "ranking depends on the workload's load/store density.\n";
+  return 0;
+}

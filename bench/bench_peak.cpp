@@ -1,0 +1,55 @@
+// Extension: *peak* per-cycle switching — the metric bus-invert was
+// originally designed for (it bounds simultaneous switching noise and
+// worst-case IR drop, not just average power). Measured per code on the
+// benchmark multiplexed streams.
+#include <algorithm>
+#include <iostream>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "sim/program_library.h"
+
+int main() {
+  using namespace abenc;
+
+  const CodecOptions options;
+  const std::vector<std::string> codes = {"binary", "bus-invert", "t0",
+                                          "t0-bi", "dual-t0-bi",
+                                          "couple-invert"};
+
+  std::vector<std::string> headers = {"Benchmark"};
+  for (const auto& name : codes) headers.push_back(name);
+  TextTable table(std::move(headers));
+
+  std::vector<int> worst(codes.size(), 0);
+  for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
+    const sim::ProgramTraces traces = sim::RunBenchmark(program);
+    const auto accesses = traces.multiplexed.ToBusAccesses();
+    std::vector<std::string> row = {program.name};
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+      auto codec = MakeCodec(codes[c], options);
+      const EvalResult r = Evaluate(*codec, accesses, options.stride, true);
+      worst[c] = std::max(worst[c], r.peak_transitions);
+      row.push_back(FormatCount(r.peak_transitions));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> bottom = {"Worst"};
+  for (int w : worst) bottom.push_back(FormatCount(w));
+  table.AddRule();
+  table.AddRow(std::move(bottom));
+
+  std::cout << "Extension: peak per-cycle line toggles on the multiplexed\n"
+               "streams (32 data lines + redundant lines; simultaneous-\n"
+               "switching noise proxy)\n\n"
+            << table.ToString()
+            << "\nOnly the majority-voting invert codes *bound* the peak\n"
+               "(bus-invert <= 17 of its 33 lines, and T0_BI keeps that\n"
+               "bound); plain T0 cuts the average dramatically but a\n"
+               "worst-case jump still swings most of the bus, and the\n"
+               "coupling-optimised OE-invert trades peak for coupling\n"
+               "energy. When di/dt limits matter, the mixed codes are the\n"
+               "ones that deliver both.\n";
+  return 0;
+}

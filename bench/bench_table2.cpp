@@ -1,0 +1,11 @@
+// Table 2: existing encoding schemes (binary, T0, bus-invert) on the
+// dedicated *instruction* address bus of the nine benchmarks.
+#include "bench/bench_util.h"
+#include "core/codec_factory.h"
+
+int main() {
+  abenc::bench::PrintExperimentalTable(
+      "Table 2: Existing Encoding Schemes, Instruction Address Streams",
+      abenc::bench::StreamKind::kInstruction, {"t0", "bus-invert"});
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table 3: existing encoding schemes (binary, T0, bus-invert) on the
+// dedicated *data* address bus of the nine benchmarks.
+#include "bench/bench_util.h"
+
+int main() {
+  abenc::bench::PrintExperimentalTable(
+      "Table 3: Existing Encoding Schemes, Data Address Streams",
+      abenc::bench::StreamKind::kData, {"t0", "bus-invert"});
+  return 0;
+}

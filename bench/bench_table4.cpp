@@ -1,0 +1,10 @@
+// Table 4: existing encoding schemes (binary, T0, bus-invert) on the
+// time-multiplexed instruction/data address bus of the nine benchmarks.
+#include "bench/bench_util.h"
+
+int main() {
+  abenc::bench::PrintExperimentalTable(
+      "Table 4: Existing Encoding Schemes, Multiplexed Address Streams",
+      abenc::bench::StreamKind::kMultiplexed, {"t0", "bus-invert"});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Table 5: mixed encoding schemes (T0_BI, dual T0, dual T0_BI) on the
+// dedicated *instruction* address bus of the nine benchmarks.
+#include "bench/bench_util.h"
+
+int main() {
+  abenc::bench::PrintExperimentalTable(
+      "Table 5: Mixed Encoding Schemes, Instruction Address Streams",
+      abenc::bench::StreamKind::kInstruction,
+      {"t0-bi", "dual-t0", "dual-t0-bi"});
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table 6: mixed encoding schemes (T0_BI, dual T0, dual T0_BI) on the
+// dedicated *data* address bus of the nine benchmarks.
+#include "bench/bench_util.h"
+
+int main() {
+  abenc::bench::PrintExperimentalTable(
+      "Table 6: Mixed Encoding Schemes, Data Address Streams",
+      abenc::bench::StreamKind::kData, {"t0-bi", "dual-t0", "dual-t0-bi"});
+  return 0;
+}

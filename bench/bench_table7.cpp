@@ -1,0 +1,12 @@
+// Table 7: mixed encoding schemes (T0_BI, dual T0, dual T0_BI) on the
+// time-multiplexed address bus of the nine benchmarks — the paper's
+// headline comparison (dual T0_BI wins with ~22% savings vs ~10% for T0).
+#include "bench/bench_util.h"
+
+int main() {
+  abenc::bench::PrintExperimentalTable(
+      "Table 7: Mixed Encoding Schemes, Multiplexed Address Streams",
+      abenc::bench::StreamKind::kMultiplexed,
+      {"t0-bi", "dual-t0", "dual-t0-bi"});
+  return 0;
+}

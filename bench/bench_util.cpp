@@ -1,0 +1,70 @@
+#include "bench/bench_util.h"
+
+#include <iostream>
+
+#include "core/codec_factory.h"
+#include "core/experiment.h"
+#include "report/table.h"
+
+namespace abenc::bench {
+
+const AddressTrace& SelectStream(const sim::ProgramTraces& traces,
+                                 StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kInstruction: return traces.instruction;
+    case StreamKind::kData: return traces.data;
+    case StreamKind::kMultiplexed: return traces.multiplexed;
+  }
+  return traces.multiplexed;
+}
+
+void PrintExperimentalTable(const std::string& title, StreamKind kind,
+                            const std::vector<std::string>& codec_names) {
+  const CodecOptions options;  // 32-bit bus, stride 4: the MIPS setup
+
+  std::vector<NamedStream> streams;
+  for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
+    const sim::ProgramTraces traces = sim::RunBenchmark(program);
+    streams.push_back(
+        NamedStream{program.name, SelectStream(traces, kind).ToBusAccesses()});
+  }
+
+  const Comparison comparison =
+      RunComparison(codec_names, streams, options);
+
+  std::vector<std::string> headers = {"Benchmark", "Stream Length",
+                                      "In-Seq Addr.", "Binary Trans."};
+  for (const std::string& name : codec_names) {
+    const auto codec = MakeCodec(name, options);
+    headers.push_back(codec->display_name() + " Trans.");
+    headers.push_back("Savings");
+  }
+  TextTable table(headers);
+
+  for (const ComparisonRow& row : comparison.rows) {
+    std::vector<std::string> cells = {
+        row.stream_name,
+        FormatCount(static_cast<long long>(row.binary.stream_length)),
+        FormatPercent(row.binary.in_sequence_percent),
+        FormatCount(row.binary.transitions)};
+    for (const ComparisonCell& cell : row.cells) {
+      cells.push_back(FormatCount(cell.result.transitions));
+      cells.push_back(FormatPercent(cell.savings_percent));
+    }
+    table.AddRow(std::move(cells));
+  }
+
+  std::vector<std::string> average = {
+      "Average", "", FormatPercent(comparison.average_in_sequence_percent()),
+      ""};
+  for (double savings : comparison.average_savings()) {
+    average.push_back("");
+    average.push_back(FormatPercent(savings));
+  }
+  table.AddRule();
+  table.AddRow(std::move(average));
+
+  std::cout << title << "\n" << table.ToString() << "\n";
+}
+
+}  // namespace abenc::bench

@@ -1,0 +1,27 @@
+// Shared driver for the Table 2-7 benches: runs the nine benchmark
+// programs, evaluates a list of codes on one of the three bus streams and
+// prints the paper-shaped table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/program_library.h"
+
+namespace abenc::bench {
+
+/// Which of the three buses of Tables 2-7 to evaluate.
+enum class StreamKind { kInstruction, kData, kMultiplexed };
+
+/// Print one experimental table: a row per benchmark with stream length,
+/// in-sequence percentage, binary transition count, and per-code
+/// transition counts with savings, then the paper-style "Average" row of
+/// column means. Every code is also round-trip verified while encoding.
+void PrintExperimentalTable(const std::string& title, StreamKind kind,
+                            const std::vector<std::string>& codec_names);
+
+/// The stream of `kind` from one benchmark run.
+const AddressTrace& SelectStream(const sim::ProgramTraces& traces,
+                                 StreamKind kind);
+
+}  // namespace abenc::bench

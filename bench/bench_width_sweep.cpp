@@ -1,0 +1,54 @@
+// Ablation: bus-invert's random-stream savings vs bus width (Eq. 5
+// asymptotics) — analytical eta against a Monte-Carlo run of the codec,
+// plus the partitioned-bus-invert variant that recovers the narrow-bus
+// advantage on wide buses.
+#include <iostream>
+
+#include "analysis/analytical.h"
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "trace/synthetic.h"
+
+int main() {
+  using namespace abenc;
+
+  std::cout << "Ablation: bus-invert savings on uniform random streams vs "
+               "bus width\n(savings relative to binary's N/2 transitions "
+               "per cycle; Eq. 5 vs 100k-address Monte-Carlo)\n\n";
+
+  TextTable table({"N", "eta (Eq. 5)", "analytic savings",
+                   "measured savings", "partitioned (8-bit slices)"});
+
+  SyntheticGenerator gen(31337);
+  for (unsigned width : {8u, 16u, 24u, 32u, 40u, 48u, 56u, 64u}) {
+    const double eta = BusInvertEta(width);
+    const double analytic = 100.0 * (1.0 - eta / (width / 2.0));
+
+    CodecOptions options;
+    options.width = width;
+    const AddressTrace trace = gen.UniformRandom(100000, width);
+    const auto accesses = trace.ToBusAccesses();
+
+    auto binary = MakeCodec("binary", options);
+    const EvalResult base = Evaluate(*binary, accesses, 4, true);
+    auto plain = MakeCodec("bus-invert", options);
+    const EvalResult flat = Evaluate(*plain, accesses, 4, true);
+
+    options.partitions = width / 8;
+    auto partitioned = MakeCodec("bus-invert", options);
+    const EvalResult sliced = Evaluate(*partitioned, accesses, 4, true);
+
+    table.AddRow({std::to_string(width), FormatFixed(eta, 4),
+                  FormatPercent(analytic),
+                  FormatPercent(SavingsPercent(flat.transitions,
+                                               base.transitions)),
+                  FormatPercent(SavingsPercent(sliced.transitions,
+                                               base.transitions))});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nSingle-INV bus-invert fades as N grows (the binomial\n"
+               "concentrates at N/2); partitioning restores the savings at\n"
+               "the cost of one INV line per slice.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench/power_util.h"
+
+#include "sim/program_library.h"
+
+namespace abenc::bench {
+
+std::vector<BusAccess> ReferenceStream(std::size_t per_benchmark) {
+  std::vector<BusAccess> stream;
+  for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
+    const sim::ProgramTraces traces = sim::RunBenchmark(program);
+    const auto accesses = traces.multiplexed.ToBusAccesses();
+    const std::size_t take = std::min(per_benchmark, accesses.size());
+    stream.insert(stream.end(), accesses.begin(),
+                  accesses.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return stream;
+}
+
+namespace {
+
+SimulatedCodec MakeSimulated(std::string name, gate::CodecCircuit encoder,
+                             gate::CodecCircuit decoder) {
+  SimulatedCodec simulated;
+  simulated.name = std::move(name);
+  simulated.encoder = std::move(encoder);
+  simulated.decoder = std::move(decoder);
+  return simulated;
+}
+
+}  // namespace
+
+std::vector<SimulatedCodec> SimulateSection4Codecs(
+    const std::vector<BusAccess>& stream, double output_load_pf) {
+  constexpr unsigned kWidth = 32;
+  constexpr Word kStride = 4;
+
+  std::vector<SimulatedCodec> codecs;
+  codecs.push_back(MakeSimulated(
+      "Binary", gate::BuildBinaryEncoder(kWidth, output_load_pf),
+      gate::BuildBinaryDecoder(kWidth, output_load_pf)));
+  codecs.push_back(MakeSimulated(
+      "T0", gate::BuildT0Encoder(kWidth, kStride, output_load_pf),
+      gate::BuildT0Decoder(kWidth, kStride, output_load_pf)));
+  codecs.push_back(MakeSimulated(
+      "Dual T0_BI",
+      gate::BuildDualT0BIEncoder(kWidth, kStride, output_load_pf),
+      gate::BuildDualT0BIDecoder(kWidth, kStride, output_load_pf)));
+
+  for (SimulatedCodec& codec : codecs) {
+    codec.encoder_sim =
+        std::make_unique<gate::GateSimulator>(codec.encoder.netlist);
+    codec.decoder_sim =
+        std::make_unique<gate::GateSimulator>(codec.decoder.netlist);
+    for (const BusAccess& access : stream) {
+      codec.encoder_sim->Cycle(
+          gate::DriveInputs(codec.encoder, access.address, access.sel));
+      const Word lines =
+          gate::ReadBus(*codec.encoder_sim, codec.encoder.data_out);
+      const Word redundant =
+          gate::ReadBus(*codec.encoder_sim, codec.encoder.redundant_out);
+      codec.decoder_sim->Cycle(
+          gate::DriveInputs(codec.decoder, lines, access.sel, redundant));
+    }
+  }
+  return codecs;
+}
+
+}  // namespace abenc::bench

@@ -1,0 +1,39 @@
+// Shared driver for the Table 8/9 power benches: builds the Section 4
+// codec circuits, streams the benchmark-derived reference activity through
+// encoder and decoder, and exposes the accumulated switching statistics so
+// the benches can re-price them at each capacitive load.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stream_evaluator.h"
+#include "gate/circuits.h"
+#include "gate/simulator.h"
+
+namespace abenc::bench {
+
+/// Concatenated prefix of every benchmark's multiplexed stream — the
+/// "reference input switching activities derived from the benchmark
+/// address streams" of Section 4.2.
+std::vector<BusAccess> ReferenceStream(std::size_t per_benchmark);
+
+/// One Section 4 codec, simulated: circuits plus their toggle statistics.
+/// The decoder was driven by the encoder's (activity-reduced) outputs,
+/// exactly as in the paper's estimation flow.
+struct SimulatedCodec {
+  std::string name;
+  gate::CodecCircuit encoder;
+  gate::CodecCircuit decoder;
+  std::unique_ptr<gate::GateSimulator> encoder_sim;
+  std::unique_ptr<gate::GateSimulator> decoder_sim;
+};
+
+/// Build and stream the three codecs of Section 4 (binary, T0, dual
+/// T0_BI) over `stream` on a 32-bit bus with stride 4. Output loads start
+/// at `output_load_pf` and can be re-priced with SetOutputLoads.
+std::vector<SimulatedCodec> SimulateSection4Codecs(
+    const std::vector<BusAccess>& stream, double output_load_pf);
+
+}  // namespace abenc::bench

@@ -1,0 +1,60 @@
+// Explore how each code responds to the statistics of the stream: sweeps
+// the in-sequence probability of a Markov stream and prints the savings
+// of every code at each point, locating the T0 <-> bus-invert crossover
+// the paper discusses qualitatively.
+//
+//   $ ./codec_explorer [stream-length] [width] [stride]
+#include <iostream>
+#include <string>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace abenc;
+
+  const std::size_t length = argc > 1 ? std::stoul(argv[1]) : 60000;
+  CodecOptions options;
+  options.width = argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 32;
+  options.stride = argc > 3 ? std::stoull(argv[3]) : 4;
+
+  const std::vector<std::string> codes = {"gray-word", "bus-invert", "t0",
+                                          "t0-bi", "inc-xor", "offset"};
+
+  std::vector<std::string> headers = {"p(in-seq)"};
+  for (const std::string& name : codes) {
+    headers.push_back(MakeCodec(name, options)->display_name());
+  }
+  TextTable table(std::move(headers));
+
+  std::cout << "Savings vs binary on Markov streams, width "
+            << options.width << ", stride " << options.stride << ", "
+            << length << " references per point:\n\n";
+
+  for (double p = 0.0; p <= 1.0001; p += 0.1) {
+    SyntheticGenerator gen(1234);
+    const AddressTrace trace =
+        gen.Markov(length, p, options.stride, options.width);
+    const auto accesses = trace.ToBusAccesses();
+    auto binary = MakeCodec("binary", options);
+    const EvalResult base =
+        Evaluate(*binary, accesses, options.stride, true);
+
+    std::vector<std::string> row = {FormatFixed(p, 1)};
+    for (const std::string& name : codes) {
+      auto codec = MakeCodec(name, options);
+      const EvalResult r = Evaluate(*codec, accesses, options.stride, true);
+      row.push_back(
+          FormatPercent(SavingsPercent(r.transitions, base.transitions)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << table.ToString();
+  std::cout << "\nReading guide: bus-invert is flat (it never looks at\n"
+               "sequentiality); the T0 family grows with p and overtakes\n"
+               "it once runs dominate — the paper's instruction/data split\n"
+               "in one picture.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Hardware hand-off: build the paper's dual T0_BI encoder at gate level,
+// export it as synthesisable structural Verilog, and dump a VCD waveform
+// of the encoded bus while it processes a short multiplexed stream.
+//
+//   $ ./netlist_export [width] [out-prefix]
+//   $ ./netlist_export 16 /tmp/dual_t0bi
+//   -> /tmp/dual_t0bi.v  /tmp/dual_t0bi.vcd
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "gate/circuits.h"
+#include "gate/power.h"
+#include "gate/simulator.h"
+#include "gate/vcd.h"
+#include "gate/verilog.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace abenc;
+
+  const unsigned width =
+      argc > 1 ? static_cast<unsigned>(std::stoul(argv[1])) : 16;
+  const std::string prefix = argc > 2 ? argv[2] : "dual_t0bi";
+
+  gate::CodecCircuit encoder = gate::BuildDualT0BIEncoder(width, 4, 0.2);
+  std::cout << "dual T0_BI encoder, " << width << "-bit bus: "
+            << encoder.netlist.gate_count() << " gates, "
+            << encoder.netlist.flop_count() << " flops\n";
+
+  // --- Verilog ---
+  const std::string verilog_path = prefix + ".v";
+  {
+    std::ofstream out(verilog_path);
+    gate::WriteVerilog(out, encoder.netlist, "dual_t0bi_encoder");
+  }
+  std::cout << "wrote " << verilog_path << "\n";
+
+  // --- Simulate a short stream and record a waveform ---
+  std::vector<gate::NetId> watched = {encoder.sel_in};
+  for (gate::NetId n : encoder.redundant_out) watched.push_back(n);
+  for (std::size_t i = 0; i < 8 && i < encoder.data_out.size(); ++i) {
+    watched.push_back(encoder.data_out[i]);
+  }
+  gate::GateSimulator sim(encoder.netlist);
+  gate::VcdWriter vcd(encoder.netlist, watched, "dual_t0bi");
+
+  SyntheticGenerator gen(3);
+  const AddressTrace trace = gen.MultiplexedLike(256, 0.35, 4, width);
+  for (const TraceEntry& e : trace) {
+    sim.Cycle(gate::DriveInputs(encoder, e.address,
+                                e.kind == AccessKind::kInstruction));
+    vcd.Sample(sim);
+  }
+
+  const std::string vcd_path = prefix + ".vcd";
+  {
+    std::ofstream out(vcd_path);
+    vcd.Write(out);
+  }
+  std::cout << "wrote " << vcd_path << " (" << vcd.samples()
+            << " cycles)\n";
+
+  // --- Self-checking testbench for an external Verilog simulator ---
+  // Re-run a short prefix, capturing inputs and expected outputs.
+  gate::GateSimulator tb_sim(encoder.netlist);
+  std::vector<gate::TestbenchVector> vectors;
+  for (std::size_t t = 0; t < 64 && t < trace.size(); ++t) {
+    const auto inputs = gate::DriveInputs(
+        encoder, trace[t].address,
+        trace[t].kind == AccessKind::kInstruction);
+    tb_sim.Cycle(inputs);
+    gate::TestbenchVector vector;
+    for (const auto& [net, value] : inputs) vector.inputs.push_back({net, value});
+    for (const auto& output : encoder.netlist.outputs()) {
+      vector.expected.push_back({output.name, tb_sim.Value(output.net)});
+    }
+    vectors.push_back(std::move(vector));
+  }
+  const std::string tb_path = prefix + "_tb.v";
+  {
+    std::ofstream out(tb_path);
+    gate::WriteVerilogTestbench(out, encoder.netlist, "dual_t0bi_encoder",
+                                vectors);
+  }
+  std::cout << "wrote " << tb_path << " (" << vectors.size()
+            << " self-checking vectors)\n";
+
+  const gate::PowerReport power = gate::EstimatePower(
+      encoder.netlist, sim, gate::kClockHz, gate::kVddVolts,
+      gate::kDefaultGlitchPerLevel);
+  std::cout << "estimated power on this stream: core "
+            << power.core_mw << " mW, outputs " << power.output_mw
+            << " mW\n";
+  return 0;
+}

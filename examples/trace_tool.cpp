@@ -1,0 +1,168 @@
+// Command-line trace utility: generate, inspect, convert and encode
+// address-trace files in the library's text/binary formats — the glue a
+// downstream user needs to run the codecs on traces from their own
+// simulator or logic analyser.
+//
+//   $ ./trace_tool gen markov 0.6 50000 /tmp/t.trace   # synthesise
+//   $ ./trace_tool stats /tmp/t.trace                  # statistics
+//   $ ./trace_tool convert /tmp/t.trace /tmp/t.btrace  # text <-> binary
+//   $ ./trace_tool encode t0 /tmp/t.trace              # savings report
+//   $ ./trace_tool capture gzip /tmp/gzip.trace        # from the ISS
+#include <iostream>
+#include <string>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "sim/program_library.h"
+#include "trace/synthetic.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+
+namespace {
+
+using namespace abenc;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  trace_tool gen <sequential|random|markov P|instr|data|mux> "
+      "<count> <out-file>\n"
+      "  trace_tool capture <benchmark> <out-file>\n"
+      "  trace_tool stats <file>\n"
+      "  trace_tool convert <in-file> <out-file>\n"
+      "  trace_tool encode <codec|all> <file>\n";
+  return 2;
+}
+
+int Generate(const std::vector<std::string>& args) {
+  // args: kind [param] count out
+  SyntheticGenerator gen(2024);
+  std::size_t i = 0;
+  const std::string kind = args[i++];
+  double p = 0.5;
+  if (kind == "markov") {
+    if (args.size() < 4) return Usage();
+    p = std::stod(args[i++]);
+  }
+  if (args.size() - i != 2) return Usage();
+  const std::size_t count = std::stoul(args[i]);
+  const std::string out = args[i + 1];
+
+  AddressTrace trace;
+  if (kind == "sequential") {
+    trace = gen.Sequential(count);
+  } else if (kind == "random") {
+    trace = gen.UniformRandom(count);
+  } else if (kind == "markov") {
+    trace = gen.Markov(count, p);
+  } else if (kind == "instr") {
+    trace = gen.InstructionLike(count);
+  } else if (kind == "data") {
+    trace = gen.DataLike(count);
+  } else if (kind == "mux") {
+    trace = gen.MultiplexedLike(count);
+  } else {
+    return Usage();
+  }
+  SaveTrace(out, trace);
+  std::cout << "wrote " << trace.size() << " references to " << out << "\n";
+  return 0;
+}
+
+int Capture(const std::string& benchmark, const std::string& out) {
+  const sim::ProgramTraces traces =
+      sim::RunBenchmark(sim::FindBenchmarkProgram(benchmark));
+  SaveTrace(out, traces.multiplexed);
+  std::cout << "wrote " << traces.multiplexed.size()
+            << " multiplexed references from '" << benchmark << "' to "
+            << out << "\n";
+  return 0;
+}
+
+int Stats(const std::string& path) {
+  const AddressTrace trace = LoadTrace(path);
+  const TraceStats stats = ComputeStats(trace, 32, 4);
+  std::cout << path << ":\n"
+            << "  references          " << stats.length << "\n"
+            << "  unique addresses    " << stats.unique_addresses << "\n"
+            << "  in-sequence         "
+            << FormatPercent(stats.in_sequence_percent) << "\n"
+            << "  repeated address    "
+            << FormatPercent(stats.repeated_percent) << "\n"
+            << "  avg Hamming dist    "
+            << FormatFixed(stats.average_hamming, 3) << "\n"
+            << "  address entropy     "
+            << FormatFixed(stats.address_entropy_bits, 2) << " bits\n";
+  std::cout << "  run-length histogram (top):\n";
+  int shown = 0;
+  for (auto it = stats.run_length_histogram.rbegin();
+       it != stats.run_length_histogram.rend() && shown < 5; ++it, ++shown) {
+    std::cout << "    runs of " << it->first << ": " << it->second << "\n";
+  }
+  std::cout << "  working-set curve (window -> avg distinct):\n";
+  for (const auto& [window, distinct] : WorkingSetCurve(trace)) {
+    std::cout << "    " << window << " -> " << FormatFixed(distinct, 1)
+              << "\n";
+  }
+  return 0;
+}
+
+int Convert(const std::string& in, const std::string& out) {
+  const AddressTrace trace = LoadTrace(in);
+  SaveTrace(out, trace);
+  std::cout << "converted " << trace.size() << " references: " << in
+            << " -> " << out << "\n";
+  return 0;
+}
+
+int Encode(const std::string& codec_name, const std::string& path) {
+  const AddressTrace trace = LoadTrace(path);
+  const auto accesses = trace.ToBusAccesses();
+  CodecOptions options;
+  auto binary = MakeCodec("binary", options);
+  const EvalResult base = Evaluate(*binary, accesses, options.stride, true);
+
+  TextTable table({"Code", "Transitions", "Avg/cycle", "Savings"});
+  const auto add = [&](const std::string& name) {
+    auto codec = MakeCodec(name, options);
+    const EvalResult r = Evaluate(*codec, accesses, options.stride, true);
+    table.AddRow({codec->display_name(), FormatCount(r.transitions),
+                  FormatFixed(r.average_transitions_per_cycle(), 3),
+                  FormatPercent(SavingsPercent(r.transitions,
+                                               base.transitions))});
+  };
+  if (codec_name == "all") {
+    for (const std::string& name : AllCodecNames()) add(name);
+  } else {
+    add(codec_name);
+  }
+  std::cout << path << " (" << accesses.size() << " references):\n"
+            << table.ToString();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() >= 3 && args[0] == "gen") {
+      return Generate({args.begin() + 1, args.end()});
+    }
+    if (args.size() == 3 && args[0] == "capture") {
+      return Capture(args[1], args[2]);
+    }
+    if (args.size() == 2 && args[0] == "stats") return Stats(args[1]);
+    if (args.size() == 3 && args[0] == "convert") {
+      return Convert(args[1], args[2]);
+    }
+    if (args.size() == 3 && args[0] == "encode") {
+      return Encode(args[1], args[2]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,66 @@
+// Umbrella header: the whole public surface of the library.
+//
+// Fine-grained includes are preferred in library code (and used
+// throughout this repository); this header exists for quick experiments
+// and downstream prototypes:
+//
+//   #include "abenc.h"
+//   auto codec = abenc::MakeCodec("dual-t0-bi");
+#pragma once
+
+// Core: the bus codes and evaluation.
+#include "analysis/analytical.h"
+#include "analysis/markov.h"
+#include "core/beach_codec.h"
+#include "core/binary_codec.h"
+#include "core/bus_invert_codec.h"
+#include "core/codec.h"
+#include "core/codec_factory.h"
+#include "core/couple_invert_codec.h"
+#include "core/coupling.h"
+#include "core/dual_t0_codec.h"
+#include "core/dual_t0bi_codec.h"
+#include "core/experiment.h"
+#include "core/gray_codec.h"
+#include "core/inc_xor_codec.h"
+#include "core/mtf_codec.h"
+#include "core/offset_codec.h"
+#include "core/resilience.h"
+#include "core/stream_evaluator.h"
+#include "core/t0_codec.h"
+#include "core/t0bi_codec.h"
+#include "core/transition_counter.h"
+#include "core/types.h"
+#include "core/working_zone_codec.h"
+
+// Traces.
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+
+// The MIPS-subset simulator substrate.
+#include "sim/assembler.h"
+#include "sim/bus_monitor.h"
+#include "sim/cache.h"
+#include "sim/cpu.h"
+#include "sim/disassembler.h"
+#include "sim/dram.h"
+#include "sim/isa.h"
+#include "sim/memory.h"
+#include "sim/program_library.h"
+
+// The gate-level substrate.
+#include "gate/cell.h"
+#include "gate/circuits.h"
+#include "gate/netlist.h"
+#include "gate/power.h"
+#include "gate/probabilistic.h"
+#include "gate/simulator.h"
+#include "gate/system.h"
+#include "gate/timing.h"
+#include "gate/vcd.h"
+#include "gate/verilog.h"
+
+// Reporting.
+#include "report/table.h"

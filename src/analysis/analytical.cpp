@@ -1,0 +1,97 @@
+#include "analysis/analytical.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abenc {
+
+double Binomial(unsigned n, unsigned k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double BusInvertEta(unsigned width) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("bus width must be in [1, 64]");
+  }
+  // Eq. 5: (1/2^N) * sum_{k=0}^{N/2} k * C(N+1, k). With N+1 lines and the
+  // majority decision, the per-cycle transition count is min(H, N+1-H)
+  // whose distribution over 2^N equally likely candidate patterns is
+  // C(N+1, k) for k <= N/2 (each unordered {H, N+1-H} pair collapses onto
+  // its smaller member).
+  double sum = 0.0;
+  for (unsigned k = 0; k <= width / 2; ++k) {
+    sum += static_cast<double>(k) * Binomial(width + 1, k);
+  }
+  return sum / std::exp2(static_cast<double>(width));
+}
+
+double BinaryRandomTransitions(unsigned width) {
+  return static_cast<double>(width) / 2.0;
+}
+
+double BinaryCountingTransitions(unsigned width, Word stride) {
+  if (!IsPowerOfTwo(stride)) {
+    throw std::invalid_argument("stride must be a power of two");
+  }
+  const unsigned s = Log2(stride);
+  if (s >= width) {
+    throw std::invalid_argument("stride must be below the bus span");
+  }
+  // Bit s toggles every increment, bit s+1 every second, ... Bits below s
+  // never change.
+  return 2.0 * (1.0 - std::exp2(-static_cast<double>(width - s)));
+}
+
+std::vector<Table1Row> AnalyticalTable1(unsigned width, Word stride) {
+  const double n = static_cast<double>(width);
+  const double random_binary = BinaryRandomTransitions(width);
+  const double eta = BusInvertEta(width);
+  const double counting = BinaryCountingTransitions(width, stride);
+
+  std::vector<Table1Row> rows;
+  // --- Unlimited out-of-sequence (uniform random) stream ---
+  rows.push_back({"Out-of-Sequence", "Binary", random_binary,
+                  random_binary / n, 1.0});
+  // T0 degenerates to binary plus a quiet INC line (a random pair is
+  // sequential with probability 2^-N, asymptotically zero).
+  rows.push_back({"Out-of-Sequence", "T0", random_binary,
+                  random_binary / (n + 1.0), 1.0});
+  rows.push_back({"Out-of-Sequence", "Bus-Inv", eta, eta / (n + 1.0),
+                  eta / random_binary});
+  // --- Unlimited in-sequence stream ---
+  rows.push_back({"In-Sequence", "Binary", counting, counting / n,
+                  counting / counting});
+  rows.push_back({"In-Sequence", "T0", 0.0, 0.0, 0.0});
+  // A counting step flips at most ceil(log2) + carry lines, far below the
+  // majority threshold for any realistic N, so bus-invert never inverts
+  // and tracks binary exactly.
+  rows.push_back({"In-Sequence", "Bus-Inv", counting, counting / (n + 1.0),
+                  1.0});
+  return rows;
+}
+
+double CrossoverAbscissa(const std::vector<double>& x,
+                         const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  if (x.size() != a.size() || x.size() != b.size() || x.empty()) {
+    throw std::invalid_argument("crossover: mismatched curve sizes");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = a[i] - b[i];
+    if (diff >= 0.0) {
+      if (i == 0) return x[0];
+      const double prev_diff = a[i - 1] - b[i - 1];
+      const double t = prev_diff / (prev_diff - diff);  // prev_diff < 0
+      return x[i - 1] + t * (x[i] - x[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace abenc

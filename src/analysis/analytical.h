@@ -1,0 +1,56 @@
+// Closed-form performance models behind Table 1 of the paper, plus small
+// numeric helpers used by the power benches (Table 9 crossover loads).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// Binomial coefficient C(n, k) as a double (exact for the n <= 65 used
+/// here, which stays far below 2^53).
+double Binomial(unsigned n, unsigned k);
+
+/// Eq. 5 of the paper: the average number of transitions per clock cycle
+/// of the bus-invert code on an uniformly random stream,
+///
+///     eta = (1/2^N) * sum_{k=0}^{N/2} k * C(N+1, k)
+///
+/// i.e. the mean of min(H, N+1-H) over the N+1 encoded lines.
+double BusInvertEta(unsigned width);
+
+/// Average transitions per clock of plain binary on an uniformly random
+/// stream: N/2.
+double BinaryRandomTransitions(unsigned width);
+
+/// Average transitions per clock of plain binary on an unlimited
+/// in-sequence stream with stride S = 2^s: the counter identity
+///     sum_{k=s}^{N-1} 2^-(k-s) = 2 * (1 - 2^-(N-s)).
+double BinaryCountingTransitions(unsigned width, Word stride);
+
+/// One row of Table 1.
+struct Table1Row {
+  std::string stream;             // "Out-of-Sequence" / "In-Sequence"
+  std::string code;               // "Binary" / "T0" / "Bus-Inv"
+  double transitions_per_clock;   // over all driven lines
+  double transitions_per_line;    // divided by N + redundant lines
+  double relative_power;          // I/O power normalised to binary = 1
+};
+
+/// The complete analytical comparison of Table 1 for an N-bit bus.
+/// Asymptotic regime (unlimited streams): T0's INC line is constant in
+/// both cases, binary and bus-invert behave identically on in-sequence
+/// streams (the Hamming distance of a counting step never exceeds N/2
+/// for N >= 4).
+std::vector<Table1Row> AnalyticalTable1(unsigned width, Word stride);
+
+/// Linear-interpolation crossover: smallest x where curve `a` stops being
+/// below curve `b`. Both curves are sampled at the same ascending
+/// abscissae. Returns a negative value if they never cross.
+double CrossoverAbscissa(const std::vector<double>& x,
+                         const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace abenc

@@ -1,0 +1,66 @@
+// Closed-form expected switching activity under the first-order Markov
+// stream model (with probability p the next address is previous + S,
+// otherwise it jumps to a uniform stride-aligned address) — the model the
+// synthetic generator implements and the ablation sweeps dial. These
+// forms extend Table 1's two extreme rows (p = 0 and p = 1) to the whole
+// axis and are validated against Monte-Carlo runs of the real codecs in
+// the test-suite.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// Expected bus transitions per cycle (all driven lines, redundant
+/// included) in the stationary regime, for `code` in
+///   "binary", "gray-word", "t0", "bus-invert", "inc-xor".
+/// Derivations (s = log2(stride), so only the top N-s lines ever vary):
+///   binary:     p * C + (1-p) * (N-s)/2,  C = 2 (1 - 2^-(N-s))
+///   gray-word:  p * 1 + (1-p) * (N-s)/2          (bijection on jumps)
+///   t0:         (1-p) * (N-s)/2 + 2 p (1-p)      (INC flag flips)
+///   inc-xor:    (1-p) * (N-s)/2                  (no redundant line)
+///   bus-invert: p * C + (1-p) * eta(N-s)         (majority on jumps)
+/// The first four forms are exact in the stationary limit. The
+/// bus-invert form is an approximation: the real code thresholds over
+/// all N+1 lines while only N-s ever vary, and an inverted cycle flips
+/// the frozen low lines too, coupling consecutive decisions. The error
+/// is a few percent (≤ ~6 % across the axis at N = 32, S = 4), bounded
+/// by test against Monte-Carlo.
+double MarkovExpectedTransitions(const std::string& code, unsigned width,
+                                 Word stride, double p_in_sequence);
+
+/// The in-sequence probability at which two codes break even (bisection
+/// over MarkovExpectedTransitions); returns a negative value when one
+/// code dominates over the whole [0, 1] axis.
+double MarkovCrossoverProbability(const std::string& code_a,
+                                  const std::string& code_b, unsigned width,
+                                  Word stride);
+
+/// Expected transitions per cycle on a *multiplexed* bus: each slot is a
+/// data reference (uniform over the stride-aligned space) with
+/// probability `data_ratio`, otherwise the next step of an instruction
+/// chain that continues sequentially with probability `p_in_sequence`
+/// (the Eq. 9 shadow semantics: data slots do not break the chain).
+/// Codes: "binary", "t0", "dual-t0", "dual-t0-bi".
+///
+/// Derivations (J = (N-s)/2, the jump Hamming cost; C = the counting
+/// cost; q = P(slot is instruction and sequential) per code's own
+/// sequentiality test):
+///   binary:     (1-r)^2 p C + (1 - (1-r)^2 p) J
+///   t0:         q = (1-r)^2 p (adjacent instr pair needed);
+///               (1-q) J + 2q(1-q)
+///   dual-t0:    q = (1-r) p   (the shadow survives data slots);
+///               (1-q) J + 2q(1-q)
+///   dual-t0-bi: dual-t0's frozen slots, eta-priced data slots; the
+///               INCV rate folds both triggers. This last form shares
+///               the bus-invert approximation of the dedicated-bus model
+///               (documented there); the others are exact in the
+///               stationary limit. Validated against Monte-Carlo by test.
+double MarkovMuxedExpectedTransitions(const std::string& code,
+                                      unsigned width, Word stride,
+                                      double p_in_sequence,
+                                      double data_ratio);
+
+}  // namespace abenc

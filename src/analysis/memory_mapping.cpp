@@ -1,0 +1,101 @@
+#include "analysis/memory_mapping.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace abenc {
+namespace {
+
+struct FrameInfo {
+  Word frame = 0;
+  long long weight = 0;  // total adjacent-transition involvement
+};
+
+}  // namespace
+
+MemoryMapping OptimizeMapping(const AddressTrace& trace, unsigned width,
+                              unsigned frame_bits) {
+  const Word mask = LowMask(width);
+
+  // Transition graph between frames (symmetric weights).
+  std::map<std::pair<Word, Word>, long long> edges;
+  std::unordered_map<Word, long long> involvement;
+  Word prev_frame = 0;
+  bool has_prev = false;
+  for (const TraceEntry& e : trace) {
+    const Word frame = (e.address & mask) >> frame_bits;
+    involvement.try_emplace(frame, 0);
+    if (has_prev && frame != prev_frame) {
+      const auto key = std::minmax(prev_frame, frame);
+      ++edges[{key.first, key.second}];
+      ++involvement[prev_frame];
+      ++involvement[frame];
+    }
+    prev_frame = frame;
+    has_prev = true;
+  }
+
+  // Adjacency lists for the greedy pass.
+  std::unordered_map<Word, std::vector<std::pair<Word, long long>>> adjacent;
+  for (const auto& [edge, weight] : edges) {
+    adjacent[edge.first].push_back({edge.second, weight});
+    adjacent[edge.second].push_back({edge.first, weight});
+  }
+
+  // Hottest frames first; the code pool is the set of touched frames, so
+  // the result is a permutation of that set (injective everywhere).
+  std::vector<FrameInfo> order;
+  order.reserve(involvement.size());
+  std::vector<Word> pool;
+  pool.reserve(involvement.size());
+  for (const auto& [frame, weight] : involvement) {
+    order.push_back({frame, weight});
+    pool.push_back(frame);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.weight != b.weight ? a.weight > b.weight : a.frame < b.frame;
+  });
+  std::sort(pool.begin(), pool.end());
+  std::vector<bool> used(pool.size(), false);
+
+  std::unordered_map<Word, Word> assignment;
+  assignment.reserve(order.size());
+  for (const FrameInfo& info : order) {
+    long long best_cost = -1;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      long long cost = 0;
+      const auto it = adjacent.find(info.frame);
+      if (it != adjacent.end()) {
+        for (const auto& [neighbour, weight] : it->second) {
+          const auto assigned = assignment.find(neighbour);
+          if (assigned == assignment.end()) continue;
+          cost += weight *
+                  HammingDistance(pool[i], assigned->second,
+                                  width - frame_bits);
+        }
+      }
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_index = i;
+      }
+    }
+    used[best_index] = true;
+    assignment[info.frame] = pool[best_index];
+  }
+  return MemoryMapping(frame_bits, std::move(assignment));
+}
+
+AddressTrace ApplyMapping(const AddressTrace& trace,
+                          const MemoryMapping& mapping) {
+  AddressTrace out(trace.name());
+  out.Reserve(trace.size());
+  for (const TraceEntry& e : trace) {
+    out.Append(mapping.Remap(e.address), e.kind);
+  }
+  return out;
+}
+
+}  // namespace abenc

@@ -1,0 +1,254 @@
+// Beach code (Benini et al., ISLPED 1997) — a stream-adaptive code
+// trained on a sample of the address stream, for special-purpose systems
+// that repeatedly execute the same embedded code.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace abenc {
+
+/// The published Beach code analyses the statistics of a specific address
+/// stream, groups the bus lines into clusters, and synthesises one
+/// encoding function per cluster. This implementation keeps that
+/// architecture with two simplifications, both documented here:
+///
+///   1. Cluster formation is either fixed contiguous slices
+///      (kContiguous) or greedy toggle-correlation grouping
+///      (kCorrelation): lines whose switching activity is most
+///      correlated on the training stream are clustered together, as in
+///      the paper's block-correlation analysis. Clusters may then be
+///      arbitrary line subsets, not just neighbours.
+///   2. Each cluster's function is drawn from a catalogue of invertible
+///      stream transforms instead of synthesised arbitrary logic:
+///        kIdentity - plain binary
+///        kGray     - Gray-code the cluster (wins on counting behaviour)
+///        kXorPrev  - transmit slice(t) xor slice(t-1) (wins on slices
+///                    that repeat or alternate between few values)
+///
+/// Train() measures every candidate on the training stream and keeps the
+/// cheapest per cluster. Untrained, the code degenerates to binary. The
+/// code is irredundant and decodable because every catalogue entry is an
+/// invertible stream transform over a fixed line subset.
+class BeachCodec final : public Codec {
+ public:
+  enum class Transform { kIdentity, kGray, kXorPrev };
+  enum class Clustering { kContiguous, kCorrelation };
+
+  explicit BeachCodec(unsigned width, unsigned cluster_bits = 8,
+                      Clustering clustering = Clustering::kContiguous)
+      : Codec(width), cluster_bits_(cluster_bits), clustering_(clustering) {
+    if (cluster_bits == 0 || cluster_bits > width) {
+      throw CodecConfigError("Beach cluster size must be in [1, width]");
+    }
+    UseContiguousClusters();
+    Reset();
+  }
+
+  std::string name() const override { return "beach"; }
+  std::string display_name() const override { return "Beach"; }
+  unsigned redundant_lines() const override { return 0; }
+
+  /// Choose clusters (under the configured policy) and the per-cluster
+  /// transforms that minimise transitions on the given training stream.
+  /// Resets the codec state afterwards.
+  void Train(std::span<const Word> sample) {
+    if (clustering_ == Clustering::kCorrelation) {
+      BuildCorrelationClusters(sample);
+    }
+    static constexpr Transform kCatalogue[] = {
+        Transform::kIdentity, Transform::kGray, Transform::kXorPrev};
+    transforms_.assign(clusters_.size(), Transform::kIdentity);
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      long best_cost = -1;
+      for (Transform t : kCatalogue) {
+        const long cost = ClusterCost(sample, c, t);
+        if (best_cost < 0 || cost < best_cost) {
+          best_cost = cost;
+          transforms_[c] = t;
+        }
+      }
+    }
+    Reset();
+  }
+
+  const std::vector<Transform>& transforms() const { return transforms_; }
+  const std::vector<std::vector<unsigned>>& clusters() const {
+    return clusters_;
+  }
+
+  BusState Encode(Word address, bool /*sel*/) override {
+    const Word b = Mask(address);
+    Word lines = 0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      const Word slice = Gather(b, c);
+      const Word encoded =
+          Apply(transforms_[c], slice, Gather(enc_prev_addr_, c), c);
+      lines |= Scatter(encoded, c);
+    }
+    enc_prev_addr_ = b;
+    return BusState{Mask(lines), 0};
+  }
+
+  Word Decode(const BusState& bus, bool /*sel*/) override {
+    Word b = 0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      const Word enc_slice = Gather(bus.lines, c);
+      const Word decoded =
+          Invert(transforms_[c], enc_slice, Gather(dec_prev_addr_, c), c);
+      b |= Scatter(decoded, c);
+    }
+    b = Mask(b);
+    dec_prev_addr_ = b;
+    return b;
+  }
+
+  void Reset() override { enc_prev_addr_ = dec_prev_addr_ = 0; }
+
+ private:
+  void UseContiguousClusters() {
+    clusters_.clear();
+    for (unsigned base = 0; base < width(); base += cluster_bits_) {
+      std::vector<unsigned> cluster;
+      for (unsigned i = base; i < std::min(width(), base + cluster_bits_);
+           ++i) {
+        cluster.push_back(i);
+      }
+      clusters_.push_back(std::move(cluster));
+    }
+    transforms_.assign(clusters_.size(), Transform::kIdentity);
+  }
+
+  /// Greedy toggle-correlation clustering: seed with the most active
+  /// unclustered line, grow with the lines whose toggle series agrees
+  /// most (same-cycle toggling), until the cluster is full.
+  void BuildCorrelationClusters(std::span<const Word> sample) {
+    const unsigned n = width();
+    // agree[i][j] = #cycles where lines i and j toggled together.
+    std::vector<std::vector<long>> agree(n, std::vector<long>(n, 0));
+    std::vector<long> activity(n, 0);
+    Word prev = 0;
+    bool has_prev = false;
+    for (Word raw : sample) {
+      const Word b = raw & LowMask(n);
+      if (has_prev) {
+        const Word diff = prev ^ b;
+        for (unsigned i = 0; i < n; ++i) {
+          if (!((diff >> i) & 1)) continue;
+          ++activity[i];
+          for (unsigned j = i + 1; j < n; ++j) {
+            if ((diff >> j) & 1) {
+              ++agree[i][j];
+              ++agree[j][i];
+            }
+          }
+        }
+      }
+      prev = b;
+      has_prev = true;
+    }
+
+    clusters_.clear();
+    std::vector<bool> used(n, false);
+    for (;;) {
+      // Seed: most active unclustered line.
+      int seed = -1;
+      for (unsigned i = 0; i < n; ++i) {
+        if (!used[i] && (seed < 0 || activity[i] > activity[
+                                         static_cast<unsigned>(seed)])) {
+          seed = static_cast<int>(i);
+        }
+      }
+      if (seed < 0) break;
+      std::vector<unsigned> cluster = {static_cast<unsigned>(seed)};
+      used[static_cast<unsigned>(seed)] = true;
+      while (cluster.size() < cluster_bits_) {
+        int best = -1;
+        long best_score = -1;
+        for (unsigned candidate = 0; candidate < n; ++candidate) {
+          if (used[candidate]) continue;
+          long score = 0;
+          for (unsigned member : cluster) score += agree[member][candidate];
+          if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(candidate);
+          }
+        }
+        if (best < 0) break;
+        cluster.push_back(static_cast<unsigned>(best));
+        used[static_cast<unsigned>(best)] = true;
+      }
+      // Keep gather/scatter order stable (LSB-first within the cluster).
+      std::sort(cluster.begin(), cluster.end());
+      clusters_.push_back(std::move(cluster));
+    }
+  }
+
+  Word Gather(Word w, std::size_t c) const {
+    Word slice = 0;
+    const auto& cluster = clusters_[c];
+    for (std::size_t k = 0; k < cluster.size(); ++k) {
+      slice |= ((w >> cluster[k]) & 1) << k;
+    }
+    return slice;
+  }
+
+  Word Scatter(Word slice, std::size_t c) const {
+    Word w = 0;
+    const auto& cluster = clusters_[c];
+    for (std::size_t k = 0; k < cluster.size(); ++k) {
+      w |= ((slice >> k) & 1) << cluster[k];
+    }
+    return w;
+  }
+
+  Word ClusterMask(std::size_t c) const {
+    return LowMask(static_cast<unsigned>(clusters_[c].size()));
+  }
+
+  Word Apply(Transform t, Word slice, Word prev_slice, std::size_t c) const {
+    switch (t) {
+      case Transform::kIdentity: return slice;
+      case Transform::kGray: return BinaryToGray(slice) & ClusterMask(c);
+      case Transform::kXorPrev: return slice ^ prev_slice;
+    }
+    return slice;
+  }
+
+  Word Invert(Transform t, Word enc_slice, Word prev_dec_slice,
+              std::size_t c) const {
+    switch (t) {
+      case Transform::kIdentity: return enc_slice;
+      case Transform::kGray: return GrayToBinary(enc_slice) & ClusterMask(c);
+      case Transform::kXorPrev: return enc_slice ^ prev_dec_slice;
+    }
+    return enc_slice;
+  }
+
+  long ClusterCost(std::span<const Word> sample, std::size_t c,
+                   Transform t) const {
+    long transitions = 0;
+    Word prev_addr_slice = 0;
+    Word prev_bus_slice = 0;
+    for (Word addr : sample) {
+      const Word slice = Gather(addr & LowMask(width()), c);
+      const Word bus_slice = Apply(t, slice, prev_addr_slice, c);
+      transitions += PopCount(bus_slice ^ prev_bus_slice);
+      prev_addr_slice = slice;
+      prev_bus_slice = bus_slice;
+    }
+    return transitions;
+  }
+
+  unsigned cluster_bits_;
+  Clustering clustering_;
+  std::vector<std::vector<unsigned>> clusters_;
+  std::vector<Transform> transforms_;
+  Word enc_prev_addr_ = 0;
+  Word dec_prev_addr_ = 0;
+};
+
+}  // namespace abenc

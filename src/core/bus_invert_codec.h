@@ -1,0 +1,83 @@
+// Bus-invert coding (Stan/Burleson, TVLSI 1995), Eq. 1/2 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "core/codec.h"
+
+namespace abenc {
+
+/// Redundant code with one INV line per partition. With the default single
+/// partition this is exactly Eq. 1 of the paper:
+///
+///   (B(t), INV(t)) = (b(t), 0)   if H(t) <= N/2
+///                    (~b(t), 1)  if H(t) >  N/2
+///
+/// where H(t) is the Hamming distance between the previous *encoded* bus
+/// state including the INV line, (B(t-1) | INV(t-1)), and the candidate
+/// (b(t) | 0). Decoding (Eq. 2) is stateless: INV selects the polarity.
+///
+/// The multi-partition variant (also due to Stan/Burleson) splits the bus
+/// into equal slices, each with a private INV line and an independent
+/// majority decision; it is exercised by the extension benches.
+class BusInvertCodec final : public Codec {
+ public:
+  explicit BusInvertCodec(unsigned width, unsigned partitions = 1)
+      : Codec(width), partitions_(partitions) {
+    if (partitions == 0 || partitions > width || width % partitions != 0) {
+      throw CodecConfigError(
+          "bus-invert partitions must evenly divide the bus width");
+    }
+    slice_width_ = width / partitions;
+  }
+
+  std::string name() const override {
+    return partitions_ == 1 ? "bus-invert"
+                            : "bus-invert-p" + std::to_string(partitions_);
+  }
+  std::string display_name() const override { return "Bus-Invert"; }
+  unsigned redundant_lines() const override { return partitions_; }
+
+  BusState Encode(Word address, bool /*sel*/) override {
+    const Word b = Mask(address);
+    BusState out{0, 0};
+    for (unsigned p = 0; p < partitions_; ++p) {
+      const Word slice_mask = LowMask(slice_width_) << (p * slice_width_);
+      const Word prev_slice = prev_.lines & slice_mask;
+      const Word cand_slice = b & slice_mask;
+      const int prev_inv = static_cast<int>((prev_.redundant >> p) & 1);
+      // Hamming distance over slice lines plus the slice's INV line
+      // compared against a candidate INV of 0.
+      const int h = PopCount(prev_slice ^ cand_slice) + prev_inv;
+      if (2 * h > static_cast<int>(slice_width_)) {
+        out.lines |= ~cand_slice & slice_mask;
+        out.redundant |= Word{1} << p;
+      } else {
+        out.lines |= cand_slice;
+      }
+    }
+    prev_ = out;
+    return out;
+  }
+
+  Word Decode(const BusState& bus, bool /*sel*/) override {
+    Word b = 0;
+    for (unsigned p = 0; p < partitions_; ++p) {
+      const Word slice_mask = LowMask(slice_width_) << (p * slice_width_);
+      const bool inv = (bus.redundant >> p) & 1;
+      b |= (inv ? ~bus.lines : bus.lines) & slice_mask;
+    }
+    return Mask(b);
+  }
+
+  void Reset() override { prev_ = BusState{}; }
+
+  unsigned partitions() const { return partitions_; }
+
+ private:
+  unsigned partitions_;
+  unsigned slice_width_ = 0;
+  BusState prev_;  // encoder-side B(t-1) | INV(t-1); decode is stateless
+};
+
+}  // namespace abenc

@@ -1,0 +1,71 @@
+// Abstract interface implemented by every address-bus code in the library.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// A bus code: a stateful mapping from the address stream b(t) to the bus
+/// stream B(t) (encode) and back (decode).
+///
+/// One Codec object holds *independent* encoder-side and decoder-side state,
+/// mirroring the two physical circuits at the ends of the bus. Driving
+/// encode() and decode() in lockstep therefore models a real transfer;
+/// tests exercise decode(encode(b)) == b on every code.
+///
+/// The `sel` argument models the instruction/data select control signal of a
+/// multiplexed bus interface (asserted for instruction slots). Codes that do
+/// not look at SEL simply ignore it; for dedicated instruction or data buses
+/// callers pass a constant.
+class Codec {
+ public:
+  explicit Codec(unsigned width) : width_(width) {
+    if (width == 0 || width > 64) {
+      throw CodecConfigError("bus width must be in [1, 64], got " +
+                             std::to_string(width));
+    }
+  }
+  virtual ~Codec() = default;
+
+  Codec(const Codec&) = delete;
+  Codec& operator=(const Codec&) = delete;
+
+  /// Short machine-friendly identifier, e.g. "t0" or "dual-t0-bi".
+  virtual std::string name() const = 0;
+
+  /// Human-readable name as used in the paper's tables, e.g. "Dual T0_BI".
+  virtual std::string display_name() const = 0;
+
+  /// Number of address lines N.
+  unsigned width() const { return width_; }
+
+  /// Number of redundant control lines (0 for irredundant codes).
+  virtual unsigned redundant_lines() const = 0;
+
+  /// Encode the next address of the stream. Addresses are masked to N bits.
+  virtual BusState Encode(Word address, bool sel) = 0;
+
+  /// Decode the next bus state of the stream. SEL must match the value the
+  /// encoder saw in the same cycle (it travels on the bus, per the paper).
+  virtual Word Decode(const BusState& bus, bool sel) = 0;
+
+  /// Return both ends of the bus to the power-on state (all lines low,
+  /// no history). The first address after reset is always sent verbatim.
+  virtual void Reset() = 0;
+
+  /// Total lines driven on the bus (data + redundant).
+  unsigned total_lines() const { return width_ + redundant_lines(); }
+
+ protected:
+  Word Mask(Word address) const { return address & LowMask(width_); }
+
+ private:
+  unsigned width_;
+};
+
+using CodecPtr = std::unique_ptr<Codec>;
+
+}  // namespace abenc

@@ -1,0 +1,71 @@
+#include "core/codec_factory.h"
+
+#include <memory>
+
+#include "core/beach_codec.h"
+#include "core/binary_codec.h"
+#include "core/bus_invert_codec.h"
+#include "core/couple_invert_codec.h"
+#include "core/dual_t0_codec.h"
+#include "core/dual_t0bi_codec.h"
+#include "core/gray_codec.h"
+#include "core/inc_xor_codec.h"
+#include "core/mtf_codec.h"
+#include "core/offset_codec.h"
+#include "core/t0_codec.h"
+#include "core/t0bi_codec.h"
+#include "core/working_zone_codec.h"
+
+namespace abenc {
+
+CodecPtr MakeCodec(const std::string& name, const CodecOptions& o) {
+  if (name == "binary") return std::make_unique<BinaryCodec>(o.width);
+  if (name == "gray") return std::make_unique<GrayCodec>(o.width, 1);
+  if (name == "gray-word") return std::make_unique<GrayCodec>(o.width, o.stride);
+  if (name == "bus-invert") {
+    return std::make_unique<BusInvertCodec>(o.width, o.partitions);
+  }
+  if (name == "t0") return std::make_unique<T0Codec>(o.width, o.stride);
+  if (name == "t0-bi") return std::make_unique<T0BICodec>(o.width, o.stride);
+  if (name == "dual-t0") {
+    return std::make_unique<DualT0Codec>(o.width, o.stride);
+  }
+  if (name == "dual-t0-bi") {
+    return std::make_unique<DualT0BICodec>(o.width, o.stride);
+  }
+  if (name == "offset") return std::make_unique<OffsetCodec>(o.width);
+  if (name == "inc-xor") return std::make_unique<IncXorCodec>(o.width, o.stride);
+  if (name == "working-zone") {
+    return std::make_unique<WorkingZoneCodec>(o.width, o.wz_zones,
+                                              o.wz_offset_bits);
+  }
+  if (name == "beach") {
+    return std::make_unique<BeachCodec>(o.width, o.beach_cluster_bits);
+  }
+  if (name == "beach-corr") {
+    return std::make_unique<BeachCodec>(o.width, o.beach_cluster_bits,
+                                        BeachCodec::Clustering::kCorrelation);
+  }
+  if (name == "mtf") return std::make_unique<MtfCodec>(o.width, o.mtf_entries);
+  if (name == "couple-invert") {
+    return std::make_unique<CoupleInvertCodec>(o.width, o.coupling_lambda);
+  }
+  throw CodecConfigError("unknown codec name: " + name);
+}
+
+std::vector<std::string> ExistingCodecNames() {
+  return {"binary", "t0", "bus-invert"};
+}
+
+std::vector<std::string> MixedCodecNames() {
+  return {"t0-bi", "dual-t0", "dual-t0-bi"};
+}
+
+std::vector<std::string> AllCodecNames() {
+  return {"binary",     "gray",   "gray-word", "bus-invert",
+          "t0",         "t0-bi",  "dual-t0",   "dual-t0-bi",
+          "offset",     "inc-xor", "working-zone", "beach", "beach-corr", "mtf",
+          "couple-invert"};
+}
+
+}  // namespace abenc

@@ -1,0 +1,40 @@
+// String-keyed construction of every codec in the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace abenc {
+
+/// Construction parameters shared by all codes.
+struct CodecOptions {
+  unsigned width = 32;   // address bus width N
+  Word stride = 4;       // sequential increment S (power of two)
+  unsigned partitions = 1;     // bus-invert partitions
+  unsigned wz_zones = 4;       // working-zone registers
+  unsigned wz_offset_bits = 8; // working-zone window bits
+  unsigned beach_cluster_bits = 8;
+  unsigned mtf_entries = 16;   // move-to-front dictionary size
+  double coupling_lambda = 2.0; // coupling/ground cap ratio (OE-invert)
+};
+
+/// Create a codec by machine name. Known names:
+///   "binary", "gray", "gray-word" (stride-aware Gray), "bus-invert",
+///   "t0", "t0-bi", "dual-t0", "dual-t0-bi",
+///   "offset", "inc-xor", "working-zone", "beach", "beach-corr", "mtf",
+///   "couple-invert".
+/// Throws CodecConfigError for unknown names or invalid options.
+CodecPtr MakeCodec(const std::string& name, const CodecOptions& options = {});
+
+/// Names of the "existing" codes compared in Tables 2-4 (binary first).
+std::vector<std::string> ExistingCodecNames();
+
+/// Names of the mixed codes proposed by the paper (Tables 5-7).
+std::vector<std::string> MixedCodecNames();
+
+/// Every code the factory knows about.
+std::vector<std::string> AllCodecNames();
+
+}  // namespace abenc

@@ -1,0 +1,102 @@
+// Coupling-driven odd/even bus-invert — the DSM-era extension of the
+// bus-invert idea (Zhang/Ye/Irwin style): when line-to-line capacitance
+// dominates, inverting *alternate* lines can cancel opposite-direction
+// neighbour switching that a whole-bus inversion cannot touch.
+#pragma once
+
+#include <array>
+
+#include "core/codec.h"
+#include "core/coupling.h"
+
+namespace abenc {
+
+/// Two redundant lines: INVE (redundant bit 0) inverts the even-indexed
+/// data lines, INVO (bit 1) the odd-indexed ones. Each cycle the encoder
+/// evaluates all four (INVE, INVO) candidates against the previous bus
+/// state with the lambda-weighted self + coupling cost of
+/// core/coupling.h and transmits the cheapest; decoding is the stateless
+/// conditional inversion of the two masks.
+class CoupleInvertCodec final : public Codec {
+ public:
+  explicit CoupleInvertCodec(unsigned width, double lambda = 2.0)
+      : Codec(width), lambda_(lambda) {
+    even_mask_ = Word{0x5555555555555555ull} & LowMask(width);
+    odd_mask_ = Word{0xAAAAAAAAAAAAAAAAull} & LowMask(width);
+  }
+
+  std::string name() const override { return "couple-invert"; }
+  std::string display_name() const override { return "OE-Invert"; }
+  unsigned redundant_lines() const override { return 2; }
+
+  BusState Encode(Word address, bool /*sel*/) override {
+    const Word b = Mask(address);
+    BusState best;
+    double best_cost = 0.0;
+    bool have_best = false;
+    for (unsigned inve = 0; inve < 2; ++inve) {
+      for (unsigned invo = 0; invo < 2; ++invo) {
+        Word lines = b;
+        if (inve) lines ^= even_mask_;
+        if (invo) lines ^= odd_mask_;
+        const BusState candidate{lines,
+                                 static_cast<Word>(inve | (invo << 1))};
+        const double cost = TransitionCost(prev_, candidate);
+        if (!have_best || cost < best_cost) {
+          best = candidate;
+          best_cost = cost;
+          have_best = true;
+        }
+      }
+    }
+    prev_ = best;
+    return best;
+  }
+
+  Word Decode(const BusState& bus, bool /*sel*/) override {
+    Word b = bus.lines;
+    if (bus.redundant & 1) b ^= even_mask_;
+    if (bus.redundant & 2) b ^= odd_mask_;
+    return Mask(b);
+  }
+
+  void Reset() override { prev_ = BusState{}; }
+
+  double lambda() const { return lambda_; }
+
+ private:
+  /// lambda-weighted self + coupling cost of moving the bus from `from`
+  /// to `to`, over the physical chain (data lines then INVE, INVO).
+  double TransitionCost(const BusState& from, const BusState& to) const {
+    const unsigned total = width() + 2;
+    int prev_delta = 0;
+    bool have_prev = false;
+    long long self = 0;
+    long long coupling = 0;
+    for (unsigned i = 0; i < total; ++i) {
+      const int old_bit =
+          i < width() ? static_cast<int>((from.lines >> i) & 1)
+                      : static_cast<int>((from.redundant >> (i - width())) & 1);
+      const int new_bit =
+          i < width() ? static_cast<int>((to.lines >> i) & 1)
+                      : static_cast<int>((to.redundant >> (i - width())) & 1);
+      const int delta = new_bit - old_bit;
+      if (delta != 0) ++self;
+      if (have_prev && !(prev_delta == 0 && delta == 0) &&
+          prev_delta != delta) {
+        coupling += (prev_delta != 0 && delta != 0) ? 2 : 1;
+      }
+      prev_delta = delta;
+      have_prev = true;
+    }
+    return static_cast<double>(self) +
+           lambda_ * static_cast<double>(coupling);
+  }
+
+  double lambda_;
+  Word even_mask_ = 0;
+  Word odd_mask_ = 0;
+  BusState prev_;
+};
+
+}  // namespace abenc

@@ -1,0 +1,68 @@
+#include "core/coupling.h"
+
+namespace abenc {
+
+CouplingCounter::CouplingCounter(unsigned width, unsigned redundant_lines,
+                                 double lambda)
+    : width_(width),
+      redundant_lines_(redundant_lines),
+      total_lines_(width + redundant_lines),
+      lambda_(lambda),
+      previous_(total_lines_, 0) {}
+
+void CouplingCounter::Observe(const BusState& state) {
+  std::vector<int> current(total_lines_);
+  for (unsigned i = 0; i < width_; ++i) {
+    current[i] = static_cast<int>((state.lines >> i) & 1);
+  }
+  for (unsigned i = 0; i < redundant_lines_; ++i) {
+    current[width_ + i] = static_cast<int>((state.redundant >> i) & 1);
+  }
+
+  std::vector<int> delta(total_lines_);
+  for (unsigned i = 0; i < total_lines_; ++i) {
+    delta[i] = current[i] - previous_[i];  // -1, 0, +1
+    if (delta[i] != 0) ++self_;
+  }
+  for (unsigned i = 0; i + 1 < total_lines_; ++i) {
+    const int a = delta[i];
+    const int b = delta[i + 1];
+    if (a == 0 && b == 0) continue;
+    if (a == b) continue;  // same direction: the coupling cap stays quiet
+    if (a == 0 || b == 0) {
+      ++coupling_;         // one side of the pair moves
+    } else {
+      coupling_ += 2;      // opposite directions: Miller-doubled
+    }
+  }
+  previous_ = std::move(current);
+  first_ = false;
+  ++cycles_;
+}
+
+void CouplingCounter::Reset() {
+  previous_.assign(total_lines_, 0);
+  first_ = true;
+  self_ = 0;
+  coupling_ = 0;
+  cycles_ = 0;
+}
+
+CouplingEvalResult EvaluateCoupling(Codec& codec,
+                                    std::span<const BusAccess> stream,
+                                    double lambda) {
+  codec.Reset();
+  CouplingCounter counter(codec.width(), codec.redundant_lines(), lambda);
+  for (const BusAccess& access : stream) {
+    counter.Observe(codec.Encode(access.address, access.sel));
+  }
+  CouplingEvalResult result;
+  result.codec_name = codec.name();
+  result.stream_length = stream.size();
+  result.self_transitions = counter.self_transitions();
+  result.coupling_events = counter.coupling_events();
+  result.weighted_energy = counter.weighted_energy();
+  return result;
+}
+
+}  // namespace abenc

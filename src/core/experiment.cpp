@@ -1,0 +1,55 @@
+#include "core/experiment.h"
+
+namespace abenc {
+
+std::vector<double> Comparison::average_savings() const {
+  std::vector<double> averages(codec_names.size(), 0.0);
+  if (rows.empty()) return averages;
+  for (const ComparisonRow& row : rows) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      averages[c] += row.cells[c].savings_percent;
+    }
+  }
+  for (double& a : averages) a /= static_cast<double>(rows.size());
+  return averages;
+}
+
+double Comparison::average_in_sequence_percent() const {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ComparisonRow& row : rows) {
+    sum += row.binary.in_sequence_percent;
+  }
+  return sum / static_cast<double>(rows.size());
+}
+
+Comparison RunComparison(
+    const std::vector<std::string>& codec_names,
+    const std::vector<NamedStream>& streams, const CodecOptions& options,
+    const std::function<void(const std::string&, CodecOptions&)>& configure) {
+  Comparison comparison;
+  comparison.codec_names = codec_names;
+  comparison.rows.reserve(streams.size());
+  for (const NamedStream& stream : streams) {
+    ComparisonRow row;
+    row.stream_name = stream.name;
+    auto binary = MakeCodec("binary", options);
+    row.binary = Evaluate(*binary, stream.accesses, options.stride,
+                          /*verify_decode=*/true);
+    for (const std::string& name : codec_names) {
+      CodecOptions codec_options = options;
+      if (configure) configure(name, codec_options);
+      auto codec = MakeCodec(name, codec_options);
+      ComparisonCell cell;
+      cell.result = Evaluate(*codec, stream.accesses, options.stride,
+                             /*verify_decode=*/true);
+      cell.savings_percent =
+          SavingsPercent(cell.result.transitions, row.binary.transitions);
+      row.cells.push_back(std::move(cell));
+    }
+    comparison.rows.push_back(std::move(row));
+  }
+  return comparison;
+}
+
+}  // namespace abenc

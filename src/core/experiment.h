@@ -1,0 +1,55 @@
+// Batch evaluation: run a set of codes over a set of streams and collect
+// the full result matrix — the API behind every table bench, exposed so
+// downstream users can build their own studies without re-writing the
+// bookkeeping.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+
+namespace abenc {
+
+/// One stream under study.
+struct NamedStream {
+  std::string name;               // e.g. the benchmark name
+  std::vector<BusAccess> accesses;
+};
+
+/// The matrix cell for (stream, code).
+struct ComparisonCell {
+  EvalResult result;
+  double savings_percent = 0.0;  // vs the binary reference on that stream
+};
+
+/// One stream's row: the binary reference plus a cell per code.
+struct ComparisonRow {
+  std::string stream_name;
+  EvalResult binary;
+  std::vector<ComparisonCell> cells;  // parallel to the codec name list
+};
+
+/// Aggregate of a full comparison.
+struct Comparison {
+  std::vector<std::string> codec_names;
+  std::vector<ComparisonRow> rows;
+
+  /// Paper-style column averages of the per-stream savings percentages.
+  std::vector<double> average_savings() const;
+  /// Average of the binary rows' in-sequence percentages.
+  double average_in_sequence_percent() const;
+};
+
+/// Run every named code over every stream (from codec reset each time,
+/// decode-verified). `configure` may adjust the options per codec name
+/// (e.g. a stride per bus); by default all codes share `options`.
+Comparison RunComparison(
+    const std::vector<std::string>& codec_names,
+    const std::vector<NamedStream>& streams, const CodecOptions& options,
+    const std::function<void(const std::string&, CodecOptions&)>& configure =
+        nullptr);
+
+}  // namespace abenc

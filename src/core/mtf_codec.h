@@ -1,0 +1,108 @@
+// Self-organizing-list (move-to-front) adaptive code — an extension from
+// the follow-on literature (Mamidipaka/Hirschberg/Dutt style): both bus
+// ends keep a small dictionary of recently transmitted addresses; a
+// re-occurring address is sent as its dictionary index on a few low lines
+// while the remaining lines freeze.
+#pragma once
+
+#include <vector>
+
+#include "core/codec.h"
+
+namespace abenc {
+
+/// Exploits pure *temporal* locality (repeated values: stack slots, loop
+/// head addresses, hot data structures), which the T0 family (arithmetic
+/// sequentiality) and working-zone (spatial windows) do not capture.
+///
+/// Protocol: one redundant HIT line. On a dictionary hit the low
+/// log2(entries) data lines carry the index and every other line holds
+/// its previous value; on a miss the address is sent verbatim. Both ends
+/// apply the same move-to-front update, so they stay in lock-step by
+/// construction (the update depends only on hit/index/decoded address,
+/// all visible at the receiver).
+class MtfCodec final : public Codec {
+ public:
+  explicit MtfCodec(unsigned width, unsigned entries = 16)
+      : Codec(width), entries_(entries) {
+    if (entries < 2 || !IsPowerOfTwo(entries)) {
+      throw CodecConfigError("MTF dictionary size must be a power of two >= 2");
+    }
+    index_bits_ = Log2(entries);
+    if (index_bits_ >= width) {
+      throw CodecConfigError("MTF dictionary too large for the bus width");
+    }
+    Reset();
+  }
+
+  std::string name() const override {
+    return "mtf-" + std::to_string(entries_);
+  }
+  std::string display_name() const override { return "MTF"; }
+  unsigned redundant_lines() const override { return 1; }
+
+  BusState Encode(Word address, bool /*sel*/) override {
+    const Word b = Mask(address);
+    BusState out;
+    const int hit = Find(enc_list_, b);
+    if (hit >= 0) {
+      Word lines = enc_prev_bus_ & ~LowMask(index_bits_);
+      lines |= static_cast<Word>(hit);
+      out = BusState{Mask(lines), 1};
+    } else {
+      out = BusState{b, 0};
+    }
+    Update(enc_list_, hit, b);
+    enc_prev_bus_ = out.lines;
+    return out;
+  }
+
+  Word Decode(const BusState& bus, bool /*sel*/) override {
+    Word b;
+    int hit = -1;
+    if (bus.redundant & 1) {
+      hit = static_cast<int>(bus.lines & LowMask(index_bits_));
+      b = dec_list_[static_cast<std::size_t>(hit)];
+    } else {
+      b = Mask(bus.lines);
+    }
+    Update(dec_list_, hit, b);
+    return b;
+  }
+
+  void Reset() override {
+    // Both ends boot with the same (arbitrary but distinct) dictionary.
+    enc_list_.assign(entries_, 0);
+    dec_list_.assign(entries_, 0);
+    for (unsigned i = 0; i < entries_; ++i) {
+      enc_list_[i] = dec_list_[i] = i;  // distinct seeds
+    }
+    enc_prev_bus_ = 0;
+  }
+
+  unsigned entries() const { return entries_; }
+
+ private:
+  static int Find(const std::vector<Word>& list, Word value) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == value) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Move-to-front on hit; insert-at-front, drop-last on miss.
+  static void Update(std::vector<Word>& list, int hit, Word value) {
+    const std::size_t from =
+        hit >= 0 ? static_cast<std::size_t>(hit) : list.size() - 1;
+    for (std::size_t i = from; i > 0; --i) list[i] = list[i - 1];
+    list[0] = value;
+  }
+
+  unsigned entries_;
+  unsigned index_bits_ = 0;
+  std::vector<Word> enc_list_;
+  std::vector<Word> dec_list_;
+  Word enc_prev_bus_ = 0;
+};
+
+}  // namespace abenc

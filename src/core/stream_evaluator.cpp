@@ -1,0 +1,63 @@
+#include "core/stream_evaluator.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace abenc {
+
+double SavingsPercent(long long transitions, long long binary_transitions) {
+  if (binary_transitions == 0) return 0.0;
+  return 100.0 *
+         (static_cast<double>(binary_transitions - transitions) /
+          static_cast<double>(binary_transitions));
+}
+
+double InSequencePercent(std::span<const BusAccess> stream, Word stride,
+                         unsigned width) {
+  if (stream.size() < 2) return 0.0;
+  std::size_t in_seq = 0;
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    const Word expected = (stream[i - 1].address + stride) & LowMask(width);
+    if ((stream[i].address & LowMask(width)) == expected) ++in_seq;
+  }
+  return 100.0 * static_cast<double>(in_seq) /
+         static_cast<double>(stream.size() - 1);
+}
+
+EvalResult Evaluate(Codec& codec, std::span<const BusAccess> stream,
+                    Word stride_for_stats, bool verify_decode) {
+  codec.Reset();
+  TransitionCounter counter(codec.width(), codec.redundant_lines());
+  for (const BusAccess& access : stream) {
+    const BusState state = codec.Encode(access.address, access.sel);
+    counter.Observe(state);
+    if (verify_decode) {
+      const Word decoded = codec.Decode(state, access.sel);
+      const Word expected = access.address & LowMask(codec.width());
+      if (decoded != expected) {
+        std::ostringstream msg;
+        msg << codec.name() << ": decode mismatch, got 0x" << std::hex
+            << decoded << " expected 0x" << expected;
+        throw std::logic_error(msg.str());
+      }
+    }
+  }
+  EvalResult result;
+  result.codec_name = codec.name();
+  result.stream_length = stream.size();
+  result.transitions = counter.total();
+  result.peak_transitions = counter.peak();
+  result.in_sequence_percent =
+      InSequencePercent(stream, stride_for_stats, codec.width());
+  result.per_line = counter.per_line();
+  return result;
+}
+
+std::vector<BusAccess> ToAccesses(std::span<const Word> addresses, bool sel) {
+  std::vector<BusAccess> out;
+  out.reserve(addresses.size());
+  for (Word a : addresses) out.push_back(BusAccess{a, sel});
+  return out;
+}
+
+}  // namespace abenc

@@ -1,0 +1,61 @@
+// Runs a codec over an address stream and reports the paper's metrics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/transition_counter.h"
+
+namespace abenc {
+
+/// One bus reference: an address plus the instruction/data select signal
+/// (true for instruction slots; constant for dedicated buses).
+struct BusAccess {
+  Word address = 0;
+  bool sel = true;
+
+  friend bool operator==(const BusAccess&, const BusAccess&) = default;
+};
+
+/// Metrics of one codec over one stream — the columns of Tables 2-7.
+struct EvalResult {
+  std::string codec_name;
+  std::size_t stream_length = 0;
+  long long transitions = 0;
+  int peak_transitions = 0;          // worst single-cycle toggle count
+  double in_sequence_percent = 0.0;  // fraction of b(t) = b(t-1) + S, in %
+  std::vector<long long> per_line;
+
+  double average_transitions_per_cycle() const {
+    return stream_length == 0 ? 0.0
+                              : static_cast<double>(transitions) /
+                                    static_cast<double>(stream_length);
+  }
+};
+
+/// Percentage of transitions saved relative to a reference (binary) count,
+/// as reported in the paper's "Savings" columns.
+double SavingsPercent(long long transitions, long long binary_transitions);
+
+/// Fraction (in percent) of accesses whose address equals the previous
+/// access's address plus `stride` — the paper's "In-Seq Addr." column.
+/// For multiplexed streams the paper measures raw adjacency on the bus,
+/// which is what this computes.
+double InSequencePercent(std::span<const BusAccess> stream, Word stride,
+                         unsigned width);
+
+/// Run `codec` over `stream` from reset and collect metrics.
+/// If `verify_decode` is set, every encoded state is also pushed through
+/// the codec's decoder and checked against the original address; a
+/// mismatch throws std::logic_error (used by the test-suite and as a
+/// self-check by the benches).
+EvalResult Evaluate(Codec& codec, std::span<const BusAccess> stream,
+                    Word stride_for_stats = 4, bool verify_decode = false);
+
+/// Convenience: wrap a pure address sequence (dedicated bus) as BusAccesses.
+std::vector<BusAccess> ToAccesses(std::span<const Word> addresses,
+                                  bool sel = true);
+
+}  // namespace abenc

@@ -1,0 +1,98 @@
+// Per-line switching-activity accounting for a bus.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// Accumulates line toggles over a sequence of bus states, counting the N
+/// data lines and the R redundant lines exactly as the paper does.
+///
+/// First-cycle convention: the bus powers on with every line low, so the
+/// first pattern is charged popcount(pattern) toggles. Every code in this
+/// library emits the first address verbatim with all redundant lines low,
+/// so the charge is identical across codes and savings comparisons are
+/// unaffected; pass skip_first = true to drop it entirely.
+class TransitionCounter {
+ public:
+  TransitionCounter(unsigned width, unsigned redundant_lines,
+                    bool skip_first = false)
+      : width_(width),
+        redundant_(redundant_lines),
+        skip_first_(skip_first),
+        per_line_(width + redundant_lines, 0) {}
+
+  /// Record the bus state of the next clock cycle.
+  void Observe(const BusState& state) {
+    if (first_ && skip_first_) {
+      first_ = false;
+      prev_ = state;
+      return;
+    }
+    first_ = false;
+    int this_cycle = 0;
+    Word diff = (prev_.lines ^ state.lines) & LowMask(width_);
+    while (diff != 0) {
+      const unsigned bit = Log2(diff & (~diff + 1));
+      ++per_line_[bit];
+      ++this_cycle;
+      diff &= diff - 1;
+    }
+    if (redundant_ != 0) {
+      Word rdiff = (prev_.redundant ^ state.redundant) & LowMask(redundant_);
+      while (rdiff != 0) {
+        const unsigned bit = Log2(rdiff & (~rdiff + 1));
+        ++per_line_[width_ + bit];
+        ++this_cycle;
+        rdiff &= rdiff - 1;
+      }
+    }
+    total_ += this_cycle;
+    if (this_cycle > peak_) peak_ = this_cycle;
+    prev_ = state;
+    ++cycles_;
+  }
+
+  long long total() const { return total_; }
+  std::size_t cycles() const { return cycles_; }
+
+  /// Worst single-cycle toggle count — the *peak* power proxy that
+  /// bus-invert was originally designed to bound (at most ceil((N+1)/2)
+  /// lines can switch once the INV line is counted).
+  int peak() const { return peak_; }
+
+  /// Toggle count of each line; indices [0, N) are data lines LSB-first,
+  /// [N, N+R) are redundant lines.
+  const std::vector<long long>& per_line() const { return per_line_; }
+
+  double average_per_cycle() const {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(total_) /
+                              static_cast<double>(cycles_);
+  }
+
+  void Reset() {
+    prev_ = BusState{};
+    first_ = true;
+    total_ = 0;
+    peak_ = 0;
+    cycles_ = 0;
+    per_line_.assign(per_line_.size(), 0);
+  }
+
+ private:
+  unsigned width_;
+  unsigned redundant_;
+  bool skip_first_;
+  BusState prev_;  // power-on state: all lines low
+  bool first_ = true;
+  long long total_ = 0;
+  int peak_ = 0;
+  std::size_t cycles_ = 0;
+  std::vector<long long> per_line_;
+};
+
+}  // namespace abenc

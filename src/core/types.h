@@ -1,0 +1,77 @@
+// Core value types shared by every bus-encoding component.
+//
+// Terminology follows the paper (Benini et al., DATE 1998):
+//   b(t)   - the address value produced by the processor at cycle t
+//   B(t)   - the value driven on the N encoded bus lines at cycle t
+//   INC/INV/INCV - redundant control lines added by the redundant codes
+//   SEL    - the instruction/data select signal already present on a
+//            multiplexed bus interface (asserted for instruction slots)
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace abenc {
+
+/// An address or bus-line value. Buses up to 64 bits wide are supported.
+using Word = std::uint64_t;
+
+/// Bit mask covering the low `width` bits of a Word.
+/// Precondition: 1 <= width <= 64.
+constexpr Word LowMask(unsigned width) {
+  return width >= 64 ? ~Word{0} : ((Word{1} << width) - 1);
+}
+
+/// Number of set bits.
+constexpr int PopCount(Word w) { return std::popcount(w); }
+
+/// Hamming distance between two words restricted to `width` lines.
+constexpr int HammingDistance(Word a, Word b, unsigned width) {
+  return std::popcount((a ^ b) & LowMask(width));
+}
+
+/// Standard reflected binary Gray code.
+constexpr Word BinaryToGray(Word b) { return b ^ (b >> 1); }
+
+/// Inverse of BinaryToGray.
+constexpr Word GrayToBinary(Word g) {
+  Word b = g;
+  for (unsigned shift = 1; shift < 64; shift <<= 1) b ^= b >> shift;
+  return b;
+}
+
+/// True iff `w` is a (nonzero) power of two.
+constexpr bool IsPowerOfTwo(Word w) { return w != 0 && (w & (w - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned Log2(Word w) { return static_cast<unsigned>(std::countr_zero(w)); }
+
+/// The physical state of the bus at one clock edge: N data lines plus up
+/// to 64 redundant control lines (bit 0 = first redundant line, e.g. INC).
+struct BusState {
+  Word lines = 0;
+  Word redundant = 0;
+
+  friend bool operator==(const BusState&, const BusState&) = default;
+};
+
+/// Transitions (line toggles) between two consecutive bus states, counting
+/// both the N data lines and the R redundant lines, as the paper does.
+constexpr int TransitionsBetween(const BusState& prev, const BusState& next,
+                                 unsigned width, unsigned redundant_lines) {
+  return HammingDistance(prev.lines, next.lines, width) +
+         (redundant_lines == 0
+              ? 0
+              : HammingDistance(prev.redundant, next.redundant, redundant_lines));
+}
+
+/// Thrown when a codec is constructed with invalid parameters
+/// (e.g. a stride that is not a power of two).
+class CodecConfigError : public std::invalid_argument {
+ public:
+  explicit CodecConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+}  // namespace abenc

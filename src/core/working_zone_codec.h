@@ -1,0 +1,138 @@
+// Working-zone code (Musoll/Lang/Cortadella style) — redundant extension
+// exercised by the "future work" benches.
+#pragma once
+
+#include <vector>
+
+#include "core/codec.h"
+
+namespace abenc {
+
+/// Exploits the observation that address streams interleave references to a
+/// few "working zones" (code, stack, heap arrays). Both ends keep K zone
+/// registers holding the last address referenced in each zone. When a new
+/// address lands within a signed 2^(F-1) window of some zone, only the zone
+/// index and a Gray-coded biased offset are transmitted, the upper bus
+/// lines are frozen, and the redundant WZ line is asserted; otherwise the
+/// address travels in plain binary with WZ low and the least-recently-used
+/// zone register is re-seeded.
+///
+/// This is a simplified but fully decodable variant of the published code
+/// (the original transmits one-hot offsets); the zone-register and LRU
+/// update rules are driven purely by information visible on the bus, so
+/// encoder and decoder stay in lock-step by construction.
+class WorkingZoneCodec final : public Codec {
+ public:
+  WorkingZoneCodec(unsigned width, unsigned zones = 4, unsigned offset_bits = 8)
+      : Codec(width), zones_(zones), offset_bits_(offset_bits) {
+    if (zones == 0 || !IsPowerOfTwo(zones)) {
+      throw CodecConfigError("working-zone count must be a power of two");
+    }
+    zone_bits_ = Log2(zones);
+    if (offset_bits == 0 || offset_bits + zone_bits_ > width) {
+      throw CodecConfigError(
+          "working-zone offset+index bits must fit in the bus width");
+    }
+    Reset();
+  }
+
+  std::string name() const override {
+    return "working-zone-z" + std::to_string(zones_);
+  }
+  std::string display_name() const override { return "Working-Zone"; }
+  unsigned redundant_lines() const override { return 1; }
+
+  BusState Encode(Word address, bool /*sel*/) override {
+    const Word b = Mask(address);
+    BusState out;
+    const int hit = enc_.FindZone(b, offset_bits_, width());
+    if (hit >= 0) {
+      const Word offset = BiasedOffset(b, enc_.zone[static_cast<unsigned>(hit)]);
+      Word lines = enc_prev_bus_;
+      lines &= ~LowMask(offset_bits_ + zone_bits_);  // freeze upper lines
+      lines |= BinaryToGray(offset);
+      lines |= Word{static_cast<unsigned>(hit)} << offset_bits_;
+      out = BusState{Mask(lines), 1};
+    } else {
+      out = BusState{b, 0};
+    }
+    enc_.Update(hit, b);
+    enc_prev_bus_ = out.lines;
+    return out;
+  }
+
+  Word Decode(const BusState& bus, bool /*sel*/) override {
+    Word b;
+    int hit = -1;
+    if (bus.redundant & 1) {
+      const Word idx = (bus.lines >> offset_bits_) & LowMask(zone_bits_);
+      const Word offset = GrayToBinary(bus.lines & LowMask(offset_bits_));
+      b = Mask(dec_.zone[idx] + offset - Bias());
+      hit = static_cast<int>(idx);
+    } else {
+      b = Mask(bus.lines);
+    }
+    dec_.Update(hit, b);
+    return b;
+  }
+
+  void Reset() override {
+    enc_ = ZoneFile(zones_);
+    dec_ = ZoneFile(zones_);
+    enc_prev_bus_ = 0;
+  }
+
+  unsigned zones() const { return zones_; }
+  unsigned offset_bits() const { return offset_bits_; }
+
+ private:
+  Word Bias() const { return Word{1} << (offset_bits_ - 1); }
+
+  Word BiasedOffset(Word addr, Word zone) const {
+    return (addr - zone + Bias()) & LowMask(offset_bits_);
+  }
+
+  struct ZoneFile {
+    ZoneFile() = default;
+    explicit ZoneFile(unsigned k) : zone(k, 0), lru(k) {
+      for (unsigned i = 0; i < k; ++i) lru[i] = i;  // front = most recent
+    }
+
+    /// Index of a zone whose window covers `addr`, or -1.
+    int FindZone(Word addr, unsigned offset_bits, unsigned width) const {
+      const Word bias = Word{1} << (offset_bits - 1);
+      for (unsigned i = 0; i < zone.size(); ++i) {
+        const Word biased = (addr - zone[i] + bias) & LowMask(width);
+        if (biased < (Word{1} << offset_bits)) return static_cast<int>(i);
+      }
+      return -1;
+    }
+
+    /// On hit: move zone to MRU and slide it to `addr`.
+    /// On miss (hit < 0): re-seed the LRU zone with `addr`.
+    void Update(int hit, Word addr) {
+      unsigned victim =
+          hit >= 0 ? static_cast<unsigned>(hit) : lru.back();
+      zone[victim] = addr;
+      for (unsigned i = 0; i < lru.size(); ++i) {
+        if (lru[i] == victim) {
+          lru.erase(lru.begin() + i);
+          break;
+        }
+      }
+      lru.insert(lru.begin(), victim);
+    }
+
+    std::vector<Word> zone;
+    std::vector<unsigned> lru;
+  };
+
+  unsigned zones_;
+  unsigned offset_bits_;
+  unsigned zone_bits_ = 0;
+  ZoneFile enc_;
+  ZoneFile dec_;
+  Word enc_prev_bus_ = 0;
+};
+
+}  // namespace abenc

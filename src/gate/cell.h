@@ -1,0 +1,71 @@
+// Standard-cell catalogue for the gate-level power substrate.
+//
+// The paper synthesised its codecs onto an SGS-Thomson 0.35 um, 3.3 V
+// library and estimated power with Synopsys Design Power at 100 MHz. We
+// stand in for that flow with a small structural cell library whose
+// capacitance figures are 0.35 um-class estimates: dynamic power is
+// computed from per-net toggle counts as P = 1/2 * C * Vdd^2 * f * alpha,
+// which is exactly the model a probabilistic gate-level estimator uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace abenc::gate {
+
+/// Cell kinds available to netlist builders.
+enum class CellKind : std::uint8_t {
+  kInv,
+  kBuf,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,  // inputs: a (sel=0), b (sel=1), sel
+  kDff,   // input: d; output updates on the clock edge
+};
+
+/// Electrical parameters of one cell (0.35 um-class estimates).
+struct CellSpec {
+  std::string_view name;
+  unsigned inputs;
+  double input_capacitance_pf;   // per input pin
+  double output_capacitance_pf;  // intrinsic drain/output-node capacitance
+  double intrinsic_delay_ns;     // unloaded propagation delay
+  double delay_per_pf_ns;        // load-dependent delay slope
+};
+
+/// Catalogue lookup.
+constexpr CellSpec Spec(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv:   return {"INV", 1, 0.010, 0.012, 0.06, 1.8};
+    case CellKind::kBuf:   return {"BUF", 1, 0.010, 0.014, 0.10, 1.2};
+    case CellKind::kAnd2:  return {"AND2", 2, 0.011, 0.016, 0.14, 2.0};
+    case CellKind::kOr2:   return {"OR2", 2, 0.011, 0.016, 0.15, 2.0};
+    case CellKind::kNand2: return {"NAND2", 2, 0.011, 0.014, 0.09, 2.2};
+    case CellKind::kNor2:  return {"NOR2", 2, 0.011, 0.014, 0.11, 2.4};
+    case CellKind::kXor2:  return {"XOR2", 2, 0.014, 0.020, 0.18, 2.6};
+    case CellKind::kXnor2: return {"XNOR2", 2, 0.014, 0.020, 0.18, 2.6};
+    case CellKind::kMux2:  return {"MUX2", 3, 0.012, 0.018, 0.16, 2.4};
+    case CellKind::kDff:   return {"DFF", 1, 0.012, 0.022, 0.35, 2.0};
+  }
+  return {"?", 0, 0.0, 0.0, 0.0, 0.0};
+}
+
+/// Number of logic inputs (DFF clock pin is handled by the simulator, not
+/// modelled as a net).
+constexpr unsigned InputCount(CellKind kind) { return Spec(kind).inputs; }
+
+/// Supply and clock defaults used throughout Tables 8/9.
+inline constexpr double kVddVolts = 3.3;
+inline constexpr double kClockHz = 100.0e6;
+
+/// Output pad driving an off-chip load (Table 9): its input looks like a
+/// 0.01 pF load to the core (the paper's "0.01 pF for an 8 mA output
+/// pad"), and its output drives the external bus capacitance.
+inline constexpr double kPadInputCapacitancePf = 0.01;
+
+}  // namespace abenc::gate

@@ -1,0 +1,190 @@
+// Structural gate-level netlist with synchronous state elements.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gate/cell.h"
+
+namespace abenc::gate {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = 0xFFFFFFFF;
+
+/// A synthesised circuit: primary inputs, combinational gates in
+/// topological (creation) order, D flip-flops, and marked primary
+/// outputs. Builders in circuits.h produce the paper's codecs.
+class Netlist {
+ public:
+  Netlist() {
+    // Net 0 / net 1 are the constant rails.
+    nets_.push_back(NetInfo{"const0", Driver::kConst, CellKind::kBuf});
+    nets_.push_back(NetInfo{"const1", Driver::kConst, CellKind::kBuf});
+  }
+
+  NetId Const(bool value) const { return value ? 1 : 0; }
+
+  /// Primary input net.
+  NetId AddInput(std::string name) {
+    nets_.push_back(NetInfo{std::move(name), Driver::kInput, CellKind::kBuf});
+    inputs_.push_back(LastNet());
+    return LastNet();
+  }
+
+  /// State element: returns its output net immediately; the D input is
+  /// wired later with ConnectFlop (so feedback loops can be built).
+  /// Flops reset to 0.
+  NetId AddFlop(std::string name) {
+    nets_.push_back(NetInfo{std::move(name), Driver::kFlop, CellKind::kDff});
+    flops_.push_back(Flop{LastNet(), kNoNet});
+    nets_.back().flop_index = flops_.size() - 1;
+    return LastNet();
+  }
+
+  void ConnectFlop(NetId flop_output, NetId d) {
+    NetInfo& info = At(flop_output);
+    if (info.driver != Driver::kFlop) {
+      throw std::logic_error("ConnectFlop on a non-flop net");
+    }
+    CheckExists(d);
+    flops_[info.flop_index].d = d;
+  }
+
+  /// Combinational gate; inputs must already exist (creation order is
+  /// topological order, which is what the simulator relies on).
+  NetId Add(CellKind kind, NetId a, NetId b = kNoNet, NetId c = kNoNet) {
+    const unsigned arity = InputCount(kind);
+    if (kind == CellKind::kDff) {
+      throw std::logic_error("use AddFlop for state elements");
+    }
+    std::array<NetId, 3> in = {a, b, c};
+    for (unsigned i = 0; i < arity; ++i) {
+      CheckExists(in[i]);
+    }
+    nets_.push_back(NetInfo{"", Driver::kGate, kind});
+    nets_.back().in = in;
+    // Fanout bookkeeping for capacitance extraction.
+    const double pin_cap = Spec(kind).input_capacitance_pf;
+    for (unsigned i = 0; i < arity; ++i) {
+      At(in[i]).fanout_capacitance_pf += pin_cap;
+    }
+    gates_.push_back(LastNet());
+    return LastNet();
+  }
+
+  /// Mark a net as a primary output driving `load_pf` of external
+  /// capacitance (an on-chip wire load, or a pad input).
+  void MarkOutput(NetId net, std::string name, double load_pf) {
+    CheckExists(net);
+    outputs_.push_back(Output{net, std::move(name), load_pf});
+  }
+
+  /// Replace the external load of every marked output (used by the load
+  /// sweeps of Tables 8/9).
+  void SetOutputLoads(double load_pf) {
+    for (Output& o : outputs_) o.load_pf = load_pf;
+  }
+
+  std::size_t net_count() const { return nets_.size(); }
+  std::size_t gate_count() const { return gates_.size(); }
+  std::size_t flop_count() const { return flops_.size(); }
+
+  enum class Driver : std::uint8_t { kConst, kInput, kGate, kFlop };
+
+  struct NetInfo {
+    std::string name;
+    Driver driver = Driver::kGate;
+    CellKind kind = CellKind::kBuf;
+    std::array<NetId, 3> in = {kNoNet, kNoNet, kNoNet};
+    std::size_t flop_index = 0;
+    double fanout_capacitance_pf = 0.0;
+  };
+
+  struct Flop {
+    NetId q = kNoNet;
+    NetId d = kNoNet;
+  };
+
+  struct Output {
+    NetId net = kNoNet;
+    std::string name;
+    double load_pf = 0.0;
+  };
+
+  const std::vector<NetInfo>& nets() const { return nets_; }
+  const std::vector<NetId>& gate_order() const { return gates_; }
+  const std::vector<Flop>& flops() const { return flops_; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<Output>& outputs() const { return outputs_; }
+
+  /// Total switched capacitance attached to a net: the driver's intrinsic
+  /// output capacitance, every fan-in pin it feeds, plus external loads.
+  double NetCapacitancePf(NetId id) const {
+    const NetInfo& info = At(id);
+    double cap = info.fanout_capacitance_pf;
+    if (info.driver == Driver::kGate || info.driver == Driver::kFlop) {
+      cap += Spec(info.kind).output_capacitance_pf;
+    }
+    for (const Output& o : outputs_) {
+      if (o.net == id) cap += o.load_pf;
+    }
+    return cap;
+  }
+
+  /// Combinational depth of every net: 0 for inputs, constants and flop
+  /// outputs, 1 + max(input depths) for gates. Used by the glitch-aware
+  /// power model (a zero-delay simulation sees only the final value of a
+  /// net each cycle; in a real circuit a net at depth d can glitch up to
+  /// d times per cycle while the logic cone settles).
+  std::vector<unsigned> ComputeDepths() const {
+    std::vector<unsigned> depth(nets_.size(), 0);
+    for (NetId id : gates_) {
+      const NetInfo& info = nets_[id];
+      unsigned d = 0;
+      for (unsigned i = 0; i < InputCount(info.kind); ++i) {
+        d = std::max(d, depth[info.in[i]]);
+      }
+      depth[id] = d + 1;
+    }
+    return depth;
+  }
+
+  /// Every flop must have a D connection before simulation.
+  void Validate() const {
+    for (const Flop& f : flops_) {
+      if (f.d == kNoNet) {
+        throw std::logic_error("flop " + At(f.q).name + " has no D input");
+      }
+    }
+  }
+
+ private:
+  NetId LastNet() const { return static_cast<NetId>(nets_.size() - 1); }
+
+  NetInfo& At(NetId id) {
+    CheckExists(id);
+    return nets_[id];
+  }
+  const NetInfo& At(NetId id) const {
+    CheckExists(id);
+    return nets_[id];
+  }
+
+  void CheckExists(NetId id) const {
+    if (id == kNoNet || id >= nets_.size()) {
+      throw std::logic_error("reference to undefined net");
+    }
+  }
+
+  std::vector<NetInfo> nets_;
+  std::vector<NetId> gates_;   // combinational nets in topological order
+  std::vector<Flop> flops_;
+  std::vector<NetId> inputs_;
+  std::vector<Output> outputs_;
+};
+
+}  // namespace abenc::gate

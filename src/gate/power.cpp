@@ -1,0 +1,57 @@
+#include "gate/power.h"
+
+#include <algorithm>
+
+namespace abenc::gate {
+namespace {
+
+double ActivityFactor(const GateSimulator& sim, NetId net) {
+  return sim.cycles() == 0
+             ? 0.0
+             : static_cast<double>(sim.toggles(net)) /
+                   static_cast<double>(sim.cycles());
+}
+
+}  // namespace
+
+PowerReport EstimatePower(const Netlist& netlist, const GateSimulator& sim,
+                          double frequency_hz, double vdd,
+                          double glitch_per_level) {
+  PowerReport report;
+  std::vector<bool> is_output(netlist.net_count(), false);
+  for (const Netlist::Output& o : netlist.outputs()) is_output[o.net] = true;
+  const std::vector<unsigned> depth =
+      glitch_per_level > 0.0 ? netlist.ComputeDepths()
+                             : std::vector<unsigned>(netlist.net_count(), 0);
+
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    double alpha = ActivityFactor(sim, n);
+    if (alpha == 0.0) continue;
+    if (!is_output[n]) {
+      alpha *= 1.0 + glitch_per_level * static_cast<double>(depth[n]);
+    }
+    const double cap_f = netlist.NetCapacitancePf(n) * 1e-12;
+    // One toggle dissipates C*V^2/2; alpha toggles per cycle at f cycles/s.
+    const double watts = 0.5 * cap_f * vdd * vdd * frequency_hz * alpha;
+    if (is_output[n]) {
+      report.output_mw += watts * 1e3;
+    } else {
+      report.core_mw += watts * 1e3;
+    }
+  }
+  report.total_mw = report.core_mw + report.output_mw;
+  return report;
+}
+
+double PadPowerMw(const Netlist& netlist, const GateSimulator& sim,
+                  double external_load_pf, double frequency_hz, double vdd) {
+  double mw = 0.0;
+  for (const Netlist::Output& o : netlist.outputs()) {
+    const double alpha = ActivityFactor(sim, o.net);
+    const double cap_f = external_load_pf * 1e-12;
+    mw += 0.5 * cap_f * vdd * vdd * frequency_hz * alpha * 1e3;
+  }
+  return mw;
+}
+
+}  // namespace abenc::gate

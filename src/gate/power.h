@@ -1,0 +1,46 @@
+// Dynamic-power extraction from simulated switching activity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gate/netlist.h"
+#include "gate/simulator.h"
+
+namespace abenc::gate {
+
+/// Power breakdown of one simulated netlist, in milliwatts.
+struct PowerReport {
+  double core_mw = 0.0;    // internal gate/flop nets
+  double output_mw = 0.0;  // marked primary-output nets (incl. their load)
+  double total_mw = 0.0;
+};
+
+/// P = 1/2 * Vdd^2 * f * sum_nets( alpha_net * C_net ), split between the
+/// marked outputs and everything else. `frequency_hz` defaults to the
+/// paper's 100 MHz, `vdd` to 3.3 V.
+///
+/// `glitch_per_level` models the spurious transitions a zero-delay
+/// simulation cannot see: a net whose driving cone has combinational
+/// depth d is charged alpha * (1 + glitch_per_level * d) transitions per
+/// cycle. Deep arithmetic structures (the Hamming evaluator and majority
+/// voter of the bus-invert section) glitch heavily in real silicon, which
+/// is why the paper's synthesised dual T0_BI encoder costs an order of
+/// magnitude more than the lean T0 encoder. 0 disables the model;
+/// kDefaultGlitchPerLevel is used by the Table 8/9 benches. Glitching is
+/// never applied to flop outputs or marked primary outputs (registered or
+/// pad-driven nets settle once per cycle).
+inline constexpr double kDefaultGlitchPerLevel = 0.25;
+PowerReport EstimatePower(const Netlist& netlist, const GateSimulator& sim,
+                          double frequency_hz = kClockHz,
+                          double vdd = kVddVolts,
+                          double glitch_per_level = 0.0);
+
+/// Off-chip pad bank (Table 9): each line's pad output drives
+/// `external_load_pf`; pad power is computed from the per-line toggle
+/// counts of the encoder's marked outputs.
+double PadPowerMw(const Netlist& netlist, const GateSimulator& sim,
+                  double external_load_pf, double frequency_hz = kClockHz,
+                  double vdd = kVddVolts);
+
+}  // namespace abenc::gate

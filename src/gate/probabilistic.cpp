@@ -1,0 +1,133 @@
+#include "gate/probabilistic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abenc::gate {
+namespace {
+
+double Clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+}  // namespace
+
+ActivityEstimate EstimateActivity(
+    const Netlist& netlist, const std::map<NetId, InputActivity>& inputs,
+    unsigned max_iterations, double tolerance) {
+  netlist.Validate();
+  const std::size_t n = netlist.net_count();
+  ActivityEstimate estimate;
+  estimate.probability.assign(n, 0.0);
+  estimate.density.assign(n, 0.0);
+  auto& p = estimate.probability;
+  auto& d = estimate.density;
+
+  p[netlist.Const(true)] = 1.0;
+
+  for (NetId input : netlist.inputs()) {
+    const auto it = inputs.find(input);
+    if (it == inputs.end()) {
+      throw std::invalid_argument("missing activity for primary input '" +
+                                  netlist.nets()[input].name + "'");
+    }
+    p[input] = Clamp01(it->second.probability);
+    d[input] = it->second.density;
+  }
+
+  // Flop outputs start at the reset state (0, quiet) and iterate to a
+  // fixed point through the combinational propagation below.
+  for (unsigned iteration = 0; iteration < max_iterations; ++iteration) {
+    for (NetId id : netlist.gate_order()) {
+      const auto& info = netlist.nets()[id];
+      const auto pa = [&](unsigned i) { return p[info.in[i]]; };
+      const auto da = [&](unsigned i) { return d[info.in[i]]; };
+      switch (info.kind) {
+        case CellKind::kInv:
+          p[id] = 1.0 - pa(0);
+          d[id] = da(0);
+          break;
+        case CellKind::kBuf:
+          p[id] = pa(0);
+          d[id] = da(0);
+          break;
+        case CellKind::kAnd2:
+        case CellKind::kNand2: {
+          const double prob = pa(0) * pa(1);
+          p[id] = info.kind == CellKind::kAnd2 ? prob : 1.0 - prob;
+          d[id] = da(0) * pa(1) + da(1) * pa(0);
+          break;
+        }
+        case CellKind::kOr2:
+        case CellKind::kNor2: {
+          const double prob = pa(0) + pa(1) - pa(0) * pa(1);
+          p[id] = info.kind == CellKind::kOr2 ? prob : 1.0 - prob;
+          d[id] = da(0) * (1.0 - pa(1)) + da(1) * (1.0 - pa(0));
+          break;
+        }
+        case CellKind::kXor2:
+        case CellKind::kXnor2: {
+          const double prob = pa(0) + pa(1) - 2.0 * pa(0) * pa(1);
+          p[id] = info.kind == CellKind::kXor2 ? prob : 1.0 - prob;
+          d[id] = da(0) + da(1);  // boolean difference is 1 on both pins
+          break;
+        }
+        case CellKind::kMux2: {
+          // f = sel ? b : a   with pins (a, b, sel).
+          const double ps = pa(2);
+          p[id] = (1.0 - ps) * pa(0) + ps * pa(1);
+          const double p_differs =
+              pa(0) * (1.0 - pa(1)) + pa(1) * (1.0 - pa(0));
+          d[id] = da(0) * (1.0 - ps) + da(1) * ps + da(2) * p_differs;
+          break;
+        }
+        case CellKind::kDff:
+          throw std::logic_error("flop in combinational order");
+      }
+      p[id] = Clamp01(p[id]);
+      // Zero-delay semantics: a net switches at most once per cycle, and
+      // its long-run toggle rate cannot exceed 2*min(P, 1-P). Without
+      // this cap the boolean-difference sum explodes through XOR trees.
+      d[id] = std::min(d[id], 2.0 * std::min(p[id], 1.0 - p[id]));
+    }
+
+    // Register transfer with temporal independence at the boundary.
+    // Successive averaging damps oscillating feedback loops (a toggle
+    // flop would otherwise flip between 0 and 1 forever).
+    double delta = 0.0;
+    for (const Netlist::Flop& flop : netlist.flops()) {
+      const double new_p = 0.5 * (p[flop.q] + p[flop.d]);
+      const double new_d = 2.0 * new_p * (1.0 - new_p);
+      delta = std::max(delta, std::abs(new_p - p[flop.q]));
+      delta = std::max(delta, std::abs(new_d - d[flop.q]));
+      p[flop.q] = new_p;
+      d[flop.q] = new_d;
+    }
+    if (netlist.flop_count() == 0 || delta < tolerance) break;
+  }
+  return estimate;
+}
+
+ActivityEstimate EstimateActivityUniform(const Netlist& netlist,
+                                         const InputActivity& activity) {
+  std::map<NetId, InputActivity> inputs;
+  for (NetId input : netlist.inputs()) inputs[input] = activity;
+  return EstimateActivity(netlist, inputs);
+}
+
+PowerReport PowerFromActivity(const Netlist& netlist,
+                              const ActivityEstimate& activity,
+                              double frequency_hz, double vdd) {
+  PowerReport report;
+  std::vector<bool> is_output(netlist.net_count(), false);
+  for (const Netlist::Output& o : netlist.outputs()) is_output[o.net] = true;
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    const double alpha = activity.density[id];
+    if (alpha <= 0.0) continue;
+    const double cap_f = netlist.NetCapacitancePf(id) * 1e-12;
+    const double watts = 0.5 * cap_f * vdd * vdd * frequency_hz * alpha;
+    (is_output[id] ? report.output_mw : report.core_mw) += watts * 1e3;
+  }
+  report.total_mw = report.core_mw + report.output_mw;
+  return report;
+}
+
+}  // namespace abenc::gate

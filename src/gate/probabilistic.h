@@ -1,0 +1,54 @@
+// Probabilistic switching-activity estimation — the static counterpart of
+// GateSimulator, mirroring the "probabilistic mode of Synopsys Design
+// Power" the paper used: signal probabilities and transition densities
+// are propagated through the netlist under a spatial-independence
+// assumption instead of simulating a stream.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gate/netlist.h"
+#include "gate/power.h"
+
+namespace abenc::gate {
+
+/// Per-net steady-state statistics.
+struct ActivityEstimate {
+  std::vector<double> probability;  // P(net = 1)
+  std::vector<double> density;      // expected toggles per clock cycle
+};
+
+/// Statistics assumed for one primary input.
+struct InputActivity {
+  double probability = 0.5;
+  double density = 0.5;
+};
+
+/// Propagate probabilities/densities from the primary inputs through the
+/// combinational network; sequential feedback (flops) is resolved by
+/// fixed-point iteration. Register outputs are modelled with temporal
+/// independence: density(Q) = 2 * P(D) * (1 - P(D)).
+///
+/// Gate rules are the classic boolean-difference forms (Najm), e.g.
+/// AND: D = Da*Pb + Db*Pa; XOR: D = Da + Db. Reconvergent fan-out makes
+/// these estimates, not exact values — exactly the trade the paper's
+/// probabilistic power numbers made; the test-suite bounds the error
+/// against GateSimulator on the real codec circuits.
+ActivityEstimate EstimateActivity(
+    const Netlist& netlist,
+    const std::map<NetId, InputActivity>& inputs,
+    unsigned max_iterations = 64, double tolerance = 1e-9);
+
+/// Convenience: every primary input gets the same statistics.
+ActivityEstimate EstimateActivityUniform(const Netlist& netlist,
+                                         const InputActivity& activity);
+
+/// Dynamic power from a probabilistic estimate (same 1/2*C*V^2*f*alpha
+/// model as EstimatePower, with alpha taken from the densities).
+PowerReport PowerFromActivity(const Netlist& netlist,
+                              const ActivityEstimate& activity,
+                              double frequency_hz = kClockHz,
+                              double vdd = kVddVolts);
+
+}  // namespace abenc::gate

@@ -1,0 +1,70 @@
+#include "gate/simulator.h"
+
+#include <stdexcept>
+
+namespace abenc::gate {
+
+GateSimulator::GateSimulator(const Netlist& netlist) : netlist_(netlist) {
+  netlist_.Validate();
+  value_.assign(netlist_.net_count(), false);
+  value_[netlist_.Const(true)] = true;
+  flop_state_.assign(netlist_.flop_count(), false);
+  toggles_.assign(netlist_.net_count(), 0);
+}
+
+void GateSimulator::Cycle(const std::map<NetId, bool>& input_values) {
+  std::vector<bool> next = value_;
+  next[netlist_.Const(false)] = false;
+  next[netlist_.Const(true)] = true;
+
+  for (NetId input : netlist_.inputs()) {
+    const auto it = input_values.find(input);
+    if (it == input_values.end()) {
+      throw std::invalid_argument("missing value for primary input '" +
+                                  netlist_.nets()[input].name + "'");
+    }
+    next[input] = it->second;
+  }
+  for (const Netlist::Flop& flop : netlist_.flops()) {
+    next[flop.q] = flop_state_[netlist_.nets()[flop.q].flop_index];
+  }
+  for (NetId gate : netlist_.gate_order()) {
+    // Evaluate against `next`, which already holds this cycle's inputs and
+    // flop outputs; gate order is topological by construction.
+    const Netlist::NetInfo& info = netlist_.nets()[gate];
+    const auto in = [&](unsigned i) { return next[info.in[i]]; };
+    bool v = false;
+    switch (info.kind) {
+      case CellKind::kInv:   v = !in(0); break;
+      case CellKind::kBuf:   v = in(0); break;
+      case CellKind::kAnd2:  v = in(0) && in(1); break;
+      case CellKind::kOr2:   v = in(0) || in(1); break;
+      case CellKind::kNand2: v = !(in(0) && in(1)); break;
+      case CellKind::kNor2:  v = !(in(0) || in(1)); break;
+      case CellKind::kXor2:  v = in(0) != in(1); break;
+      case CellKind::kXnor2: v = in(0) == in(1); break;
+      case CellKind::kMux2:  v = in(2) ? in(1) : in(0); break;
+      case CellKind::kDff:
+        throw std::logic_error("flop in combinational order");
+    }
+    next[gate] = v;
+  }
+
+  for (std::size_t n = 0; n < next.size(); ++n) {
+    if (next[n] != value_[n]) ++toggles_[n];
+  }
+  value_ = std::move(next);
+
+  // Clock edge: capture D.
+  for (const Netlist::Flop& flop : netlist_.flops()) {
+    flop_state_[netlist_.nets()[flop.q].flop_index] = value_[flop.d];
+  }
+  ++cycles_;
+}
+
+void GateSimulator::ResetStats() {
+  toggles_.assign(netlist_.net_count(), 0);
+  cycles_ = 0;
+}
+
+}  // namespace abenc::gate

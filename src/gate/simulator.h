@@ -1,0 +1,45 @@
+// Cycle-accurate two-valued simulation with per-net toggle counting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gate/netlist.h"
+
+namespace abenc::gate {
+
+/// Simulates a Netlist one clock cycle at a time and accumulates the
+/// per-net switching activity the power model consumes.
+///
+/// Cycle semantics: flop outputs present their stored state, primary
+/// inputs take the caller's values, combinational nets evaluate in
+/// topological order, then every flop captures its D net at the cycle
+/// boundary. Toggles are counted on every net against the previous cycle.
+class GateSimulator {
+ public:
+  explicit GateSimulator(const Netlist& netlist);
+
+  /// Drive one clock cycle. `input_values` maps input net -> value and
+  /// must cover every primary input.
+  void Cycle(const std::map<NetId, bool>& input_values);
+
+  /// Value of a net after the last Cycle().
+  bool Value(NetId net) const { return value_[net]; }
+
+  std::uint64_t toggles(NetId net) const { return toggles_[net]; }
+  std::uint64_t cycles() const { return cycles_; }
+  const std::vector<std::uint64_t>& all_toggles() const { return toggles_; }
+
+  void ResetStats();
+
+ private:
+  const Netlist& netlist_;
+  std::vector<bool> value_;        // current value per net
+  std::vector<bool> flop_state_;   // stored state per flop
+  std::vector<std::uint64_t> toggles_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace abenc::gate

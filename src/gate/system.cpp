@@ -1,0 +1,114 @@
+#include "gate/system.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace abenc::gate {
+
+std::vector<NetId> CopyNetlist(Netlist& destination, const Netlist& source,
+                               const std::map<NetId, NetId>& input_bindings) {
+  std::vector<NetId> map(source.net_count(), kNoNet);
+  map[source.Const(false)] = destination.Const(false);
+  map[source.Const(true)] = destination.Const(true);
+
+  // First pass: replicate nets in id order (creation order is topological
+  // for combinational nets, and flop outputs exist before use).
+  for (NetId id = 2; id < source.net_count(); ++id) {
+    const Netlist::NetInfo& info = source.nets()[id];
+    switch (info.driver) {
+      case Netlist::Driver::kInput: {
+        const auto it = input_bindings.find(id);
+        if (it == input_bindings.end()) {
+          throw std::invalid_argument("unbound input '" + info.name +
+                                      "' while copying a netlist");
+        }
+        map[id] = it->second;
+        break;
+      }
+      case Netlist::Driver::kFlop:
+        map[id] = destination.AddFlop(info.name);
+        break;
+      case Netlist::Driver::kGate:
+        map[id] = destination.Add(info.kind, map[info.in[0]],
+                                  InputCount(info.kind) > 1 ? map[info.in[1]]
+                                                            : kNoNet,
+                                  InputCount(info.kind) > 2 ? map[info.in[2]]
+                                                            : kNoNet);
+        break;
+      case Netlist::Driver::kConst:
+        break;  // handled above
+    }
+  }
+
+  // Second pass: flop D connections (may point anywhere in the netlist).
+  for (const Netlist::Flop& flop : source.flops()) {
+    destination.ConnectFlop(map[flop.q], map[flop.d]);
+  }
+  return map;
+}
+
+BusSystem ComposeBusSystem(const CodecCircuit& encoder,
+                           const CodecCircuit& decoder, double bus_wire_pf,
+                           double decoder_load_pf) {
+  if (encoder.data_out.size() != decoder.address_in.size() ||
+      encoder.redundant_out.size() != decoder.redundant_in.size() ||
+      (encoder.sel_in == kNoNet) != (decoder.sel_in == kNoNet)) {
+    throw std::invalid_argument(
+        "encoder and decoder port shapes do not match");
+  }
+
+  BusSystem system;
+  Netlist& nl = system.netlist;
+
+  // Fresh primary inputs for the processor side.
+  std::map<NetId, NetId> encoder_bindings;
+  for (std::size_t i = 0; i < encoder.address_in.size(); ++i) {
+    const NetId input = nl.AddInput("b" + std::to_string(i));
+    system.address_in.push_back(input);
+    encoder_bindings[encoder.address_in[i]] = input;
+  }
+  if (encoder.sel_in != kNoNet) {
+    system.sel_in = nl.AddInput("SEL");
+    encoder_bindings[encoder.sel_in] = system.sel_in;
+  }
+
+  const std::vector<NetId> enc_map =
+      CopyNetlist(nl, encoder.netlist, encoder_bindings);
+  for (NetId out : encoder.data_out) system.bus_lines.push_back(enc_map[out]);
+  for (NetId out : encoder.redundant_out) {
+    system.redundant_lines.push_back(enc_map[out]);
+  }
+
+  // The bus wires carry the external line load.
+  for (std::size_t i = 0; i < system.bus_lines.size(); ++i) {
+    nl.MarkOutput(system.bus_lines[i], "bus" + std::to_string(i),
+                  bus_wire_pf);
+  }
+  for (std::size_t i = 0; i < system.redundant_lines.size(); ++i) {
+    nl.MarkOutput(system.redundant_lines[i], "busr" + std::to_string(i),
+                  bus_wire_pf);
+  }
+
+  // Decoder hangs off the bus wires.
+  std::map<NetId, NetId> decoder_bindings;
+  for (std::size_t i = 0; i < decoder.address_in.size(); ++i) {
+    decoder_bindings[decoder.address_in[i]] = system.bus_lines[i];
+  }
+  for (std::size_t i = 0; i < decoder.redundant_in.size(); ++i) {
+    decoder_bindings[decoder.redundant_in[i]] = system.redundant_lines[i];
+  }
+  if (decoder.sel_in != kNoNet) {
+    decoder_bindings[decoder.sel_in] = system.sel_in;
+  }
+
+  const std::vector<NetId> dec_map =
+      CopyNetlist(nl, decoder.netlist, decoder_bindings);
+  for (std::size_t i = 0; i < decoder.data_out.size(); ++i) {
+    const NetId out = dec_map[decoder.data_out[i]];
+    system.decoded_out.push_back(out);
+    nl.MarkOutput(out, "dec" + std::to_string(i), decoder_load_pf);
+  }
+  return system;
+}
+
+}  // namespace abenc::gate

@@ -1,0 +1,41 @@
+// Whole-bus-system composition: encoder, bus wires and decoder merged
+// into a single netlist, so the complete transfer path of the paper's
+// title can be simulated, timed and priced as one circuit.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gate/circuits.h"
+
+namespace abenc::gate {
+
+/// A composed encoder-bus-decoder system.
+struct BusSystem {
+  Netlist netlist;
+  std::vector<NetId> address_in;      // the processor-side address
+  NetId sel_in = kNoNet;              // dual codes only
+  std::vector<NetId> bus_lines;       // encoder outputs = the bus wires
+  std::vector<NetId> redundant_lines; // INC/INV/INCV wires
+  std::vector<NetId> decoded_out;     // memory-side reconstructed address
+};
+
+/// Merge an encoder and its decoder into one netlist. The encoder's
+/// outputs become the bus wires, loaded with `bus_wire_pf` each (the
+/// line capacitance the codes exist to stop switching); the decoder's
+/// inputs are wired to them, and its outputs are marked as the system
+/// outputs with `decoder_load_pf`. The SEL input, when present, feeds
+/// both ends, as on a real multiplexed bus. Requires matching widths and
+/// redundant-line counts; throws std::invalid_argument otherwise.
+BusSystem ComposeBusSystem(const CodecCircuit& encoder,
+                           const CodecCircuit& decoder, double bus_wire_pf,
+                           double decoder_load_pf = 0.2);
+
+/// Copy every net of `source` into `destination`, binding the source's
+/// primary inputs per `input_bindings` (source input net -> existing
+/// destination net). Returns the source-to-destination net map. Exposed
+/// for building larger compositions (and for tests).
+std::vector<NetId> CopyNetlist(Netlist& destination, const Netlist& source,
+                               const std::map<NetId, NetId>& input_bindings);
+
+}  // namespace abenc::gate

@@ -1,0 +1,89 @@
+#include "gate/timing.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace abenc::gate {
+namespace {
+
+/// Delay of the cell driving `net` under its extracted load.
+double DriverDelayNs(const Netlist& netlist, NetId net) {
+  const auto& info = netlist.nets()[net];
+  if (info.driver != Netlist::Driver::kGate &&
+      info.driver != Netlist::Driver::kFlop) {
+    return 0.0;  // inputs and constants arrive at time 0
+  }
+  const CellSpec spec = Spec(info.kind);
+  return spec.intrinsic_delay_ns +
+         spec.delay_per_pf_ns * netlist.NetCapacitancePf(net);
+}
+
+}  // namespace
+
+TimingReport AnalyzeTiming(const Netlist& netlist) {
+  netlist.Validate();
+  const std::size_t n = netlist.net_count();
+  std::vector<double> arrival(n, 0.0);
+  std::vector<NetId> predecessor(n, kNoNet);
+
+  // Launch points: flop outputs carry the clock-to-Q delay.
+  for (const Netlist::Flop& flop : netlist.flops()) {
+    arrival[flop.q] = DriverDelayNs(netlist, flop.q);
+  }
+
+  // Topological propagation (gate creation order).
+  for (NetId id : netlist.gate_order()) {
+    const auto& info = netlist.nets()[id];
+    double latest = 0.0;
+    NetId from = kNoNet;
+    for (unsigned i = 0; i < InputCount(info.kind); ++i) {
+      if (arrival[info.in[i]] >= latest) {
+        latest = arrival[info.in[i]];
+        from = info.in[i];
+      }
+    }
+    arrival[id] = latest + DriverDelayNs(netlist, id);
+    predecessor[id] = from;
+  }
+
+  // Endpoints: flop D pins (plus setup, folded into the DFF intrinsic
+  // delay on the launch side already) and marked primary outputs.
+  TimingReport report;
+  const auto consider = [&](NetId endpoint) {
+    if (endpoint != kNoNet && arrival[endpoint] > report.critical_path_ns) {
+      report.critical_path_ns = arrival[endpoint];
+      report.critical_endpoint = endpoint;
+    }
+  };
+  for (const Netlist::Flop& flop : netlist.flops()) consider(flop.d);
+  for (const auto& output : netlist.outputs()) consider(output.net);
+
+  if (report.critical_endpoint != kNoNet) {
+    for (NetId cursor = report.critical_endpoint; cursor != kNoNet;
+         cursor = predecessor[cursor]) {
+      report.critical_path.push_back(cursor);
+      if (cursor < n && predecessor[cursor] == kNoNet) break;
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+    report.max_frequency_hz = 1e9 / report.critical_path_ns;
+  }
+  return report;
+}
+
+std::string FormatTimingReport(const Netlist& netlist,
+                               const TimingReport& report) {
+  std::ostringstream out;
+  out << "critical path: " << report.critical_path_ns << " ns ("
+      << report.max_frequency_hz / 1e6 << " MHz max)\n";
+  double cumulative = 0.0;
+  for (NetId id : report.critical_path) {
+    const auto& info = netlist.nets()[id];
+    cumulative += DriverDelayNs(netlist, id);
+    out << "  " << Spec(info.kind).name << " -> "
+        << (info.name.empty() ? "n" + std::to_string(id) : info.name)
+        << "  @ " << cumulative << " ns\n";
+  }
+  return out.str();
+}
+
+}  // namespace abenc::gate

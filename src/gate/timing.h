@@ -1,0 +1,35 @@
+// Static timing analysis over a Netlist: a topological longest-path pass
+// with a linear (intrinsic + slope * load) cell delay model, the classic
+// pre-layout STA the paper's "critical path is 5.36 ns" figure came from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gate/netlist.h"
+
+namespace abenc::gate {
+
+/// Result of one timing pass.
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  NetId critical_endpoint = kNoNet;
+  /// Nets of the critical path, launch point first (a flop output or a
+  /// primary input), endpoint last.
+  std::vector<NetId> critical_path;
+  /// Highest clock the circuit can run at given the critical path plus
+  /// the flop clock-to-Q and setup margins folded into the DFF spec.
+  double max_frequency_hz = 0.0;
+};
+
+/// Analyse `netlist`: arrival time 0 at primary inputs and flop outputs
+/// (clock-to-Q folded into the DFF intrinsic delay at the launch side),
+/// each gate adds intrinsic delay plus slope * driven capacitance,
+/// endpoints are flop D pins and marked primary outputs.
+TimingReport AnalyzeTiming(const Netlist& netlist);
+
+/// Human-readable path report (net names and cumulative arrival times).
+std::string FormatTimingReport(const Netlist& netlist,
+                               const TimingReport& report);
+
+}  // namespace abenc::gate

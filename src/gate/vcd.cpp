@@ -1,0 +1,65 @@
+#include "gate/vcd.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace abenc::gate {
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string IdCode(std::size_t index) {
+  std::string code;
+  do {
+    code += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const Netlist& netlist, std::vector<NetId> nets,
+                     std::string scope_name)
+    : netlist_(netlist), nets_(std::move(nets)), scope_(std::move(scope_name)) {
+  for (NetId id : nets_) {
+    if (id >= netlist_.net_count()) {
+      throw std::invalid_argument("VCD net out of range");
+    }
+  }
+  history_.resize(nets_.size());
+}
+
+void VcdWriter::Sample(const GateSimulator& sim) {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    history_[i].push_back(sim.Value(nets_[i]));
+  }
+}
+
+void VcdWriter::Write(std::ostream& out) const {
+  out << "$timescale 10ns $end\n";  // one unit = one 100 MHz cycle
+  out << "$scope module " << scope_ << " $end\n";
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const auto& info = netlist_.nets()[nets_[i]];
+    const std::string name =
+        info.name.empty() ? "n" + std::to_string(nets_[i]) : info.name;
+    out << "$var wire 1 " << IdCode(i) << " " << name << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  const std::size_t steps = samples();
+  for (std::size_t t = 0; t < steps; ++t) {
+    bool stamped = false;
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      const bool value = history_[i][t];
+      if (t > 0 && history_[i][t - 1] == value) continue;
+      if (!stamped) {
+        out << '#' << t << '\n';
+        stamped = true;
+      }
+      out << (value ? '1' : '0') << IdCode(i) << '\n';
+    }
+  }
+  out << '#' << steps << '\n';
+}
+
+}  // namespace abenc::gate

@@ -1,0 +1,41 @@
+// Value-change-dump (IEEE 1364 VCD) recording for GateSimulator runs, so
+// codec circuits can be inspected in any waveform viewer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gate/netlist.h"
+#include "gate/simulator.h"
+
+namespace abenc::gate {
+
+/// Records selected nets of a simulation into VCD. Usage:
+///
+///   VcdWriter vcd(netlist, {net_a, net_b}, "top");
+///   for (...) { sim.Cycle(...); vcd.Sample(sim); }
+///   vcd.Write(file);
+///
+/// One VCD time unit per clock cycle. Unnamed nets appear as n<id>.
+class VcdWriter {
+ public:
+  VcdWriter(const Netlist& netlist, std::vector<NetId> nets,
+            std::string scope_name = "dut");
+
+  /// Record the post-cycle values of the selected nets.
+  void Sample(const GateSimulator& sim);
+
+  /// Emit the complete dump.
+  void Write(std::ostream& out) const;
+
+  std::size_t samples() const { return history_.empty() ? 0 : history_[0].size(); }
+
+ private:
+  const Netlist& netlist_;
+  std::vector<NetId> nets_;
+  std::string scope_;
+  std::vector<std::vector<bool>> history_;  // per net, per sample
+};
+
+}  // namespace abenc::gate

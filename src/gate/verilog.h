@@ -1,0 +1,41 @@
+// Structural Verilog export of a Netlist — the bridge from this substrate
+// to a real synthesis/signoff flow: the generated module instantiates
+// only primitive gates and DFFs and can be consumed by any RTL tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gate/netlist.h"
+
+namespace abenc::gate {
+
+/// Emit `netlist` as a synthesisable structural Verilog module named
+/// `module_name`. Ports: clk, rst_n (synchronous, active-low, clears all
+/// flops, matching the simulator's power-on state), every primary input,
+/// and every marked output. Internal nets are named n<id> (or their
+/// given name when one was assigned and is a legal identifier).
+void WriteVerilog(std::ostream& out, const Netlist& netlist,
+                  const std::string& module_name);
+
+/// Convenience: render to a string (tests, examples).
+std::string ToVerilog(const Netlist& netlist,
+                      const std::string& module_name);
+
+/// Emit a self-checking Verilog testbench for `module_name`: it drives
+/// the module's primary inputs with the given per-cycle vectors, compares
+/// every marked output against the expected values (captured from
+/// GateSimulator), `$display`s mismatches and finishes with a PASS/FAIL
+/// banner — so the exported RTL can be validated in any simulator
+/// against exactly the behaviour this library verified.
+struct TestbenchVector {
+  std::vector<std::pair<NetId, bool>> inputs;    // primary input values
+  std::vector<std::pair<std::string, bool>> expected;  // output name, value
+};
+void WriteVerilogTestbench(std::ostream& out, const Netlist& netlist,
+                           const std::string& module_name,
+                           const std::vector<TestbenchVector>& vectors);
+
+}  // namespace abenc::gate

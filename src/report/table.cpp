@@ -1,0 +1,76 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace abenc {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("a table needs at least one column");
+  }
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row has " + std::to_string(cells.size()) +
+                                " cells, table has " +
+                                std::to_string(headers_.size()) + " columns");
+  }
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+  const auto emit_rule = [&](std::ostream& out) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) out << '+';
+    }
+    out << '\n';
+  };
+  const auto emit_row = [&](std::ostream& out,
+                            const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+          << cells[c] << ' ';
+      if (c + 1 < cells.size()) out << '|';
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(out, headers_);
+  emit_rule(out);
+  for (const Row& row : rows_) {
+    if (row.rule_before) emit_rule(out);
+    emit_row(out, row.cells);
+  }
+  return out.str();
+}
+
+std::string FormatFixed(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string FormatPercent(double value) { return FormatFixed(value, 2) + "%"; }
+
+std::string FormatCount(long long value) { return std::to_string(value); }
+
+}  // namespace abenc

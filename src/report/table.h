@@ -1,0 +1,48 @@
+// Plain-text table rendering so every bench prints rows shaped like the
+// paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace abenc {
+
+/// Column-aligned ASCII table. Cells are strings; numeric formatting
+/// helpers below keep the benches uniform.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Append a separator rule before the next row (used above the
+  /// "Average" rows of Tables 2-7).
+  void AddRule();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with single-space-padded columns and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Fixed-point with `decimals` digits, e.g. Format(35.519, 2) == "35.52".
+std::string FormatFixed(double value, int decimals);
+
+/// Percentage with two decimals and a trailing '%', the paper's style.
+std::string FormatPercent(double value);
+
+/// Integer with thousands separators removed (plain digits), for the
+/// transition-count columns.
+std::string FormatCount(long long value);
+
+}  // namespace abenc

@@ -1,0 +1,685 @@
+#include "sim/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace abenc::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string StripComment(const std::string& line) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_string = !in_string;
+    if (line[i] == '#' && !in_string) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Split "a, b, 8($sp)" on top-level commas.
+std::vector<std::string> SplitOperands(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (char c : text) {
+    if (c == '"') in_string = !in_string;
+    if (c == ',' && !in_string) {
+      out.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string last = Trim(current);
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  return out;
+}
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool LooksLikeNumber(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  return i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]));
+}
+
+std::optional<std::int64_t> ParseNumber(const std::string& text) {
+  if (!LooksLikeNumber(text)) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(text, &consumed, 0);
+    if (consumed != text.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intermediate representation
+// ---------------------------------------------------------------------------
+
+struct SourceInstruction {
+  std::size_t line = 0;
+  std::uint32_t address = 0;  // assigned in pass 1
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+struct Segments {
+  std::vector<SourceInstruction> text;
+  std::vector<std::uint8_t> data;
+  std::map<std::string, std::uint32_t> symbols;
+};
+
+/// Number of machine instructions a (pseudo-)instruction expands to.
+/// Must agree exactly with Expand() below.
+std::size_t ExpansionSize(const SourceInstruction& instr) {
+  const std::string& m = instr.mnemonic;
+  if (m == "la") return 2;
+  if (m == "li") {
+    const auto value = ParseNumber(instr.operands.size() > 1
+                                       ? instr.operands[1]
+                                       : std::string());
+    if (!value) return 2;  // validated later; worst case
+    if (*value >= -32768 && *value <= 32767) return 1;
+    if ((*value & 0xFFFF) == 0 && *value >= 0 && *value <= 0xFFFF0000LL) {
+      return 1;
+    }
+    return 2;
+  }
+  if (m == "blt" || m == "bge" || m == "bgt" || m == "ble") return 2;
+  if (m == "mul" || m == "divq" || m == "rem") return 2;
+  static const char* kMemOps[] = {"lb", "lh", "lw", "lbu",
+                                  "lhu", "sb", "sh", "sw"};
+  for (const char* op : kMemOps) {
+    if (m == op) {
+      // The label form (no base register) expands through $at.
+      return instr.operands.size() > 1 &&
+                     instr.operands[1].find('(') == std::string::npos
+                 ? 2
+                 : 1;
+    }
+  }
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: layout
+// ---------------------------------------------------------------------------
+
+class LayoutPass {
+ public:
+  Segments Run(const std::string& source) {
+    std::istringstream in(source);
+    std::string raw_line;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw_line)) {
+      ++line_no;
+      std::string line = Trim(StripComment(raw_line));
+      while (!line.empty()) {
+        // Leading labels; several may share a line.
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos &&
+            std::all_of(line.begin(), line.begin() + colon, IsLabelChar) &&
+            colon > 0) {
+          DefineLabel(line.substr(0, colon), line_no);
+          line = Trim(line.substr(colon + 1));
+          continue;
+        }
+        break;
+      }
+      if (line.empty()) continue;
+      if (line[0] == '.') {
+        Directive(line, line_no);
+      } else {
+        InstructionLine(line, line_no);
+      }
+    }
+    AlignData(4);
+    return std::move(segments_);
+  }
+
+ private:
+  void DefineLabel(const std::string& name, std::size_t line_no) {
+    if (segments_.symbols.contains(name)) {
+      throw AssemblyError(line_no, "duplicate label '" + name + "'");
+    }
+    segments_.symbols[name] =
+        in_text_ ? NextTextAddress()
+                 : kDataBase + static_cast<std::uint32_t>(
+                                   segments_.data.size());
+  }
+
+  std::uint32_t NextTextAddress() const {
+    return kTextBase + static_cast<std::uint32_t>(text_words_ * 4);
+  }
+
+  void AlignData(std::uint32_t alignment) {
+    while (segments_.data.size() % alignment != 0) {
+      segments_.data.push_back(0);
+    }
+  }
+
+  void Directive(const std::string& line, std::size_t line_no) {
+    std::istringstream in(line);
+    std::string name;
+    in >> name;
+    std::string rest;
+    std::getline(in, rest);
+    rest = Trim(rest);
+
+    if (name == ".text") {
+      in_text_ = true;
+      return;
+    }
+    if (name == ".data") {
+      in_text_ = false;
+      return;
+    }
+    if (name == ".globl") return;  // accepted, no effect
+    if (in_text_) {
+      throw AssemblyError(line_no, name + " is only valid in .data");
+    }
+    if (name == ".word" || name == ".half" || name == ".byte") {
+      const unsigned size = name == ".word" ? 4 : name == ".half" ? 2 : 1;
+      AlignData(size);
+      for (const std::string& field : SplitOperands(rest)) {
+        const auto value = ParseNumber(field);
+        if (!value) {
+          // Late-bound label value: remember a fixup.
+          if (size != 4) {
+            throw AssemblyError(line_no,
+                                "label values need .word: '" + field + "'");
+          }
+          fixups_.push_back(
+              {line_no, segments_.data.size(), field});
+          for (unsigned i = 0; i < 4; ++i) segments_.data.push_back(0);
+          continue;
+        }
+        for (unsigned i = 0; i < size; ++i) {
+          segments_.data.push_back(
+              static_cast<std::uint8_t>((*value >> (8 * i)) & 0xFF));
+        }
+      }
+      return;
+    }
+    if (name == ".space") {
+      const auto value = ParseNumber(rest);
+      if (!value || *value < 0) {
+        throw AssemblyError(line_no, "bad .space size '" + rest + "'");
+      }
+      segments_.data.insert(segments_.data.end(),
+                            static_cast<std::size_t>(*value), 0);
+      return;
+    }
+    if (name == ".align") {
+      const auto value = ParseNumber(rest);
+      if (!value || *value < 0 || *value > 12) {
+        throw AssemblyError(line_no, "bad .align '" + rest + "'");
+      }
+      AlignData(1u << *value);
+      return;
+    }
+    if (name == ".asciiz") {
+      const std::size_t open = rest.find('"');
+      const std::size_t close = rest.rfind('"');
+      if (open == std::string::npos || close <= open) {
+        throw AssemblyError(line_no, ".asciiz needs a quoted string");
+      }
+      for (std::size_t i = open + 1; i < close; ++i) {
+        char c = rest[i];
+        if (c == '\\' && i + 1 < close) {
+          ++i;
+          switch (rest[i]) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case '0': c = '\0'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            default:
+              throw AssemblyError(line_no, "unknown escape in .asciiz");
+          }
+        }
+        segments_.data.push_back(static_cast<std::uint8_t>(c));
+      }
+      segments_.data.push_back(0);
+      return;
+    }
+    throw AssemblyError(line_no, "unknown directive " + name);
+  }
+
+  void InstructionLine(const std::string& line, std::size_t line_no) {
+    if (!in_text_) {
+      throw AssemblyError(line_no, "instruction outside .text");
+    }
+    std::istringstream in(line);
+    SourceInstruction instr;
+    instr.line = line_no;
+    in >> instr.mnemonic;
+    std::string rest;
+    std::getline(in, rest);
+    instr.operands = SplitOperands(Trim(rest));
+    if (instr.operands.size() == 1 && instr.operands[0].empty()) {
+      instr.operands.clear();
+    }
+    instr.address = NextTextAddress();
+    text_words_ += ExpansionSize(instr);
+    segments_.text.push_back(std::move(instr));
+  }
+
+ public:
+  struct DataFixup {
+    std::size_t line;
+    std::size_t offset;  // into segments_.data
+    std::string label;
+  };
+  std::vector<DataFixup> TakeFixups() { return std::move(fixups_); }
+
+ private:
+  Segments segments_;
+  bool in_text_ = true;
+  std::size_t text_words_ = 0;
+  std::vector<DataFixup> fixups_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 2: encoding
+// ---------------------------------------------------------------------------
+
+class EncodePass {
+ public:
+  EncodePass(const Segments& segments) : segments_(segments) {}
+
+  std::vector<std::uint32_t> Run() {
+    std::vector<std::uint32_t> words;
+    for (const SourceInstruction& instr : segments_.text) {
+      const std::size_t before = words.size();
+      Expand(instr, words);
+      const std::size_t emitted = words.size() - before;
+      if (emitted != ExpansionSize(instr)) {
+        throw AssemblyError(instr.line,
+                            "internal: expansion size mismatch for " +
+                                instr.mnemonic);
+      }
+    }
+    return words;
+  }
+
+ private:
+  [[noreturn]] void Error(const SourceInstruction& i,
+                          const std::string& what) const {
+    throw AssemblyError(i.line, what + " in '" + i.mnemonic + "'");
+  }
+
+  unsigned Reg(const SourceInstruction& i, std::size_t index) const {
+    if (index >= i.operands.size()) Error(i, "missing register operand");
+    const auto reg = ParseRegister(i.operands[index]);
+    if (!reg) Error(i, "bad register '" + i.operands[index] + "'");
+    return *reg;
+  }
+
+  std::int64_t Imm(const SourceInstruction& i, std::size_t index) const {
+    if (index >= i.operands.size()) Error(i, "missing immediate");
+    const auto value = ParseNumber(i.operands[index]);
+    if (!value) Error(i, "bad immediate '" + i.operands[index] + "'");
+    return *value;
+  }
+
+  std::uint16_t SignedImm16(const SourceInstruction& i,
+                            std::size_t index) const {
+    const std::int64_t v = Imm(i, index);
+    if (v < -32768 || v > 32767) Error(i, "immediate out of signed range");
+    return static_cast<std::uint16_t>(v);
+  }
+
+  std::uint16_t UnsignedImm16(const SourceInstruction& i,
+                              std::size_t index) const {
+    const std::int64_t v = Imm(i, index);
+    if (v < 0 || v > 0xFFFF) Error(i, "immediate out of unsigned range");
+    return static_cast<std::uint16_t>(v);
+  }
+
+  /// Resolve "label" or "label+N" / "label-N".
+  std::uint32_t LabelValue(const SourceInstruction& i,
+                           const std::string& text) const {
+    std::string name = text;
+    std::int64_t offset = 0;
+    const std::size_t plus = text.find_first_of("+-", 1);
+    if (plus != std::string::npos) {
+      name = Trim(text.substr(0, plus));
+      // Tolerate spaces around the sign: "arr + 8" == "arr+8".
+      std::string offset_text;
+      for (char c : text.substr(plus)) {
+        if (!std::isspace(static_cast<unsigned char>(c))) offset_text += c;
+      }
+      const auto parsed = ParseNumber(offset_text);
+      if (!parsed) Error(i, "bad label offset '" + text + "'");
+      offset = *parsed;
+    }
+    const auto it = segments_.symbols.find(name);
+    if (it == segments_.symbols.end()) {
+      Error(i, "undefined label '" + name + "'");
+    }
+    return static_cast<std::uint32_t>(it->second + offset);
+  }
+
+  std::uint16_t BranchOffset(const SourceInstruction& i, std::size_t index,
+                             std::uint32_t pc) const {
+    if (index >= i.operands.size()) Error(i, "missing branch target");
+    const std::uint32_t target = LabelValue(i, i.operands[index]);
+    const std::int64_t delta =
+        (static_cast<std::int64_t>(target) - (static_cast<std::int64_t>(pc) + 4)) / 4;
+    if ((target - pc) % 4 != 0 || delta < -32768 || delta > 32767) {
+      Error(i, "branch target out of range");
+    }
+    return static_cast<std::uint16_t>(delta);
+  }
+
+  /// Parse "offset($base)" or "($base)".
+  void MemOperand(const SourceInstruction& i, std::size_t index,
+                  std::uint16_t& offset, unsigned& base) const {
+    if (index >= i.operands.size()) Error(i, "missing memory operand");
+    const std::string& text = i.operands[index];
+    const std::size_t open = text.find('(');
+    const std::size_t close = text.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      Error(i, "bad memory operand '" + text + "'");
+    }
+    const std::string offset_text = Trim(text.substr(0, open));
+    std::int64_t parsed_offset = 0;
+    if (!offset_text.empty()) {
+      const auto value = ParseNumber(offset_text);
+      if (!value) Error(i, "bad memory offset '" + offset_text + "'");
+      parsed_offset = *value;
+    }
+    if (parsed_offset < -32768 || parsed_offset > 32767) {
+      Error(i, "memory offset out of range");
+    }
+    offset = static_cast<std::uint16_t>(parsed_offset);
+    const auto reg =
+        ParseRegister(Trim(text.substr(open + 1, close - open - 1)));
+    if (!reg) Error(i, "bad base register in '" + text + "'");
+    base = *reg;
+  }
+
+  void Expand(const SourceInstruction& i, std::vector<std::uint32_t>& out) {
+    const std::string& m = i.mnemonic;
+    const std::uint32_t pc =
+        kTextBase + static_cast<std::uint32_t>(out.size() * 4);
+
+    // --- R-type three-register ---
+    static const std::map<std::string, Funct> kThreeReg = {
+        {"add", Funct::kAdd},   {"addu", Funct::kAddu},
+        {"sub", Funct::kSub},   {"subu", Funct::kSubu},
+        {"and", Funct::kAnd},   {"or", Funct::kOr},
+        {"xor", Funct::kXor},   {"nor", Funct::kNor},
+        {"slt", Funct::kSlt},   {"sltu", Funct::kSltu},
+        {"sllv", Funct::kSllv}, {"srlv", Funct::kSrlv},
+        {"srav", Funct::kSrav}};
+    if (const auto it = kThreeReg.find(m); it != kThreeReg.end()) {
+      out.push_back(EncodeR(it->second, Reg(i, 0), Reg(i, 1), Reg(i, 2)));
+      return;
+    }
+
+    // --- shifts with immediate shamt ---
+    static const std::map<std::string, Funct> kShift = {
+        {"sll", Funct::kSll}, {"srl", Funct::kSrl}, {"sra", Funct::kSra}};
+    if (const auto it = kShift.find(m); it != kShift.end()) {
+      const std::int64_t shamt = Imm(i, 2);
+      if (shamt < 0 || shamt > 31) Error(i, "shift amount out of range");
+      out.push_back(EncodeR(it->second, Reg(i, 0), 0, Reg(i, 1),
+                            static_cast<unsigned>(shamt)));
+      return;
+    }
+
+    // --- I-type ALU ---
+    if (m == "addi" || m == "addiu" || m == "slti" || m == "sltiu") {
+      const Opcode op = m == "addi"    ? Opcode::kAddi
+                        : m == "addiu" ? Opcode::kAddiu
+                        : m == "slti"  ? Opcode::kSlti
+                                       : Opcode::kSltiu;
+      out.push_back(EncodeI(op, Reg(i, 0), Reg(i, 1), SignedImm16(i, 2)));
+      return;
+    }
+    if (m == "andi" || m == "ori" || m == "xori") {
+      const Opcode op = m == "andi" ? Opcode::kAndi
+                        : m == "ori" ? Opcode::kOri
+                                     : Opcode::kXori;
+      out.push_back(EncodeI(op, Reg(i, 0), Reg(i, 1), UnsignedImm16(i, 2)));
+      return;
+    }
+    if (m == "lui") {
+      out.push_back(EncodeI(Opcode::kLui, Reg(i, 0), 0, UnsignedImm16(i, 1)));
+      return;
+    }
+
+    // --- loads/stores ---
+    static const std::map<std::string, Opcode> kMem = {
+        {"lb", Opcode::kLb},   {"lh", Opcode::kLh},   {"lw", Opcode::kLw},
+        {"lbu", Opcode::kLbu}, {"lhu", Opcode::kLhu}, {"sb", Opcode::kSb},
+        {"sh", Opcode::kSh},   {"sw", Opcode::kSw}};
+    if (const auto it = kMem.find(m); it != kMem.end()) {
+      if (i.operands.size() > 1 &&
+          i.operands[1].find('(') == std::string::npos) {
+        // Label form: lui $at with the carry-adjusted high half, then
+        // access through a signed low offset (the classic %hi/%lo split).
+        const std::uint32_t value = LabelValue(i, i.operands[1]);
+        const std::uint32_t high = (value + 0x8000u) >> 16;
+        const auto low = static_cast<std::uint16_t>(value - (high << 16));
+        out.push_back(EncodeI(Opcode::kLui, 1, 0,
+                              static_cast<std::uint16_t>(high)));
+        out.push_back(EncodeI(it->second, Reg(i, 0), 1, low));
+        return;
+      }
+      std::uint16_t offset = 0;
+      unsigned base = 0;
+      MemOperand(i, 1, offset, base);
+      out.push_back(EncodeI(it->second, Reg(i, 0), base, offset));
+      return;
+    }
+
+    // --- branches ---
+    if (m == "beq" || m == "bne") {
+      const Opcode op = m == "beq" ? Opcode::kBeq : Opcode::kBne;
+      out.push_back(
+          EncodeI(op, Reg(i, 1), Reg(i, 0), BranchOffset(i, 2, pc)));
+      return;
+    }
+    if (m == "blez" || m == "bgtz") {
+      const Opcode op = m == "blez" ? Opcode::kBlez : Opcode::kBgtz;
+      out.push_back(EncodeI(op, 0, Reg(i, 0), BranchOffset(i, 1, pc)));
+      return;
+    }
+    if (m == "bltz" || m == "bgez") {
+      out.push_back(EncodeI(Opcode::kRegImm, m == "bltz" ? 0 : 1, Reg(i, 0),
+                            BranchOffset(i, 1, pc)));
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      const Opcode op = m == "beqz" ? Opcode::kBeq : Opcode::kBne;
+      out.push_back(EncodeI(op, 0, Reg(i, 0), BranchOffset(i, 1, pc)));
+      return;
+    }
+    if (m == "b") {
+      out.push_back(EncodeI(Opcode::kBeq, 0, 0, BranchOffset(i, 0, pc)));
+      return;
+    }
+    if (m == "blt" || m == "bge" || m == "bgt" || m == "ble") {
+      // slt $at, x, y ; b{ne,eq} $at, $zero, target
+      const bool swapped = m == "bgt" || m == "ble";
+      const unsigned lhs = swapped ? Reg(i, 1) : Reg(i, 0);
+      const unsigned rhs = swapped ? Reg(i, 0) : Reg(i, 1);
+      out.push_back(EncodeR(Funct::kSlt, 1, lhs, rhs));
+      const std::uint32_t branch_pc = pc + 4;
+      const Opcode op =
+          (m == "blt" || m == "bgt") ? Opcode::kBne : Opcode::kBeq;
+      out.push_back(EncodeI(op, 0, 1, BranchOffset(i, 2, branch_pc)));
+      return;
+    }
+
+    // --- jumps ---
+    if (m == "j" || m == "jal") {
+      if (i.operands.empty()) Error(i, "missing jump target");
+      const std::uint32_t target = LabelValue(i, i.operands[0]);
+      if (target % 4 != 0) Error(i, "misaligned jump target");
+      out.push_back(EncodeJ(m == "j" ? Opcode::kJ : Opcode::kJal,
+                            target >> 2));
+      return;
+    }
+    if (m == "jr") {
+      out.push_back(EncodeR(Funct::kJr, 0, Reg(i, 0), 0));
+      return;
+    }
+    if (m == "jalr") {
+      out.push_back(EncodeR(Funct::kJalr, 31, Reg(i, 0), 0));
+      return;
+    }
+
+    // --- HI/LO ---
+    if (m == "mult" || m == "multu" || m == "div" || m == "divu") {
+      const Funct f = m == "mult"    ? Funct::kMult
+                      : m == "multu" ? Funct::kMultu
+                      : m == "div"   ? Funct::kDiv
+                                     : Funct::kDivu;
+      out.push_back(EncodeR(f, 0, Reg(i, 0), Reg(i, 1)));
+      return;
+    }
+    if (m == "mfhi" || m == "mflo") {
+      out.push_back(EncodeR(m == "mfhi" ? Funct::kMfhi : Funct::kMflo,
+                            Reg(i, 0), 0, 0));
+      return;
+    }
+
+    // --- system ---
+    if (m == "break" || m == "halt") {
+      out.push_back(EncodeR(Funct::kBreak, 0, 0, 0));
+      return;
+    }
+    if (m == "syscall") {
+      out.push_back(EncodeR(Funct::kSyscall, 0, 0, 0));
+      return;
+    }
+    if (m == "nop") {
+      out.push_back(EncodeR(Funct::kSll, 0, 0, 0, 0));
+      return;
+    }
+
+    // --- pseudo-ops ---
+    if (m == "move") {
+      out.push_back(EncodeR(Funct::kAddu, Reg(i, 0), Reg(i, 1), 0));
+      return;
+    }
+    if (m == "neg") {
+      out.push_back(EncodeR(Funct::kSub, Reg(i, 0), 0, Reg(i, 1)));
+      return;
+    }
+    if (m == "not") {
+      out.push_back(EncodeR(Funct::kNor, Reg(i, 0), Reg(i, 1), 0));
+      return;
+    }
+    if (m == "subi") {
+      const std::int64_t v = Imm(i, 2);
+      if (v < -32767 || v > 32768) Error(i, "immediate out of range");
+      out.push_back(EncodeI(Opcode::kAddiu, Reg(i, 0), Reg(i, 1),
+                            static_cast<std::uint16_t>(-v)));
+      return;
+    }
+    if (m == "li") {
+      const unsigned rd = Reg(i, 0);
+      const std::int64_t v = Imm(i, 1);
+      if (v < INT32_MIN || v > static_cast<std::int64_t>(UINT32_MAX)) {
+        Error(i, "li immediate out of 32-bit range");
+      }
+      if (v >= -32768 && v <= 32767) {
+        out.push_back(EncodeI(Opcode::kAddiu, rd, 0,
+                              static_cast<std::uint16_t>(v)));
+      } else if ((v & 0xFFFF) == 0 && v >= 0) {
+        out.push_back(EncodeI(Opcode::kLui, rd, 0,
+                              static_cast<std::uint16_t>(v >> 16)));
+      } else {
+        const auto uv = static_cast<std::uint32_t>(v);
+        out.push_back(EncodeI(Opcode::kLui, rd, 0,
+                              static_cast<std::uint16_t>(uv >> 16)));
+        out.push_back(EncodeI(Opcode::kOri, rd, rd,
+                              static_cast<std::uint16_t>(uv & 0xFFFF)));
+      }
+      return;
+    }
+    if (m == "la") {
+      const unsigned rd = Reg(i, 0);
+      if (i.operands.size() < 2) Error(i, "missing label");
+      const std::uint32_t value = LabelValue(i, i.operands[1]);
+      out.push_back(EncodeI(Opcode::kLui, rd, 0,
+                            static_cast<std::uint16_t>(value >> 16)));
+      out.push_back(EncodeI(Opcode::kOri, rd, rd,
+                            static_cast<std::uint16_t>(value & 0xFFFF)));
+      return;
+    }
+    if (m == "mul" || m == "divq" || m == "rem") {
+      const unsigned rd = Reg(i, 0);
+      const Funct f = m == "mul" ? Funct::kMult : Funct::kDiv;
+      out.push_back(EncodeR(f, 0, Reg(i, 1), Reg(i, 2)));
+      out.push_back(EncodeR(m == "rem" ? Funct::kMfhi : Funct::kMflo,
+                            rd, 0, 0));
+      return;
+    }
+
+    Error(i, "unknown mnemonic");
+  }
+
+  const Segments& segments_;
+};
+
+}  // namespace
+
+AssembledProgram Assemble(const std::string& source) {
+  LayoutPass layout;
+  Segments segments = layout.Run(source);
+  const auto fixups = layout.TakeFixups();
+
+  AssembledProgram program;
+  program.symbols = segments.symbols;
+  program.data = segments.data;
+
+  // Resolve .word label fixups.
+  for (const auto& fixup : fixups) {
+    std::string name = fixup.label;
+    const auto it = segments.symbols.find(name);
+    if (it == segments.symbols.end()) {
+      throw AssemblyError(fixup.line, "undefined label '" + name +
+                                          "' in .word");
+    }
+    const std::uint32_t value = it->second;
+    for (unsigned b = 0; b < 4; ++b) {
+      program.data[fixup.offset + b] =
+          static_cast<std::uint8_t>((value >> (8 * b)) & 0xFF);
+    }
+  }
+
+  EncodePass encode(segments);
+  program.text = encode.Run();
+  return program;
+}
+
+}  // namespace abenc::sim

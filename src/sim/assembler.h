@@ -1,0 +1,61 @@
+// Two-pass assembler for the MIPS-I subset of sim/isa.h.
+//
+// Supported syntax (a pragmatic subset of the classic MIPS assembler):
+//   - comments:      '#' to end of line
+//   - labels:        name:
+//   - directives:    .text  .data  .word v,...  .half v,...  .byte v,...
+//                    .space n   .align n   .asciiz "str"   .globl name
+//   - instructions:  every opcode in sim/isa.h, standard operand order,
+//                    loads/stores as  lw $rt, offset($rs)
+//   - pseudo-ops:    li la move nop b beqz bnez blt bge bgt ble
+//                    mul divq rem neg not subi halt
+//     (mul/divq/rem expand through HI/LO; halt expands to BREAK)
+//
+// Branches are PC-relative to the *following* instruction, jumps use the
+// standard 26-bit region form. There are no delay slots (see isa.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/isa.h"
+
+namespace abenc::sim {
+
+/// Parse or encoding failure; message includes the 1-based source line.
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// The loadable image produced by Assemble().
+struct AssembledProgram {
+  std::uint32_t text_base = kTextBase;
+  std::uint32_t data_base = kDataBase;
+  std::vector<std::uint32_t> text;  // instruction words
+  std::vector<std::uint8_t> data;   // initialised data bytes
+  std::map<std::string, std::uint32_t> symbols;
+
+  std::uint32_t entry() const { return text_base; }
+
+  /// Address of a label; throws std::out_of_range for unknown names.
+  std::uint32_t Symbol(const std::string& name) const {
+    return symbols.at(name);
+  }
+};
+
+/// Assemble a complete source file. Throws AssemblyError on any problem
+/// (unknown mnemonic, bad operand, duplicate or undefined label,
+/// immediate/branch out of range).
+AssembledProgram Assemble(const std::string& source);
+
+}  // namespace abenc::sim

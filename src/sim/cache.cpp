@@ -1,0 +1,95 @@
+#include "sim/cache.h"
+
+#include <stdexcept>
+
+namespace abenc::sim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (!IsPowerOfTwo(config.line_bytes) || !IsPowerOfTwo(config.sets) ||
+      !IsPowerOfTwo(config.ways)) {
+    throw std::invalid_argument(
+        "cache geometry fields must be powers of two");
+  }
+  line_shift_ = Log2(config.line_bytes);
+  set_mask_ = config.sets - 1;
+  ways_.assign(static_cast<std::size_t>(config.sets) * config.ways, Way{});
+}
+
+Cache::AccessResult Cache::Access(std::uint32_t address, bool is_store) {
+  ++clock_;
+  ++stats_.accesses;
+  const std::uint32_t line = address >> line_shift_;
+  const std::uint32_t set = line & set_mask_;
+  const std::uint32_t tag = line >> 0;  // full line number as tag (simple)
+  Way* const base = &ways_[static_cast<std::size_t>(set) * config_.ways];
+
+  AccessResult result;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      way.dirty = way.dirty || is_store;
+      result.hit = true;
+      return result;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    result.writeback = true;
+    result.victim_line = victim->tag << line_shift_;
+  }
+  victim->valid = true;
+  victim->dirty = is_store;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return result;
+}
+
+void Cache::Reset() {
+  ways_.assign(ways_.size(), Way{});
+  clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+CacheFilteredMonitor::CacheFilteredMonitor(const CacheConfig& icache_config,
+                                           const CacheConfig& dcache_config,
+                                           std::string program_name)
+    : icache_(icache_config), dcache_(dcache_config) {
+  instruction_.set_name(program_name);
+  data_.set_name(program_name);
+  multiplexed_.set_name(std::move(program_name));
+}
+
+void CacheFilteredMonitor::OnInstructionFetch(std::uint32_t address) {
+  const Cache::AccessResult result = icache_.Access(address, false);
+  if (!result.hit) {
+    const std::uint32_t line = icache_.LineAddress(address);
+    instruction_.Append(line, AccessKind::kInstruction);
+    multiplexed_.Append(line, AccessKind::kInstruction);
+  }
+  // Instruction lines are never dirty (no self-modifying code here).
+}
+
+void CacheFilteredMonitor::OnDataAccess(std::uint32_t address,
+                                        bool is_store) {
+  const Cache::AccessResult result = dcache_.Access(address, is_store);
+  if (!result.hit) {
+    const std::uint32_t line = dcache_.LineAddress(address);
+    data_.Append(line, AccessKind::kData);
+    multiplexed_.Append(line, AccessKind::kData);
+  }
+  if (result.writeback) {
+    data_.Append(result.victim_line, AccessKind::kData);
+    multiplexed_.Append(result.victim_line, AccessKind::kData);
+  }
+}
+
+}  // namespace abenc::sim

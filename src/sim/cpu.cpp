@@ -1,0 +1,351 @@
+#include "sim/cpu.h"
+
+#include <sstream>
+
+namespace abenc::sim {
+namespace {
+
+std::string Hex(std::uint32_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+}  // namespace
+
+void Cpu::LoadProgram(const AssembledProgram& program) {
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    memory_.StoreWord(program.text_base + static_cast<std::uint32_t>(i * 4),
+                      program.text[i]);
+  }
+  for (std::size_t i = 0; i < program.data.size(); ++i) {
+    memory_.StoreByte(program.data_base + static_cast<std::uint32_t>(i),
+                      program.data[i]);
+  }
+  for (std::uint32_t& r : regs_) r = 0;
+  hi_ = lo_ = 0;
+  regs_[29] = kStackTop;        // $sp
+  regs_[28] = kGlobalPointer;   // $gp
+  pc_ = program.entry();
+  text_end_ =
+      program.text_base + static_cast<std::uint32_t>(program.text.size() * 4);
+  retired_ = 0;
+  mix_ = InstructionMix{};
+}
+
+StopReason Cpu::Run(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (!Step()) return StopReason::kBreak;
+  }
+  return StopReason::kStepLimit;
+}
+
+std::uint32_t Cpu::FetchWord(std::uint32_t address) {
+  if (address < kTextBase || address >= text_end_) {
+    throw ExecutionError("PC escaped the text segment: " + Hex(address));
+  }
+  if (observer_ != nullptr) observer_->OnInstructionFetch(address);
+  return memory_.LoadWord(address);
+}
+
+namespace {
+
+enum class InstrClass {
+  kAlu, kShift, kMulDiv, kLoad, kStore, kBranch, kJump, kCall, kOther
+};
+
+InstrClass Classify(Instruction instr) {
+  switch (instr.opcode()) {
+    case Opcode::kSpecial:
+      switch (instr.funct()) {
+        case Funct::kSll:
+        case Funct::kSrl:
+        case Funct::kSra:
+        case Funct::kSllv:
+        case Funct::kSrlv:
+        case Funct::kSrav:
+          return InstrClass::kShift;
+        case Funct::kJr:
+          return InstrClass::kJump;
+        case Funct::kJalr:
+          return InstrClass::kCall;
+        case Funct::kMfhi:
+        case Funct::kMflo:
+        case Funct::kMult:
+        case Funct::kMultu:
+        case Funct::kDiv:
+        case Funct::kDivu:
+          return InstrClass::kMulDiv;
+        case Funct::kSyscall:
+        case Funct::kBreak:
+          return InstrClass::kOther;
+        default:
+          return InstrClass::kAlu;
+      }
+    case Opcode::kJ:
+      return InstrClass::kJump;
+    case Opcode::kJal:
+      return InstrClass::kCall;
+    case Opcode::kRegImm:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlez:
+    case Opcode::kBgtz:
+      return InstrClass::kBranch;
+    case Opcode::kLb:
+    case Opcode::kLh:
+    case Opcode::kLw:
+    case Opcode::kLbu:
+    case Opcode::kLhu:
+      return InstrClass::kLoad;
+    case Opcode::kSb:
+    case Opcode::kSh:
+    case Opcode::kSw:
+      return InstrClass::kStore;
+    default:
+      return InstrClass::kAlu;
+  }
+}
+
+}  // namespace
+
+bool Cpu::Step() {
+  const Instruction instr{FetchWord(pc_)};
+  std::uint32_t next_pc = pc_ + 4;
+  ++retired_;
+  const InstrClass instr_class = Classify(instr);
+  switch (instr_class) {
+    case InstrClass::kAlu: ++mix_.alu; break;
+    case InstrClass::kShift: ++mix_.shift; break;
+    case InstrClass::kMulDiv: ++mix_.muldiv; break;
+    case InstrClass::kLoad: ++mix_.load; break;
+    case InstrClass::kStore: ++mix_.store; break;
+    case InstrClass::kBranch: ++mix_.branch; break;
+    case InstrClass::kJump: ++mix_.jump; break;
+    case InstrClass::kCall: ++mix_.call; break;
+    case InstrClass::kOther: ++mix_.other; break;
+  }
+
+  const auto rs = [&] { return regs_[instr.rs()]; };
+  const auto rt = [&] { return regs_[instr.rt()]; };
+  const auto write_rd = [&](std::uint32_t v) {
+    if (instr.rd() != 0) regs_[instr.rd()] = v;
+  };
+  const auto write_rt = [&](std::uint32_t v) {
+    if (instr.rt() != 0) regs_[instr.rt()] = v;
+  };
+  const auto data_address = [&] {
+    return rs() + static_cast<std::uint32_t>(instr.simmediate());
+  };
+  const auto observe_data = [&](std::uint32_t address, bool is_store) {
+    if (observer_ != nullptr) observer_->OnDataAccess(address, is_store);
+  };
+  const auto branch = [&](bool taken) {
+    if (taken) {
+      next_pc = pc_ + 4 +
+                (static_cast<std::uint32_t>(instr.simmediate()) << 2);
+    }
+  };
+
+  switch (instr.opcode()) {
+    case Opcode::kSpecial:
+      switch (instr.funct()) {
+        case Funct::kSll: write_rd(rt() << instr.shamt()); break;
+        case Funct::kSrl: write_rd(rt() >> instr.shamt()); break;
+        case Funct::kSra:
+          write_rd(static_cast<std::uint32_t>(
+              static_cast<std::int32_t>(rt()) >>
+              static_cast<int>(instr.shamt())));
+          break;
+        case Funct::kSllv: write_rd(rt() << (rs() & 31)); break;
+        case Funct::kSrlv: write_rd(rt() >> (rs() & 31)); break;
+        case Funct::kSrav:
+          write_rd(static_cast<std::uint32_t>(
+              static_cast<std::int32_t>(rt()) >>
+              static_cast<int>(rs() & 31)));
+          break;
+        case Funct::kJr: next_pc = rs(); break;
+        case Funct::kJalr:
+          write_rd(pc_ + 4);
+          next_pc = rs();
+          break;
+        case Funct::kSyscall:
+          // Reserved for future I/O; currently a no-op.
+          break;
+        case Funct::kBreak:
+          return false;
+        case Funct::kMfhi: write_rd(hi_); break;
+        case Funct::kMflo: write_rd(lo_); break;
+        case Funct::kMult: {
+          const std::int64_t product =
+              static_cast<std::int64_t>(static_cast<std::int32_t>(rs())) *
+              static_cast<std::int64_t>(static_cast<std::int32_t>(rt()));
+          hi_ = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(product) >> 32);
+          lo_ = static_cast<std::uint32_t>(product);
+          break;
+        }
+        case Funct::kMultu: {
+          const std::uint64_t product =
+              static_cast<std::uint64_t>(rs()) * rt();
+          hi_ = static_cast<std::uint32_t>(product >> 32);
+          lo_ = static_cast<std::uint32_t>(product);
+          break;
+        }
+        case Funct::kDiv: {
+          const auto n = static_cast<std::int32_t>(rs());
+          const auto d = static_cast<std::int32_t>(rt());
+          if (d == 0) throw ExecutionError("division by zero at " + Hex(pc_));
+          if (n == INT32_MIN && d == -1) {
+            lo_ = static_cast<std::uint32_t>(INT32_MIN);
+            hi_ = 0;
+          } else {
+            lo_ = static_cast<std::uint32_t>(n / d);
+            hi_ = static_cast<std::uint32_t>(n % d);
+          }
+          break;
+        }
+        case Funct::kDivu: {
+          if (rt() == 0) {
+            throw ExecutionError("division by zero at " + Hex(pc_));
+          }
+          lo_ = rs() / rt();
+          hi_ = rs() % rt();
+          break;
+        }
+        case Funct::kAdd:
+        case Funct::kAddu: write_rd(rs() + rt()); break;
+        case Funct::kSub:
+        case Funct::kSubu: write_rd(rs() - rt()); break;
+        case Funct::kAnd: write_rd(rs() & rt()); break;
+        case Funct::kOr: write_rd(rs() | rt()); break;
+        case Funct::kXor: write_rd(rs() ^ rt()); break;
+        case Funct::kNor: write_rd(~(rs() | rt())); break;
+        case Funct::kSlt:
+          write_rd(static_cast<std::int32_t>(rs()) <
+                           static_cast<std::int32_t>(rt())
+                       ? 1
+                       : 0);
+          break;
+        case Funct::kSltu: write_rd(rs() < rt() ? 1 : 0); break;
+        default:
+          throw ExecutionError("unknown funct " +
+                               std::to_string(instr.raw & 63) + " at " +
+                               Hex(pc_));
+      }
+      break;
+
+    case Opcode::kJ:
+      next_pc = (pc_ & 0xF0000000u) | (instr.target() << 2);
+      break;
+    case Opcode::kJal:
+      regs_[31] = pc_ + 4;
+      next_pc = (pc_ & 0xF0000000u) | (instr.target() << 2);
+      break;
+
+    case Opcode::kRegImm:
+      switch (instr.rt()) {
+        case 0:  // BLTZ
+          branch(static_cast<std::int32_t>(rs()) < 0);
+          break;
+        case 1:  // BGEZ
+          branch(static_cast<std::int32_t>(rs()) >= 0);
+          break;
+        default:
+          throw ExecutionError("unknown REGIMM rt " +
+                               std::to_string(instr.rt()) + " at " +
+                               Hex(pc_));
+      }
+      break;
+    case Opcode::kBeq: branch(rs() == rt()); break;
+    case Opcode::kBne: branch(rs() != rt()); break;
+    case Opcode::kBlez:
+      branch(static_cast<std::int32_t>(rs()) <= 0);
+      break;
+    case Opcode::kBgtz:
+      branch(static_cast<std::int32_t>(rs()) > 0);
+      break;
+
+    case Opcode::kAddi:
+    case Opcode::kAddiu:
+      write_rt(rs() + static_cast<std::uint32_t>(instr.simmediate()));
+      break;
+    case Opcode::kSlti:
+      write_rt(static_cast<std::int32_t>(rs()) < instr.simmediate() ? 1 : 0);
+      break;
+    case Opcode::kSltiu:
+      write_rt(rs() < static_cast<std::uint32_t>(instr.simmediate()) ? 1
+                                                                     : 0);
+      break;
+    case Opcode::kAndi: write_rt(rs() & instr.immediate()); break;
+    case Opcode::kOri: write_rt(rs() | instr.immediate()); break;
+    case Opcode::kXori: write_rt(rs() ^ instr.immediate()); break;
+    case Opcode::kLui:
+      write_rt(static_cast<std::uint32_t>(instr.immediate()) << 16);
+      break;
+
+    case Opcode::kLb: {
+      const std::uint32_t a = data_address();
+      observe_data(a, false);
+      write_rt(static_cast<std::uint32_t>(
+          static_cast<std::int8_t>(memory_.LoadByte(a))));
+      break;
+    }
+    case Opcode::kLbu: {
+      const std::uint32_t a = data_address();
+      observe_data(a, false);
+      write_rt(memory_.LoadByte(a));
+      break;
+    }
+    case Opcode::kLh: {
+      const std::uint32_t a = data_address();
+      observe_data(a, false);
+      write_rt(static_cast<std::uint32_t>(
+          static_cast<std::int16_t>(memory_.LoadHalf(a))));
+      break;
+    }
+    case Opcode::kLhu: {
+      const std::uint32_t a = data_address();
+      observe_data(a, false);
+      write_rt(memory_.LoadHalf(a));
+      break;
+    }
+    case Opcode::kLw: {
+      const std::uint32_t a = data_address();
+      observe_data(a, false);
+      write_rt(memory_.LoadWord(a));
+      break;
+    }
+    case Opcode::kSb: {
+      const std::uint32_t a = data_address();
+      observe_data(a, true);
+      memory_.StoreByte(a, static_cast<std::uint8_t>(rt()));
+      break;
+    }
+    case Opcode::kSh: {
+      const std::uint32_t a = data_address();
+      observe_data(a, true);
+      memory_.StoreHalf(a, static_cast<std::uint16_t>(rt()));
+      break;
+    }
+    case Opcode::kSw: {
+      const std::uint32_t a = data_address();
+      observe_data(a, true);
+      memory_.StoreWord(a, rt());
+      break;
+    }
+
+    default:
+      throw ExecutionError("unknown opcode " +
+                           std::to_string(instr.raw >> 26) + " at " +
+                           Hex(pc_));
+  }
+
+  if (instr_class == InstrClass::kBranch && next_pc != pc_ + 4) {
+    ++mix_.branch_taken;
+  }
+  pc_ = next_pc;
+  return true;
+}
+
+}  // namespace abenc::sim

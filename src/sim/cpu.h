@@ -1,0 +1,96 @@
+// MIPS-I-subset interpreter with an address-bus monitor hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/assembler.h"
+#include "sim/memory.h"
+
+namespace abenc::sim {
+
+/// Receives every address the CPU drives on its (multiplexed) address bus,
+/// in program order: one instruction-fetch address per executed
+/// instruction, interleaved with the data addresses of loads and stores.
+class BusObserver {
+ public:
+  virtual ~BusObserver() = default;
+  virtual void OnInstructionFetch(std::uint32_t address) = 0;
+  virtual void OnDataAccess(std::uint32_t address, bool is_store) = 0;
+};
+
+/// Raised for malformed execution: unknown opcode, unaligned access,
+/// PC escaping the text segment, division hazards, step-budget overrun.
+class ExecutionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Why Run() returned.
+enum class StopReason { kBreak, kStepLimit };
+
+/// Per-class retired-instruction counters — the workload characterisation
+/// used to argue the benchmark kernels behave like their namesakes.
+struct InstructionMix {
+  std::uint64_t alu = 0;       // integer ALU incl. immediates and lui
+  std::uint64_t shift = 0;
+  std::uint64_t muldiv = 0;    // mult/multu/div/divu/mfhi/mflo
+  std::uint64_t load = 0;
+  std::uint64_t store = 0;
+  std::uint64_t branch = 0;    // conditional branches
+  std::uint64_t branch_taken = 0;
+  std::uint64_t jump = 0;      // j, jr
+  std::uint64_t call = 0;      // jal, jalr
+  std::uint64_t other = 0;     // break, syscall, nop-like
+
+  std::uint64_t total() const {
+    return alu + shift + muldiv + load + store + branch + jump + call +
+           other;
+  }
+  double taken_ratio() const {
+    return branch == 0 ? 0.0
+                       : static_cast<double>(branch_taken) /
+                             static_cast<double>(branch);
+  }
+};
+
+/// Single-cycle interpreter. Delay slots are not modelled (see isa.h).
+class Cpu {
+ public:
+  explicit Cpu(Memory& memory, BusObserver* observer = nullptr)
+      : memory_(memory), observer_(observer) {}
+
+  /// Load text+data into memory and point the PC at the entry.
+  /// Also initialises $sp, $gp and clears the register file.
+  void LoadProgram(const AssembledProgram& program);
+
+  /// Execute until BREAK or until `max_steps` instructions have retired.
+  StopReason Run(std::uint64_t max_steps);
+
+  /// Execute exactly one instruction; returns false on BREAK.
+  bool Step();
+
+  std::uint32_t pc() const { return pc_; }
+  std::uint32_t reg(unsigned index) const { return regs_[index & 31]; }
+  void set_reg(unsigned index, std::uint32_t value) {
+    if ((index & 31) != 0) regs_[index & 31] = value;
+  }
+  std::uint64_t retired_instructions() const { return retired_; }
+  const InstructionMix& instruction_mix() const { return mix_; }
+
+ private:
+  std::uint32_t FetchWord(std::uint32_t address);
+
+  Memory& memory_;
+  BusObserver* observer_;
+  std::uint32_t regs_[32] = {};
+  std::uint32_t hi_ = 0;
+  std::uint32_t lo_ = 0;
+  std::uint32_t pc_ = kTextBase;
+  std::uint32_t text_end_ = kTextBase;
+  std::uint64_t retired_ = 0;
+  InstructionMix mix_;
+};
+
+}  // namespace abenc::sim

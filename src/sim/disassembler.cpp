@@ -1,0 +1,211 @@
+#include "sim/disassembler.h"
+
+#include <iomanip>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace abenc::sim {
+namespace {
+
+std::string Hex(std::uint32_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+std::string Label(std::uint32_t address) {
+  std::ostringstream out;
+  out << "L_" << std::hex << address;
+  return out.str();
+}
+
+/// Branch target of an I-type branch at `pc`, if the word is a branch.
+std::optional<std::uint32_t> BranchTarget(Instruction i, std::uint32_t pc) {
+  switch (i.opcode()) {
+    case Opcode::kRegImm:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlez:
+    case Opcode::kBgtz:
+      return pc + 4 + (static_cast<std::uint32_t>(i.simmediate()) << 2);
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Jump target of a J-type word at `pc`, if any.
+std::optional<std::uint32_t> JumpTarget(Instruction i, std::uint32_t pc) {
+  if (i.opcode() == Opcode::kJ || i.opcode() == Opcode::kJal) {
+    return (pc & 0xF0000000u) | (i.target() << 2);
+  }
+  return std::nullopt;
+}
+
+/// Core renderer; control-flow targets go through `target_name`.
+template <typename TargetName>
+std::string Render(Instruction i, std::uint32_t pc,
+                   TargetName&& target_name) {
+  std::ostringstream out;
+  const auto rd = [&] { return RegisterName(i.rd()); };
+  const auto rs = [&] { return RegisterName(i.rs()); };
+  const auto rt = [&] { return RegisterName(i.rt()); };
+  const auto simm = [&] { return std::to_string(i.simmediate()); };
+  const auto uimm = [&] { return std::to_string(i.immediate()); };
+  const auto mem = [&] {
+    return std::to_string(i.simmediate()) + "(" + rs() + ")";
+  };
+
+  switch (i.opcode()) {
+    case Opcode::kSpecial:
+      switch (i.funct()) {
+        case Funct::kSll:
+          out << "sll " << rd() << ", " << rt() << ", " << i.shamt();
+          return out.str();
+        case Funct::kSrl:
+          out << "srl " << rd() << ", " << rt() << ", " << i.shamt();
+          return out.str();
+        case Funct::kSra:
+          out << "sra " << rd() << ", " << rt() << ", " << i.shamt();
+          return out.str();
+        case Funct::kSllv:
+          out << "sllv " << rd() << ", " << rt() << ", " << rs();
+          return out.str();
+        case Funct::kSrlv:
+          out << "srlv " << rd() << ", " << rt() << ", " << rs();
+          return out.str();
+        case Funct::kSrav:
+          out << "srav " << rd() << ", " << rt() << ", " << rs();
+          return out.str();
+        case Funct::kJr: return "jr " + rs();
+        case Funct::kJalr: return "jalr " + rs();
+        case Funct::kSyscall: return "syscall";
+        case Funct::kBreak: return "break";
+        case Funct::kMfhi: return "mfhi " + rd();
+        case Funct::kMflo: return "mflo " + rd();
+        case Funct::kMult: return "mult " + rs() + ", " + rt();
+        case Funct::kMultu: return "multu " + rs() + ", " + rt();
+        case Funct::kDiv: return "div " + rs() + ", " + rt();
+        case Funct::kDivu: return "divu " + rs() + ", " + rt();
+        case Funct::kAdd:
+          return "add " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kAddu:
+          return "addu " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kSub:
+          return "sub " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kSubu:
+          return "subu " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kAnd:
+          return "and " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kOr: return "or " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kXor:
+          return "xor " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kNor:
+          return "nor " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kSlt:
+          return "slt " + rd() + ", " + rs() + ", " + rt();
+        case Funct::kSltu:
+          return "sltu " + rd() + ", " + rs() + ", " + rt();
+        default:
+          return ".word " + Hex(i.raw) + "  # unknown funct";
+      }
+    case Opcode::kJ: return "j " + target_name(*JumpTarget(i, pc));
+    case Opcode::kJal: return "jal " + target_name(*JumpTarget(i, pc));
+    case Opcode::kBeq:
+      return "beq " + rs() + ", " + rt() + ", " +
+             target_name(*BranchTarget(i, pc));
+    case Opcode::kBne:
+      return "bne " + rs() + ", " + rt() + ", " +
+             target_name(*BranchTarget(i, pc));
+    case Opcode::kRegImm:
+      return (i.rt() == 0 ? "bltz " : "bgez ") + rs() + ", " +
+             target_name(*BranchTarget(i, pc));
+    case Opcode::kBlez:
+      return "blez " + rs() + ", " + target_name(*BranchTarget(i, pc));
+    case Opcode::kBgtz:
+      return "bgtz " + rs() + ", " + target_name(*BranchTarget(i, pc));
+    case Opcode::kAddi: return "addi " + rt() + ", " + rs() + ", " + simm();
+    case Opcode::kAddiu:
+      return "addiu " + rt() + ", " + rs() + ", " + simm();
+    case Opcode::kSlti: return "slti " + rt() + ", " + rs() + ", " + simm();
+    case Opcode::kSltiu:
+      return "sltiu " + rt() + ", " + rs() + ", " + simm();
+    case Opcode::kAndi: return "andi " + rt() + ", " + rs() + ", " + uimm();
+    case Opcode::kOri: return "ori " + rt() + ", " + rs() + ", " + uimm();
+    case Opcode::kXori: return "xori " + rt() + ", " + rs() + ", " + uimm();
+    case Opcode::kLui: return "lui " + rt() + ", " + uimm();
+    case Opcode::kLb: return "lb " + rt() + ", " + mem();
+    case Opcode::kLh: return "lh " + rt() + ", " + mem();
+    case Opcode::kLw: return "lw " + rt() + ", " + mem();
+    case Opcode::kLbu: return "lbu " + rt() + ", " + mem();
+    case Opcode::kLhu: return "lhu " + rt() + ", " + mem();
+    case Opcode::kSb: return "sb " + rt() + ", " + mem();
+    case Opcode::kSh: return "sh " + rt() + ", " + mem();
+    case Opcode::kSw: return "sw " + rt() + ", " + mem();
+    default:
+      return ".word " + Hex(i.raw) + "  # unknown opcode";
+  }
+}
+
+}  // namespace
+
+std::string Disassemble(Instruction instruction, std::uint32_t pc) {
+  return Render(instruction, pc,
+                [](std::uint32_t target) { return Hex(target); });
+}
+
+std::string DisassembleListing(const AssembledProgram& program) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    const auto pc =
+        program.text_base + static_cast<std::uint32_t>(i * 4);
+    out << Hex(pc) << ": " << std::setw(8) << std::setfill('0') << std::hex
+        << program.text[i] << std::setfill(' ') << std::dec << "  "
+        << Disassemble(Instruction{program.text[i]}, pc) << '\n';
+  }
+  return out.str();
+}
+
+std::string DisassembleProgram(const AssembledProgram& program) {
+  // Pass 1: collect every control-flow target so it gets a label.
+  std::set<std::uint32_t> targets;
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    const auto pc =
+        program.text_base + static_cast<std::uint32_t>(i * 4);
+    const Instruction instr{program.text[i]};
+    if (const auto t = BranchTarget(instr, pc)) targets.insert(*t);
+    if (const auto t = JumpTarget(instr, pc)) targets.insert(*t);
+  }
+
+  std::ostringstream out;
+  out << "        .text\n";
+  for (std::size_t i = 0; i < program.text.size(); ++i) {
+    const auto pc =
+        program.text_base + static_cast<std::uint32_t>(i * 4);
+    if (targets.contains(pc)) out << Label(pc) << ":\n";
+    out << "        "
+        << Render(Instruction{program.text[i]}, pc,
+                  [](std::uint32_t target) { return Label(target); })
+        << '\n';
+  }
+  // A target just past the last instruction (forward branch to the end).
+  const auto end_pc =
+      program.text_base + static_cast<std::uint32_t>(program.text.size() * 4);
+  if (targets.contains(end_pc)) out << Label(end_pc) << ":\n";
+
+  if (!program.data.empty()) {
+    out << "        .data\n";
+    for (std::size_t i = 0; i < program.data.size(); ++i) {
+      if (i % 8 == 0) {
+        out << (i == 0 ? "" : "\n") << "        .byte ";
+      } else {
+        out << ", ";
+      }
+      out << static_cast<unsigned>(program.data[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace abenc::sim

@@ -1,0 +1,27 @@
+// Disassembler for the MIPS subset: single instructions for diagnostics,
+// and whole programs as *re-assemblable* source (synthetic labels for
+// branch/jump targets, data segment as byte dumps). The test-suite proves
+// Assemble(DisassembleProgram(p)) reproduces p bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/assembler.h"
+#include "sim/isa.h"
+
+namespace abenc::sim {
+
+/// One instruction at address `pc`, e.g. "addiu $t0, $t0, 1". Branch and
+/// jump targets are rendered as absolute hex addresses.
+std::string Disassemble(Instruction instruction, std::uint32_t pc);
+
+/// A complete listing: "address: word  text" per line (debugging aid).
+std::string DisassembleListing(const AssembledProgram& program);
+
+/// Re-assemblable source text for the whole program. Control-flow targets
+/// become synthetic labels (L_<hex>); the data segment is emitted as raw
+/// .byte dumps.
+std::string DisassembleProgram(const AssembledProgram& program);
+
+}  // namespace abenc::sim

@@ -1,0 +1,30 @@
+#include "sim/dram.h"
+
+namespace abenc::sim {
+
+AddressTrace ToDramBusTrace(const AddressTrace& accesses,
+                            const DramConfig& config, DramBusStats* stats) {
+  AddressTrace bus(accesses.name());
+  DramBusStats local;
+  bool row_open = false;
+  Word open_row = 0;
+  for (const TraceEntry& e : accesses) {
+    const Word word_address = e.address >> 2;
+    const Word column = word_address & LowMask(config.column_bits);
+    const Word row =
+        (word_address >> config.column_bits) & LowMask(config.row_bits);
+    ++local.accesses;
+    if (!config.open_page || !row_open || row != open_row) {
+      bus.Append(row, AccessKind::kInstruction);  // RAS cycle
+      ++local.row_cycles;
+      row_open = true;
+      open_row = row;
+    }
+    bus.Append(column, AccessKind::kData);  // CAS cycle
+    ++local.column_cycles;
+  }
+  if (stats != nullptr) *stats = local;
+  return bus;
+}
+
+}  // namespace abenc::sim

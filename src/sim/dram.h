@@ -1,0 +1,56 @@
+// DRAM address-bus model: row/column multiplexing behind a memory
+// controller.
+//
+// The paper's introduction places the address bus "off-processor, to
+// access ... the main memory (usually through a memory controller)". A
+// DRAM's address pins are themselves time-multiplexed: the controller
+// drives the row address (RAS cycle), then one or more column addresses
+// (CAS cycles); with an open-page policy consecutive accesses to the same
+// row skip the RAS cycle entirely. This module converts a processor-side
+// data-address stream into the stream actually driven on the narrow DRAM
+// address bus, so every code in the library can be evaluated there — the
+// memory-hierarchy exploration the paper lists as future work.
+//
+// Convention: in the returned trace, AccessKind::kInstruction marks ROW
+// (RAS) cycles and AccessKind::kData marks COLUMN (CAS) cycles; the RAS/
+// CAS strobe plays exactly the role the SEL signal plays on the CPU bus,
+// so the dual codes apply unchanged.
+#pragma once
+
+#include "trace/trace.h"
+
+namespace abenc::sim {
+
+/// Geometry of the modelled DRAM.
+struct DramConfig {
+  unsigned column_bits = 10;  // columns per row (word-granular)
+  unsigned row_bits = 12;
+  bool open_page = true;      // skip RAS when the row is already open
+
+  unsigned bus_width() const {
+    return column_bits > row_bits ? column_bits : row_bits;
+  }
+};
+
+/// Statistics of one conversion.
+struct DramBusStats {
+  std::size_t accesses = 0;
+  std::size_t row_cycles = 0;
+  std::size_t column_cycles = 0;
+
+  double page_hit_rate() const {
+    return accesses == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(row_cycles) /
+                           static_cast<double>(accesses);
+  }
+};
+
+/// Convert a byte-address stream into the row/column stream on the DRAM
+/// address pins. Addresses are word-granular (byte address >> 2); the low
+/// `column_bits` select the column, the next `row_bits` the row.
+AddressTrace ToDramBusTrace(const AddressTrace& accesses,
+                            const DramConfig& config,
+                            DramBusStats* stats = nullptr);
+
+}  // namespace abenc::sim

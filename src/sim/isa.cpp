@@ -1,0 +1,53 @@
+#include "sim/isa.h"
+
+#include <array>
+
+namespace abenc::sim {
+
+std::uint32_t EncodeR(Funct funct, unsigned rd, unsigned rs, unsigned rt,
+                      unsigned shamt) {
+  return (0u << 26) | ((rs & 31u) << 21) | ((rt & 31u) << 16) |
+         ((rd & 31u) << 11) | ((shamt & 31u) << 6) |
+         static_cast<std::uint32_t>(funct);
+}
+
+std::uint32_t EncodeI(Opcode opcode, unsigned rt, unsigned rs,
+                      std::uint16_t immediate) {
+  return (static_cast<std::uint32_t>(opcode) << 26) | ((rs & 31u) << 21) |
+         ((rt & 31u) << 16) | immediate;
+}
+
+std::uint32_t EncodeJ(Opcode opcode, std::uint32_t target) {
+  return (static_cast<std::uint32_t>(opcode) << 26) | (target & 0x03FFFFFFu);
+}
+
+namespace {
+
+constexpr std::array<const char*, 32> kRegisterNames = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+
+}  // namespace
+
+std::optional<unsigned> ParseRegister(const std::string& name) {
+  if (name.size() < 2 || name[0] != '$') return std::nullopt;
+  for (unsigned i = 0; i < kRegisterNames.size(); ++i) {
+    if (name == kRegisterNames[i]) return i;
+  }
+  // Numeric form $0 .. $31.
+  unsigned value = 0;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(name[i] - '0');
+  }
+  if (value > 31) return std::nullopt;
+  return value;
+}
+
+std::string RegisterName(unsigned index) {
+  return index < 32 ? kRegisterNames[index] : "$?";
+}
+
+}  // namespace abenc::sim

@@ -1,0 +1,115 @@
+// MIPS-I-subset instruction set: encodings, mnemonics, register names.
+//
+// The paper measured address streams on "the MIPS RISC" (R4000-class,
+// 32-bit multiplexed address bus). This substrate executes a faithful
+// subset of the MIPS I user-level integer ISA, sufficient to run the nine
+// benchmark kernels of the program library. Two deliberate simplifications
+// are documented in DESIGN.md: no branch delay slots (the assembler never
+// schedules them, and they would only shift the instruction stream by one
+// slot without changing its sequentiality statistics) and no exceptions
+// beyond a halting BREAK.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace abenc::sim {
+
+/// Major opcode field (bits 31..26).
+enum class Opcode : std::uint8_t {
+  kSpecial = 0x00,
+  kRegImm = 0x01,  // rt selects BLTZ (0) / BGEZ (1)
+  kJ = 0x02,
+  kJal = 0x03,
+  kBeq = 0x04,
+  kBne = 0x05,
+  kBlez = 0x06,
+  kBgtz = 0x07,
+  kAddi = 0x08,
+  kAddiu = 0x09,
+  kSlti = 0x0A,
+  kSltiu = 0x0B,
+  kAndi = 0x0C,
+  kOri = 0x0D,
+  kXori = 0x0E,
+  kLui = 0x0F,
+  kLb = 0x20,
+  kLh = 0x21,
+  kLw = 0x23,
+  kLbu = 0x24,
+  kLhu = 0x25,
+  kSb = 0x28,
+  kSh = 0x29,
+  kSw = 0x2B,
+};
+
+/// Function field (bits 5..0) of SPECIAL (R-type) instructions.
+enum class Funct : std::uint8_t {
+  kSll = 0x00,
+  kSrl = 0x02,
+  kSra = 0x03,
+  kSllv = 0x04,
+  kSrlv = 0x06,
+  kSrav = 0x07,
+  kJr = 0x08,
+  kJalr = 0x09,
+  kSyscall = 0x0C,
+  kBreak = 0x0D,
+  kMfhi = 0x10,
+  kMflo = 0x12,
+  kMult = 0x18,
+  kMultu = 0x19,
+  kDiv = 0x1A,
+  kDivu = 0x1B,
+  kAdd = 0x20,
+  kAddu = 0x21,
+  kSub = 0x22,
+  kSubu = 0x23,
+  kAnd = 0x24,
+  kOr = 0x25,
+  kXor = 0x26,
+  kNor = 0x27,
+  kSlt = 0x2A,
+  kSltu = 0x2B,
+};
+
+/// Field extraction from a raw 32-bit instruction word.
+struct Instruction {
+  std::uint32_t raw = 0;
+
+  Opcode opcode() const { return static_cast<Opcode>(raw >> 26); }
+  unsigned rs() const { return (raw >> 21) & 31; }
+  unsigned rt() const { return (raw >> 16) & 31; }
+  unsigned rd() const { return (raw >> 11) & 31; }
+  unsigned shamt() const { return (raw >> 6) & 31; }
+  Funct funct() const { return static_cast<Funct>(raw & 63); }
+  std::uint16_t immediate() const { return static_cast<std::uint16_t>(raw); }
+  std::int32_t simmediate() const {
+    return static_cast<std::int16_t>(raw & 0xFFFF);
+  }
+  std::uint32_t target() const { return raw & 0x03FFFFFF; }
+};
+
+/// Instruction word constructors (used by the assembler and by tests).
+std::uint32_t EncodeR(Funct funct, unsigned rd, unsigned rs, unsigned rt,
+                      unsigned shamt = 0);
+std::uint32_t EncodeI(Opcode opcode, unsigned rt, unsigned rs,
+                      std::uint16_t immediate);
+std::uint32_t EncodeJ(Opcode opcode, std::uint32_t target);
+
+/// Canonical register names: $zero,$at,$v0..$v1,$a0..$a3,$t0..$t9,
+/// $s0..$s7,$k0,$k1,$gp,$sp,$fp,$ra. Numeric forms $0..$31 also parse.
+/// Returns std::nullopt for unknown names.
+std::optional<unsigned> ParseRegister(const std::string& name);
+
+/// Inverse of ParseRegister for diagnostics, e.g. 29 -> "$sp".
+std::string RegisterName(unsigned index);
+
+/// Conventional memory layout shared by the assembler, CPU and programs.
+inline constexpr std::uint32_t kTextBase = 0x00400000;
+inline constexpr std::uint32_t kDataBase = 0x10010000;
+inline constexpr std::uint32_t kStackTop = 0x7FFFEFFC;
+inline constexpr std::uint32_t kGlobalPointer = 0x10018000;
+
+}  // namespace abenc::sim

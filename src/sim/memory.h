@@ -1,0 +1,83 @@
+// Sparse byte-addressable memory for the instruction-set simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace abenc::sim {
+
+/// Lazily allocated 4 KiB pages over the full 32-bit space. Loads from
+/// untouched memory read as zero (matching a zero-filled process image);
+/// all accesses must respect natural alignment, as on a real MIPS.
+class Memory {
+ public:
+  static constexpr std::uint32_t kPageBits = 12;
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+
+  std::uint8_t LoadByte(std::uint32_t address) const {
+    const Page* page = FindPage(address);
+    return page == nullptr ? 0 : (*page)[address & (kPageSize - 1)];
+  }
+
+  std::uint16_t LoadHalf(std::uint32_t address) const {
+    CheckAlignment(address, 2);
+    return static_cast<std::uint16_t>(LoadByte(address)) |
+           static_cast<std::uint16_t>(LoadByte(address + 1) << 8);
+  }
+
+  std::uint32_t LoadWord(std::uint32_t address) const {
+    CheckAlignment(address, 4);
+    return static_cast<std::uint32_t>(LoadByte(address)) |
+           (static_cast<std::uint32_t>(LoadByte(address + 1)) << 8) |
+           (static_cast<std::uint32_t>(LoadByte(address + 2)) << 16) |
+           (static_cast<std::uint32_t>(LoadByte(address + 3)) << 24);
+  }
+
+  void StoreByte(std::uint32_t address, std::uint8_t value) {
+    EnsurePage(address)[address & (kPageSize - 1)] = value;
+  }
+
+  void StoreHalf(std::uint32_t address, std::uint16_t value) {
+    CheckAlignment(address, 2);
+    StoreByte(address, static_cast<std::uint8_t>(value));
+    StoreByte(address + 1, static_cast<std::uint8_t>(value >> 8));
+  }
+
+  void StoreWord(std::uint32_t address, std::uint32_t value) {
+    CheckAlignment(address, 4);
+    StoreByte(address, static_cast<std::uint8_t>(value));
+    StoreByte(address + 1, static_cast<std::uint8_t>(value >> 8));
+    StoreByte(address + 2, static_cast<std::uint8_t>(value >> 16));
+    StoreByte(address + 3, static_cast<std::uint8_t>(value >> 24));
+  }
+
+  std::size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  static void CheckAlignment(std::uint32_t address, std::uint32_t size) {
+    if (address % size != 0) {
+      throw std::runtime_error("unaligned access at address " +
+                               std::to_string(address));
+    }
+  }
+
+  const Page* FindPage(std::uint32_t address) const {
+    const auto it = pages_.find(address >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  Page& EnsurePage(std::uint32_t address) {
+    std::unique_ptr<Page>& slot = pages_[address >> kPageBits];
+    if (slot == nullptr) slot = std::make_unique<Page>();
+    return *slot;
+  }
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace abenc::sim

@@ -1,0 +1,110 @@
+#include "sim/program_library.h"
+
+#include <stdexcept>
+
+#include "sim/cache.h"
+#include "sim/programs.h"
+
+namespace abenc::sim {
+
+const std::vector<BenchmarkProgram>& BenchmarkPrograms() {
+  static const std::vector<BenchmarkProgram> kPrograms = {
+      {"gzip", "LZ77-flavoured compression of a pseudo-random buffer",
+       programs::kGzip, 3'000'000},
+      {"gunzip", "decompression of a synthesised LZ token stream",
+       programs::kGunzip, 1'000'000},
+      {"ghostview", "rasterisation of random shapes into a framebuffer",
+       programs::kGhostview, 1'000'000},
+      {"espresso", "pairwise cube-distance minimisation over bit masks",
+       programs::kEspresso, 3'000'000},
+      {"nova", "greedy FSM state assignment with weighted Hamming cost",
+       programs::kNova, 3'000'000},
+      {"jedi", "swap-improvement symbolic encoding over a weight matrix",
+       programs::kJedi, 4'000'000},
+      {"latex", "paragraph filling, justification and character scanning",
+       programs::kLatex, 1'500'000},
+      {"matlab", "24x24 integer matrix multiply and vector reduction",
+       programs::kMatlab, 1'500'000},
+      {"oracle", "binary-search key lookups with record copies",
+       programs::kOracle, 2'000'000},
+  };
+  return kPrograms;
+}
+
+const std::vector<BenchmarkProgram>& ExtendedBenchmarkPrograms() {
+  static const std::vector<BenchmarkProgram> kPrograms = {
+      {"fft", "Walsh-Hadamard butterflies over 512 words",
+       programs::kFft, 1'000'000},
+      {"qsort", "recursive quicksort with real call frames",
+       programs::kQsort, 2'000'000},
+      {"dhry", "linked-list pointer chasing plus string rounds",
+       programs::kDhry, 1'000'000},
+  };
+  return kPrograms;
+}
+
+const BenchmarkProgram& FindBenchmarkProgram(const std::string& name) {
+  for (const BenchmarkProgram& p : BenchmarkPrograms()) {
+    if (p.name == name) return p;
+  }
+  for (const BenchmarkProgram& p : ExtendedBenchmarkPrograms()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("no benchmark program named '" + name + "'");
+}
+
+ProgramTraces RunBenchmark(const BenchmarkProgram& program) {
+  const AssembledProgram assembled = Assemble(program.source);
+  Memory memory;
+  BusMonitor monitor(program.name);
+  Cpu cpu(memory, &monitor);
+  cpu.LoadProgram(assembled);
+  const StopReason reason = cpu.Run(program.step_budget);
+  if (reason != StopReason::kBreak) {
+    throw ExecutionError("benchmark '" + program.name +
+                         "' exhausted its step budget of " +
+                         std::to_string(program.step_budget));
+  }
+  ProgramTraces traces;
+  traces.instruction = monitor.instruction_trace();
+  traces.data = monitor.data_trace();
+  traces.multiplexed = monitor.multiplexed_trace();
+  traces.retired_instructions = cpu.retired_instructions();
+  traces.mix = cpu.instruction_mix();
+  return traces;
+}
+
+CachedProgramTraces RunBenchmarkWithCaches(const BenchmarkProgram& program,
+                                           const CacheConfig& icache,
+                                           const CacheConfig& dcache) {
+  const AssembledProgram assembled = Assemble(program.source);
+  Memory memory;
+  CacheFilteredMonitor monitor(icache, dcache, program.name);
+  Cpu cpu(memory, &monitor);
+  cpu.LoadProgram(assembled);
+  if (cpu.Run(program.step_budget) != StopReason::kBreak) {
+    throw ExecutionError("benchmark '" + program.name +
+                         "' exhausted its step budget of " +
+                         std::to_string(program.step_budget));
+  }
+  CachedProgramTraces result;
+  result.external.instruction = monitor.instruction_trace();
+  result.external.data = monitor.data_trace();
+  result.external.multiplexed = monitor.multiplexed_trace();
+  result.external.retired_instructions = cpu.retired_instructions();
+  result.external.mix = cpu.instruction_mix();
+  result.icache_miss_rate = monitor.icache().stats().miss_rate();
+  result.dcache_miss_rate = monitor.dcache().stats().miss_rate();
+  return result;
+}
+
+std::vector<ProgramTraces> RunAllBenchmarks() {
+  std::vector<ProgramTraces> all;
+  all.reserve(BenchmarkPrograms().size());
+  for (const BenchmarkProgram& p : BenchmarkPrograms()) {
+    all.push_back(RunBenchmark(p));
+  }
+  return all;
+}
+
+}  // namespace abenc::sim

@@ -1,0 +1,22 @@
+// Internal: assembly sources of the embedded benchmarks (see
+// program_library.h for the public interface).
+#pragma once
+
+namespace abenc::sim::programs {
+
+extern const char kGzip[];       // LZ77-flavoured compression
+extern const char kGunzip[];     // token-stream decompression
+extern const char kGhostview[];  // framebuffer rasterisation
+extern const char kEspresso[];   // two-level cube-list minimisation
+extern const char kNova[];       // greedy state assignment
+extern const char kJedi[];       // swap-improvement symbolic encoding
+extern const char kLatex[];      // paragraph breaking / justification
+extern const char kMatlab[];     // dense linear algebra
+extern const char kOracle[];     // indexed key lookup / record copy
+
+// Extra kernels beyond the paper's nine (extension benches, tests):
+extern const char kFft[];        // Walsh-Hadamard butterfly transform
+extern const char kQsort[];      // recursive quicksort, real call frames
+extern const char kDhry[];       // strings + linked-list pointer chasing
+
+}  // namespace abenc::sim::programs

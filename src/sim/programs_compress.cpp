@@ -1,0 +1,340 @@
+// Benchmark kernels with the workload character of text/stream tools:
+// gzip (compression), gunzip (decompression), latex (typesetting).
+#include "sim/programs.h"
+
+namespace abenc::sim::programs {
+
+// ---------------------------------------------------------------------------
+// gzip: LZ77-flavoured compression. A pseudo-random buffer over a small
+// alphabet is scanned position by position; a backward window is searched
+// for the longest match, which is emitted as a (255, offset, length) token,
+// otherwise a literal byte is copied. The inner match loops produce the
+// byte-granular, branch-heavy behaviour of the real compressor; the
+// position index is spilled to the stack each iteration like a -O0 local.
+// ---------------------------------------------------------------------------
+const char kGzip[] = R"(
+        .data
+src:    .space 1024
+dst:    .space 2048
+        .text
+main:
+        subi $sp, $sp, 32
+        # ---- generate compressible input ----
+        la   $s0, src              # s0 = src base
+        li   $s1, 1024             # s1 = input length
+        li   $t0, 12345            # t0 = LCG state
+        li   $s2, 0                # s2 = i
+gen_loop:
+        bge  $s2, $s1, gen_done
+        li   $t1, 1103515245
+        mul  $t0, $t0, $t1
+        addiu $t0, $t0, 12345
+        srl  $t2, $t0, 16
+        andi $t2, $t2, 7           # alphabet of 8 symbols -> repeats
+        add  $t3, $s0, $s2
+        sb   $t2, 0($t3)
+        addiu $s2, $s2, 1
+        b    gen_loop
+gen_done:
+        # ---- compress ----
+        la   $s3, dst              # s3 = output pointer
+        li   $s2, 0                # i = 0
+comp_loop:
+        bge  $s2, $s1, comp_done
+        sw   $s2, 0($sp)           # spill i ("automatic variable")
+        li   $s4, 0                # best_len
+        li   $s5, 0                # best_off
+        li   $s6, 1                # off
+off_loop:
+        li   $t1, 32
+        bgt  $s6, $t1, off_done    # window of 32 bytes
+        bgt  $s6, $s2, off_done    # cannot look before the start
+        li   $s7, 0                # len
+len_loop:
+        add  $t2, $s2, $s7         # i + len
+        bge  $t2, $s1, len_done
+        li   $t3, 24
+        bge  $s7, $t3, len_done
+        sub  $t4, $t2, $s6         # i + len - off
+        add  $t5, $s0, $t4
+        lb   $t5, 0($t5)
+        add  $t6, $s0, $t2
+        lb   $t6, 0($t6)
+        bne  $t5, $t6, len_done
+        addiu $s7, $s7, 1
+        b    len_loop
+len_done:
+        ble  $s7, $s4, off_next
+        move $s4, $s7
+        move $s5, $s6
+off_next:
+        addiu $s6, $s6, 1
+        b    off_loop
+off_done:
+        lw   $s2, 0($sp)           # reload i
+        li   $t1, 3
+        blt  $s4, $t1, emit_lit
+        li   $t2, 255              # match token
+        sb   $t2, 0($s3)
+        sb   $s5, 1($s3)
+        sb   $s4, 2($s3)
+        addiu $s3, $s3, 3
+        add  $s2, $s2, $s4         # i += best_len
+        b    comp_loop
+emit_lit:
+        add  $t2, $s0, $s2
+        lb   $t3, 0($t2)
+        sb   $t3, 0($s3)
+        addiu $s3, $s3, 1
+        addiu $s2, $s2, 1
+        b    comp_loop
+comp_done:
+        addi $sp, $sp, 32
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// gunzip: decodes a synthesised LZ token stream (literals and
+// (255, offset, length) matches) into an output buffer, the copy loops
+// reproducing the decompressor's mixture of short sequential bursts and
+// backward references.
+// ---------------------------------------------------------------------------
+const char kGunzip[] = R"(
+        .data
+tok:    .space 6144
+out:    .space 16384
+        .text
+main:
+        subi $sp, $sp, 16
+        # ---- synthesise the token stream ----
+        la   $s0, tok
+        li   $t0, 99               # LCG state
+        li   $s1, 0                # write index into tok
+        li   $s2, 2000             # tokens to produce
+tgen_loop:
+        blez $s2, tgen_done
+        li   $t1, 1103515245
+        mul  $t0, $t0, $t1
+        addiu $t0, $t0, 12345
+        srl  $t2, $t0, 16
+        andi $t3, $t2, 3
+        beqz $t3, tgen_match
+        andi $t4, $t2, 127         # literal byte 0..127
+        add  $t5, $s0, $s1
+        sb   $t4, 0($t5)
+        addiu $s1, $s1, 1
+        b    tgen_next
+tgen_match:
+        add  $t5, $s0, $s1
+        li   $t6, 255
+        sb   $t6, 0($t5)
+        srl  $t7, $t2, 7
+        andi $t7, $t7, 31
+        addiu $t7, $t7, 1          # offset 1..32
+        sb   $t7, 1($t5)
+        srl  $t8, $t2, 3
+        andi $t8, $t8, 15
+        addiu $t8, $t8, 3          # length 3..18
+        sb   $t8, 2($t5)
+        addiu $s1, $s1, 3
+tgen_next:
+        subi $s2, $s2, 1
+        b    tgen_loop
+tgen_done:
+        # ---- decode ----
+        la   $s3, out
+        li   $s4, 0                # output index
+        li   $s5, 0                # token index
+        li   $t0, 0                # seed 64 bytes of history
+seed_loop:
+        li   $t1, 64
+        bge  $t0, $t1, seed_done
+        add  $t2, $s3, $s4
+        sb   $t0, 0($t2)
+        addiu $s4, $s4, 1
+        addiu $t0, $t0, 1
+        b    seed_loop
+seed_done:
+dec_loop:
+        bge  $s5, $s1, dec_done
+        sw   $s4, 0($sp)           # spill output index
+        add  $t0, $s0, $s5
+        lbu  $t1, 0($t0)
+        li   $t2, 255
+        beq  $t1, $t2, dec_match
+        add  $t3, $s3, $s4
+        sb   $t1, 0($t3)
+        addiu $s4, $s4, 1
+        addiu $s5, $s5, 1
+        b    dec_loop
+dec_match:
+        lbu  $t4, 1($t0)           # offset
+        lbu  $t5, 2($t0)           # length
+        addiu $s5, $s5, 3
+copy_loop:
+        blez $t5, dec_loop
+        sub  $t6, $s4, $t4
+        add  $t6, $s3, $t6
+        lbu  $t7, 0($t6)
+        add  $t8, $s3, $s4
+        sb   $t7, 0($t8)
+        addiu $s4, $s4, 1
+        subi $t5, $t5, 1
+        b    copy_loop
+dec_done:
+        addi $sp, $sp, 16
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// latex: paragraph filling. A pseudo-random text of words over a small
+// alphabet is produced, then greedily broken into justified lines of 72
+// columns using a per-character width table; a final pass classifies
+// characters (vowel/consonant) as a stand-in for hyphenation scanning.
+// ---------------------------------------------------------------------------
+const char kLatex[] = R"(
+        .data
+text:   .space 4096
+lines:  .space 8192
+widths: .space 32              # per-symbol width table
+class:  .space 32              # per-symbol class table
+nlines: .word 0
+        .text
+main:
+        subi $sp, $sp, 24
+        # ---- width and class tables ----
+        li   $t0, 0
+tab_loop:
+        li   $t1, 32
+        bge  $t0, $t1, tab_done
+        andi $t2, $t0, 3
+        addiu $t2, $t2, 1          # widths 1..4
+        la   $t3, widths
+        add  $t3, $t3, $t0
+        sb   $t2, 0($t3)
+        andi $t4, $t0, 7
+        sltiu $t4, $t4, 3          # ~3 of 8 symbols are "vowels"
+        la   $t5, class
+        add  $t5, $t5, $t0
+        sb   $t4, 0($t5)
+        addiu $t0, $t0, 1
+        b    tab_loop
+tab_done:
+        # ---- generate text: words of 2..9 symbols separated by spaces ----
+        la   $s0, text
+        li   $s1, 4000             # text length budget
+        li   $t0, 4242             # LCG state
+        li   $s2, 0                # index
+gen_word:
+        bge  $s2, $s1, gen_done
+        li   $t1, 1103515245
+        mul  $t0, $t0, $t1
+        addiu $t0, $t0, 12345
+        srl  $t2, $t0, 16
+        andi $t3, $t2, 7
+        addiu $t3, $t3, 2          # word length 2..9
+gen_char:
+        blez $t3, gen_space
+        bge  $s2, $s1, gen_done
+        li   $t1, 1103515245
+        mul  $t0, $t0, $t1
+        addiu $t0, $t0, 12345
+        srl  $t4, $t0, 18
+        andi $t4, $t4, 31          # symbol 0..31
+        add  $t5, $s0, $s2
+        sb   $t4, 0($t5)
+        addiu $s2, $s2, 1
+        subi $t3, $t3, 1
+        b    gen_char
+gen_space:
+        bge  $s2, $s1, gen_done
+        li   $t6, 32               # space marker (value 32)
+        add  $t5, $s0, $s2
+        sb   $t6, 0($t5)
+        addiu $s2, $s2, 1
+        b    gen_word
+gen_done:
+        move $s1, $s2              # actual text length
+        # ---- greedy line breaking with justification copy ----
+        la   $s3, lines            # output pointer
+        li   $s4, 0                # text index
+        li   $s5, 0                # line count
+line_loop:
+        bge  $s4, $s1, break_done
+        sw   $s4, 0($sp)           # spill text index
+        li   $s6, 0                # column width used
+        move $s7, $s4              # line start
+fill_loop:
+        bge  $s4, $s1, fill_done
+        add  $t0, $s0, $s4
+        lbu  $t1, 0($t0)
+        li   $t2, 32
+        beq  $t1, $t2, fill_space
+        la   $t3, widths
+        add  $t3, $t3, $t1
+        lbu  $t4, 0($t3)
+        add  $s6, $s6, $t4
+        li   $t5, 72
+        bgt  $s6, $t5, fill_done
+        addiu $s4, $s4, 1
+        b    fill_loop
+fill_space:
+        addiu $s6, $s6, 1
+        li   $t5, 72
+        bgt  $s6, $t5, fill_done
+        addiu $s4, $s4, 1
+        b    fill_loop
+fill_done:
+        # copy [s7, s4) to the output, then a newline marker
+        move $t6, $s7
+copy_line:
+        bge  $t6, $s4, copy_done
+        add  $t7, $s0, $t6
+        lbu  $t8, 0($t7)
+        add  $t9, $s3, $zero
+        sb   $t8, 0($t9)
+        addiu $s3, $s3, 1
+        addiu $t6, $t6, 1
+        b    copy_line
+copy_done:
+        li   $t8, 10
+        sb   $t8, 0($s3)
+        addiu $s3, $s3, 1
+        addiu $s5, $s5, 1
+        lw   $t0, 0($sp)           # reload (unused, models -O0 traffic)
+        bgt  $s4, $s7, line_loop   # made progress?
+        addiu $s4, $s4, 1          # safety: skip a pathological char
+        b    line_loop
+break_done:
+        la   $t0, nlines
+        sw   $s5, 0($t0)
+        # ---- hyphenation-style classification scan ----
+        li   $s4, 0
+        li   $s5, 0                # vowel-consonant boundary count
+scan_loop:
+        subi $t0, $s1, 1
+        bge  $s4, $t0, scan_done
+        add  $t1, $s0, $s4
+        lbu  $t2, 0($t1)
+        li   $t3, 32
+        beq  $t2, $t3, scan_next
+        la   $t4, class
+        add  $t4, $t4, $t2
+        lbu  $t5, 0($t4)
+        add  $t6, $s0, $s4
+        lbu  $t7, 1($t6)
+        beq  $t7, $t3, scan_next
+        la   $t8, class
+        add  $t8, $t8, $t7
+        lbu  $t9, 0($t8)
+        beq  $t5, $t9, scan_next
+        addiu $s5, $s5, 1
+scan_next:
+        addiu $s4, $s4, 1
+        b    scan_loop
+scan_done:
+        addi $sp, $sp, 24
+        halt
+)";
+
+}  // namespace abenc::sim::programs

@@ -1,0 +1,426 @@
+// Benchmark kernels with the workload character of CAD tools:
+// espresso (two-level minimisation), nova (state assignment),
+// jedi (symbolic encoding).
+#include "sim/programs.h"
+
+namespace abenc::sim::programs {
+
+// ---------------------------------------------------------------------------
+// espresso: cube-list minimisation flavour. 64 two-word cubes are compared
+// pairwise; near cubes (small Hamming distance between their bit masks,
+// computed with Kernighan popcount loops) are merged in place. The inner
+// loop index is spilled to the stack like a -O0 local.
+// ---------------------------------------------------------------------------
+const char kEspresso[] = R"(
+        .data
+cubes:  .space 512             # 64 cubes x 2 words
+merges: .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, cubes
+        li   $s1, 64
+        # ---- random cube masks ----
+        li   $t0, 31
+        li   $t1, 0
+init_loop:
+        bge  $t1, $s1, init_done
+        li   $t2, 1103515245
+        mul  $t0, $t0, $t2
+        addiu $t0, $t0, 12345
+        sll  $t3, $t1, 3
+        add  $t3, $s0, $t3
+        srl  $t5, $t0, 1          # sparse masks (~8 bits/word): cubes
+        and  $t5, $t5, $t0        # represent few care-literals
+        sw   $t5, 0($t3)
+        srl  $t4, $t0, 13
+        srl  $t6, $t4, 1
+        and  $t6, $t6, $t4
+        sw   $t6, 4($t3)
+        addiu $t1, $t1, 1
+        b    init_loop
+init_done:
+        # ---- pairwise distance / merge ----
+        li   $s2, 0              # i
+        li   $s6, 0              # merge count
+outer:
+        subi $t0, $s1, 1
+        bge  $s2, $t0, outer_done
+        sll  $t1, $s2, 3
+        add  $s3, $s0, $t1       # &cube[i]
+        addiu $s4, $s2, 1        # j
+inner:
+        bge  $s4, $s1, inner_done
+        sw   $s4, 0($sp)         # spill j
+        sll  $t2, $s4, 3
+        add  $s5, $s0, $t2       # &cube[j]
+        lw   $t3, 0($s3)
+        lw   $t4, 0($s5)
+        xor  $t5, $t3, $t4
+        lw   $t6, 4($s3)
+        lw   $t7, 4($s5)
+        xor  $t8, $t6, $t7
+        li   $s7, 0              # distance
+pc1:
+        beqz $t5, pc1_done
+        subi $t9, $t5, 1
+        and  $t5, $t5, $t9
+        addiu $s7, $s7, 1
+        b    pc1
+pc1_done:
+pc2:
+        beqz $t8, pc2_done
+        subi $t9, $t8, 1
+        and  $t8, $t8, $t9
+        addiu $s7, $s7, 1
+        b    pc2
+pc2_done:
+        li   $t9, 12
+        bge  $s7, $t9, no_merge
+        lw   $t3, 0($s3)         # merge: i |= j
+        lw   $t4, 0($s5)
+        or   $t3, $t3, $t4
+        sw   $t3, 0($s3)
+        lw   $t6, 4($s3)
+        lw   $t7, 4($s5)
+        or   $t6, $t6, $t7
+        sw   $t6, 4($s3)
+        addiu $s6, $s6, 1
+no_merge:
+        lw   $s4, 0($sp)         # reload j
+        addiu $s4, $s4, 1
+        b    inner
+inner_done:
+        addiu $s2, $s2, 1
+        b    outer
+outer_done:
+        la   $t0, merges
+        sw   $s6, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// nova: greedy state assignment. A random symmetric 32x32 transition
+// weight matrix is built; states are assigned 5-bit codes one at a time,
+// each taking the unused code that minimises the weighted Hamming cost
+// against the already-assigned states (popcount via a lookup table).
+// ---------------------------------------------------------------------------
+const char kNova[] = R"(
+        .data
+wmat:   .space 4096            # 32x32 word weights
+codes:  .space 128             # assigned code per state
+used:   .space 128             # code-in-use flags
+pctab:  .space 32              # popcount of 0..31
+cost:   .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        # ---- popcount table ----
+        li   $t0, 0
+pt_loop:
+        li   $t1, 32
+        bge  $t0, $t1, pt_done
+        move $t2, $t0
+        li   $t3, 0
+pt_inner:
+        beqz $t2, pt_store
+        subi $t4, $t2, 1
+        and  $t2, $t2, $t4
+        addiu $t3, $t3, 1
+        b    pt_inner
+pt_store:
+        la   $t5, pctab
+        add  $t5, $t5, $t0
+        sb   $t3, 0($t5)
+        addiu $t0, $t0, 1
+        b    pt_loop
+pt_done:
+        # ---- random weights ----
+        la   $s0, wmat
+        li   $t0, 777
+        li   $t1, 0              # i
+wi_loop:
+        li   $t9, 32
+        bge  $t1, $t9, wi_done
+        li   $t2, 0              # j
+wj_loop:
+        li   $t9, 32
+        bge  $t2, $t9, wj_done
+        li   $t3, 1103515245
+        mul  $t0, $t0, $t3
+        addiu $t0, $t0, 12345
+        srl  $t4, $t0, 20
+        andi $t4, $t4, 255
+        sll  $t5, $t1, 7
+        sll  $t6, $t2, 2
+        add  $t5, $t5, $t6
+        add  $t5, $s0, $t5
+        sw   $t4, 0($t5)
+        addiu $t2, $t2, 1
+        b    wj_loop
+wj_done:
+        addiu $t1, $t1, 1
+        b    wi_loop
+wi_done:
+        # ---- greedy assignment ----
+        la   $s1, codes
+        la   $s2, used
+        li   $s3, 0              # state s
+assign_loop:
+        li   $t9, 32
+        bge  $s3, $t9, assign_done
+        sw   $s3, 0($sp)         # spill state index
+        li   $s4, -1             # best code
+        li   $s5, 99999999       # best cost
+        li   $s6, 0              # candidate code
+cand_loop:
+        li   $t9, 32
+        bge  $s6, $t9, cand_done
+        sll  $t0, $s6, 2
+        add  $t0, $s2, $t0
+        lw   $t1, 0($t0)
+        bnez $t1, cand_next      # code already used
+        li   $s7, 0              # assigned state u
+        li   $t8, 0              # accumulated cost
+cost_loop:
+        bge  $s7, $s3, cost_done
+        sll  $t2, $s3, 7
+        sll  $t3, $s7, 2
+        add  $t2, $t2, $t3
+        add  $t2, $s0, $t2
+        lw   $t4, 0($t2)         # w[s][u]
+        sll  $t5, $s7, 2
+        add  $t5, $s1, $t5
+        lw   $t6, 0($t5)         # code[u]
+        xor  $t6, $t6, $s6
+        la   $t7, pctab
+        add  $t7, $t7, $t6
+        lbu  $t7, 0($t7)
+        mul  $t4, $t4, $t7
+        add  $t8, $t8, $t4
+        addiu $s7, $s7, 1
+        b    cost_loop
+cost_done:
+        bge  $t8, $s5, cand_next
+        move $s5, $t8
+        move $s4, $s6
+cand_next:
+        addiu $s6, $s6, 1
+        b    cand_loop
+cand_done:
+        sll  $t0, $s3, 2
+        add  $t0, $s1, $t0
+        sw   $s4, 0($t0)
+        sll  $t1, $s4, 2
+        add  $t1, $s2, $t1
+        li   $t2, 1
+        sw   $t2, 0($t1)
+        lw   $s3, 0($sp)         # reload state index
+        addiu $s3, $s3, 1
+        b    assign_loop
+assign_done:
+        # ---- final cost over the full matrix ----
+        li   $s3, 0
+        li   $s6, 0
+tc_i:
+        li   $t9, 32
+        bge  $s3, $t9, tc_done
+        li   $s7, 0
+tc_j:
+        li   $t9, 32
+        bge  $s7, $t9, tc_j_done
+        sll  $t2, $s3, 7
+        sll  $t3, $s7, 2
+        add  $t2, $t2, $t3
+        add  $t2, $s0, $t2
+        lw   $t4, 0($t2)
+        sll  $t5, $s3, 2
+        add  $t5, $s1, $t5
+        lw   $t6, 0($t5)
+        sll  $t7, $s7, 2
+        add  $t7, $s1, $t7
+        lw   $t8, 0($t7)
+        xor  $t6, $t6, $t8
+        andi $t6, $t6, 31
+        la   $t7, pctab
+        add  $t7, $t7, $t6
+        lbu  $t7, 0($t7)
+        mul  $t4, $t4, $t7
+        add  $s6, $s6, $t4
+        addiu $s7, $s7, 1
+        b    tc_j
+tc_j_done:
+        addiu $s3, $s3, 1
+        b    tc_i
+tc_done:
+        la   $t0, cost
+        sw   $s6, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// jedi: symbolic encoding by swap improvement. 24 symbols start with the
+// identity code assignment; random pairs are swapped and the weighted
+// Hamming cost of the two touched rows is recomputed, keeping the swap
+// when it helps — the classic iterative-improvement inner loop.
+// ---------------------------------------------------------------------------
+const char kJedi[] = R"(
+        .data
+wmat:   .space 2304            # 24x24 word weights
+codes:  .space 96              # code per symbol
+pctab:  .space 32
+accept: .word 0
+        .text
+main:
+        subi $sp, $sp, 24
+        # ---- popcount table ----
+        li   $t0, 0
+pt_loop:
+        li   $t1, 32
+        bge  $t0, $t1, pt_done
+        move $t2, $t0
+        li   $t3, 0
+pt_inner:
+        beqz $t2, pt_store
+        subi $t4, $t2, 1
+        and  $t2, $t2, $t4
+        addiu $t3, $t3, 1
+        b    pt_inner
+pt_store:
+        la   $t5, pctab
+        add  $t5, $t5, $t0
+        sb   $t3, 0($t5)
+        addiu $t0, $t0, 1
+        b    pt_loop
+pt_done:
+        # ---- random weights, identity codes ----
+        la   $s0, wmat
+        la   $s1, codes
+        li   $t0, 1234
+        li   $t1, 0
+wi_loop:
+        li   $t9, 24
+        bge  $t1, $t9, wi_done
+        sll  $t5, $t1, 2
+        add  $t5, $s1, $t5
+        sw   $t1, 0($t5)         # codes[i] = i
+        li   $t2, 0
+wj_loop:
+        li   $t9, 24
+        bge  $t2, $t9, wj_done
+        li   $t3, 1103515245
+        mul  $t0, $t0, $t3
+        addiu $t0, $t0, 12345
+        srl  $t4, $t0, 21
+        andi $t4, $t4, 127
+        mul  $t6, $t1, $t9       # i*24 (t9 == 24 here)
+        add  $t6, $t6, $t2
+        sll  $t6, $t6, 2
+        add  $t6, $s0, $t6
+        sw   $t4, 0($t6)
+        addiu $t2, $t2, 1
+        b    wj_loop
+wj_done:
+        addiu $t1, $t1, 1
+        b    wi_loop
+wi_done:
+        # ---- swap improvement ----
+        li   $s2, 400            # iterations
+        li   $s6, 0              # accepted swaps
+sw_loop:
+        blez $s2, sw_done
+        li   $t3, 1103515245
+        mul  $t0, $t0, $t3
+        addiu $t0, $t0, 12345
+        srl  $t1, $t0, 16
+        li   $t9, 24
+        divq $t2, $t1, $t9
+        rem  $s3, $t1, $t9       # a
+        srl  $t1, $t0, 8
+        rem  $s4, $t1, $t9       # b
+        beq  $s3, $s4, sw_next
+        # old cost of rows a and b
+        move $a0, $s3
+        jal  rowcost
+        move $s5, $v0
+        move $a0, $s4
+        jal  rowcost
+        add  $s5, $s5, $v0       # old
+        # swap codes[a], codes[b]
+        sll  $t5, $s3, 2
+        add  $t5, $s1, $t5
+        sll  $t6, $s4, 2
+        add  $t6, $s1, $t6
+        lw   $t7, 0($t5)
+        lw   $t8, 0($t6)
+        sw   $t8, 0($t5)
+        sw   $t7, 0($t6)
+        # new cost
+        move $a0, $s3
+        jal  rowcost
+        move $s7, $v0
+        move $a0, $s4
+        jal  rowcost
+        add  $s7, $s7, $v0       # new
+        ble  $s7, $s5, sw_keep
+        # revert
+        sll  $t5, $s3, 2
+        add  $t5, $s1, $t5
+        sll  $t6, $s4, 2
+        add  $t6, $s1, $t6
+        lw   $t7, 0($t5)
+        lw   $t8, 0($t6)
+        sw   $t8, 0($t5)
+        sw   $t7, 0($t6)
+        b    sw_next
+sw_keep:
+        addiu $s6, $s6, 1
+sw_next:
+        subi $s2, $s2, 1
+        b    sw_loop
+sw_done:
+        la   $t0, accept
+        sw   $s6, 0($t0)
+        addi $sp, $sp, 24
+        halt
+
+# ---- int rowcost(int a): weighted Hamming cost of row a ----
+rowcost:
+        subi $sp, $sp, 16
+        sw   $ra, 12($sp)
+        sw   $a0, 8($sp)         # spill argument like -O0
+        li   $v0, 0
+        li   $t1, 0              # j
+        sll  $t2, $a0, 2
+        add  $t2, $s1, $t2
+        lw   $t3, 0($t2)         # codes[a]
+rc_loop:
+        li   $t9, 24
+        bge  $t1, $t9, rc_done
+        lw   $t4, 8($sp)         # reload a
+        mul  $t5, $t4, $t9
+        add  $t5, $t5, $t1
+        sll  $t5, $t5, 2
+        add  $t5, $s0, $t5
+        lw   $t6, 0($t5)         # w[a][j]
+        sll  $t7, $t1, 2
+        add  $t7, $s1, $t7
+        lw   $t8, 0($t7)         # codes[j]
+        xor  $t8, $t8, $t3
+        andi $t8, $t8, 31
+        la   $t4, pctab
+        add  $t4, $t4, $t8
+        lbu  $t4, 0($t4)
+        mul  $t6, $t6, $t4
+        add  $v0, $v0, $t6
+        addiu $t1, $t1, 1
+        b    rc_loop
+rc_done:
+        lw   $ra, 12($sp)
+        addi $sp, $sp, 16
+        jr   $ra
+)";
+
+}  // namespace abenc::sim::programs

@@ -1,0 +1,269 @@
+// Extra benchmark kernels beyond the paper's nine, used by the extension
+// benches and the toolchain tests: fft (Walsh-Hadamard butterflies),
+// qsort (recursive quicksort with real call frames), dhry
+// (Dhrystone-flavoured strings + linked-list walking).
+#include "sim/programs.h"
+
+namespace abenc::sim::programs {
+
+// ---------------------------------------------------------------------------
+// fft: in-place Walsh-Hadamard transform over 512 words — the radix-2
+// butterfly access pattern of an FFT (pairs at distance len, len doubling
+// per stage) without the twiddle arithmetic, scaled to stay in range.
+// ---------------------------------------------------------------------------
+const char kFft[] = R"(
+        .data
+buf:    .space 2048            # 512 words
+chk:    .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, buf
+        li   $s1, 512            # n
+        li   $t0, 2021           # LCG state
+        li   $t1, 0
+fill:
+        bge  $t1, $s1, fill_done
+        li   $t2, 1103515245
+        mul  $t0, $t0, $t2
+        addiu $t0, $t0, 12345
+        srl  $t3, $t0, 18
+        andi $t3, $t3, 1023
+        sll  $t4, $t1, 2
+        add  $t5, $s0, $t4
+        sw   $t3, 0($t5)
+        addiu $t1, $t1, 1
+        b    fill
+fill_done:
+        li   $s2, 1              # len (half-block size)
+stage:
+        bge  $s2, $s1, stages_done
+        li   $s3, 0              # block start i
+block:
+        bge  $s3, $s1, stage_next
+        li   $s4, 0              # j within half-block
+bfly:
+        bge  $s4, $s2, block_next
+        add  $t1, $s3, $s4       # index a
+        add  $t2, $t1, $s2       # index b
+        sll  $t3, $t1, 2
+        add  $t3, $s0, $t3
+        lw   $t5, 0($t3)
+        sll  $t4, $t2, 2
+        add  $t4, $s0, $t4
+        lw   $t6, 0($t4)
+        add  $t7, $t5, $t6
+        sub  $t8, $t5, $t6
+        sra  $t7, $t7, 1         # scale each stage
+        sra  $t8, $t8, 1
+        sw   $t7, 0($t3)
+        sw   $t8, 0($t4)
+        addiu $s4, $s4, 1
+        b    bfly
+block_next:
+        sll  $t9, $s2, 1
+        add  $s3, $s3, $t9       # i += 2*len
+        b    block
+stage_next:
+        sll  $s2, $s2, 1
+        b    stage
+stages_done:
+        # checksum the spectrum
+        li   $t1, 0
+        li   $s5, 0
+csum:
+        bge  $t1, $s1, csum_done
+        sll  $t2, $t1, 2
+        add  $t3, $s0, $t2
+        lw   $t4, 0($t3)
+        li   $t9, 31
+        mul  $s5, $s5, $t9
+        add  $s5, $s5, $t4
+        addiu $t1, $t1, 1
+        b    csum
+csum_done:
+        la   $t0, chk
+        sw   $s5, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// qsort: recursive Lomuto quicksort over 512 pseudo-random words, with
+// genuine call frames (jal/jr, $sp traffic) — the deepest stack activity
+// in the library. The final pass stores 1 into `sorted` iff the array is
+// non-decreasing.
+// ---------------------------------------------------------------------------
+const char kQsort[] = R"(
+        .data
+arr:    .space 2048            # 512 words
+sorted: .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, arr
+        li   $s1, 512
+        li   $t0, 777            # LCG state
+        li   $t1, 0
+qfill:
+        bge  $t1, $s1, qfill_done
+        li   $t2, 1103515245
+        mul  $t0, $t0, $t2
+        addiu $t0, $t0, 12345
+        srl  $t3, $t0, 15
+        andi $t3, $t3, 8191
+        sll  $t4, $t1, 2
+        add  $t5, $s0, $t4
+        sw   $t3, 0($t5)
+        addiu $t1, $t1, 1
+        b    qfill
+qfill_done:
+        li   $a0, 0              # lo
+        subi $a1, $s1, 1         # hi
+        jal  qsort
+        li   $t1, 1              # verify sortedness
+        li   $t6, 1
+vloop:
+        bge  $t1, $s1, vdone
+        sll  $t2, $t1, 2
+        add  $t3, $s0, $t2
+        lw   $t4, 0($t3)
+        lw   $t5, -4($t3)
+        bge  $t4, $t5, vnext
+        li   $t6, 0
+vnext:
+        addiu $t1, $t1, 1
+        b    vloop
+vdone:
+        la   $t0, sorted
+        sw   $t6, 0($t0)
+        addi $sp, $sp, 16
+        halt
+
+# ---- void qsort(int lo = $a0, int hi = $a1), array base in $s0 ----
+qsort:
+        bge  $a0, $a1, qs_leaf
+        subi $sp, $sp, 16
+        sw   $ra, 12($sp)
+        sw   $a0, 8($sp)
+        sw   $a1, 4($sp)
+        sll  $t0, $a1, 2         # partition: pivot = arr[hi]
+        add  $t0, $s0, $t0
+        lw   $t1, 0($t0)
+        subi $t2, $a0, 1         # i = lo - 1
+        move $t3, $a0            # j
+part:
+        bge  $t3, $a1, part_done
+        sll  $t4, $t3, 2
+        add  $t4, $s0, $t4
+        lw   $t5, 0($t4)
+        bgt  $t5, $t1, part_next
+        addiu $t2, $t2, 1
+        sll  $t6, $t2, 2
+        add  $t6, $s0, $t6
+        lw   $t7, 0($t6)         # swap arr[i], arr[j]
+        sw   $t5, 0($t6)
+        sw   $t7, 0($t4)
+part_next:
+        addiu $t3, $t3, 1
+        b    part
+part_done:
+        addiu $t2, $t2, 1        # p = i + 1
+        sll  $t6, $t2, 2
+        add  $t6, $s0, $t6
+        lw   $t7, 0($t6)         # swap arr[p], arr[hi]
+        lw   $t8, 0($t0)
+        sw   $t8, 0($t6)
+        sw   $t7, 0($t0)
+        sw   $t2, 0($sp)         # save p across the recursive calls
+        lw   $a0, 8($sp)         # qsort(lo, p - 1)
+        subi $a1, $t2, 1
+        jal  qsort
+        lw   $t2, 0($sp)         # qsort(p + 1, hi)
+        addiu $a0, $t2, 1
+        lw   $a1, 4($sp)
+        jal  qsort
+        lw   $ra, 12($sp)
+        addi $sp, $sp, 16
+qs_leaf:
+        jr   $ra
+)";
+
+// ---------------------------------------------------------------------------
+// dhry: Dhrystone-flavoured control kernel — a pointer-chased linked list
+// over a node pool (full-cycle permutation), then repeated
+// strcpy/strcmp over a C string; the accumulator lands in `acc`.
+// ---------------------------------------------------------------------------
+const char kDhry[] = R"(
+        .data
+pool:   .space 1024            # 64 nodes x 16 bytes {value, next, pad, pad}
+str1:   .asciiz "the quick brown fox jumps over the lazy dog"
+        .align 2
+str2:   .space 64
+acc:    .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, pool
+        li   $t1, 0              # build list: node i -> node (i+37) % 64
+build:
+        li   $t9, 64
+        bge  $t1, $t9, build_done
+        sll  $t2, $t1, 4
+        add  $t3, $s0, $t2
+        sw   $t1, 0($t3)
+        addiu $t4, $t1, 37
+        rem  $t5, $t4, $t9
+        sll  $t5, $t5, 4
+        add  $t5, $s0, $t5
+        sw   $t5, 4($t3)
+        addiu $t1, $t1, 1
+        b    build
+build_done:
+        li   $s2, 2000           # pointer-chase steps
+        move $t0, $s0
+        li   $s3, 0              # accumulator
+walk:
+        blez $s2, walk_done
+        lw   $t1, 0($t0)
+        add  $s3, $s3, $t1
+        lw   $t0, 4($t0)
+        subi $s2, $s2, 1
+        b    walk
+walk_done:
+        li   $s4, 40             # string rounds
+outer:
+        blez $s4, outer_done
+        la   $t1, str1           # strcpy str1 -> str2
+        la   $t2, str2
+copy:
+        lbu  $t3, 0($t1)
+        sb   $t3, 0($t2)
+        beqz $t3, copy_done
+        addiu $t1, $t1, 1
+        addiu $t2, $t2, 1
+        b    copy
+copy_done:
+        la   $t1, str1           # strcmp str1, str2
+        la   $t2, str2
+cmp:
+        lbu  $t3, 0($t1)
+        lbu  $t4, 0($t2)
+        bne  $t3, $t4, cmp_done
+        beqz $t3, cmp_equal
+        addiu $t1, $t1, 1
+        addiu $t2, $t2, 1
+        b    cmp
+cmp_equal:
+        addiu $s3, $s3, 1
+cmp_done:
+        subi $s4, $s4, 1
+        b    outer
+outer_done:
+        la   $t0, acc
+        sw   $s3, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+}  // namespace abenc::sim::programs

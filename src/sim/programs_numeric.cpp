@@ -1,0 +1,361 @@
+// Benchmark kernels with rendering / numeric / database character:
+// ghostview (rasterisation), matlab (dense linear algebra),
+// oracle (indexed lookup and record copy).
+#include "sim/programs.h"
+
+namespace abenc::sim::programs {
+
+// ---------------------------------------------------------------------------
+// ghostview: rasterises 150 random shapes (horizontal runs, vertical
+// runs, diagonals, 8x8 filled blocks) into a 128x64 framebuffer, then
+// reads the framebuffer back to count lit pixels. Horizontal fills are
+// byte-sequential, vertical fills stride by the pitch — the classic
+// renderer address mix.
+// ---------------------------------------------------------------------------
+const char kGhostview[] = R"(
+        .data
+fb:     .space 8192            # 128x64 bytes
+lit:    .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, fb
+        li   $s1, 7777           # LCG state
+        li   $s2, 0              # shape index
+shape_loop:
+        li   $t9, 150
+        bge  $s2, $t9, shapes_done
+        sw   $s2, 0($sp)         # spill shape index
+        li   $t1, 1103515245
+        mul  $s1, $s1, $t1
+        addiu $s1, $s1, 12345
+        srl  $t2, $s1, 16
+        andi $s3, $t2, 127       # x0
+        srl  $t3, $s1, 9
+        andi $s4, $t3, 63        # y0
+        srl  $t4, $s1, 4
+        andi $s5, $t4, 31
+        addiu $s5, $s5, 4        # extent 4..35
+        andi $t5, $t2, 3         # shape kind
+        beqz $t5, hline
+        li   $t6, 1
+        beq  $t5, $t6, vline
+        li   $t6, 2
+        beq  $t5, $t6, diag
+        b    rect
+hline:
+        sll  $t7, $s4, 7
+        add  $t7, $t7, $s3
+        add  $t7, $s0, $t7
+        move $t8, $s5
+hl_loop:
+        blez $t8, shape_next
+        li   $t9, 128
+        bge  $s3, $t9, shape_next
+        li   $t9, 170
+        sb   $t9, 0($t7)
+        addiu $t7, $t7, 1
+        addiu $s3, $s3, 1
+        subi $t8, $t8, 1
+        b    hl_loop
+vline:
+        sll  $t7, $s4, 7
+        add  $t7, $t7, $s3
+        add  $t7, $s0, $t7
+        move $t8, $s5
+vl_loop:
+        blez $t8, shape_next
+        li   $t9, 64
+        bge  $s4, $t9, shape_next
+        li   $t9, 85
+        sb   $t9, 0($t7)
+        addiu $t7, $t7, 128
+        addiu $s4, $s4, 1
+        subi $t8, $t8, 1
+        b    vl_loop
+diag:
+        sll  $t7, $s4, 7
+        add  $t7, $t7, $s3
+        add  $t7, $s0, $t7
+        move $t8, $s5
+dg_loop:
+        blez $t8, shape_next
+        li   $t9, 64
+        bge  $s4, $t9, shape_next
+        li   $t9, 127
+        bge  $s3, $t9, shape_next
+        li   $t9, 255
+        sb   $t9, 0($t7)
+        addiu $t7, $t7, 129
+        addiu $s3, $s3, 1
+        addiu $s4, $s4, 1
+        subi $t8, $t8, 1
+        b    dg_loop
+rect:
+        li   $s6, 0              # row
+rc_row:
+        li   $t9, 8
+        bge  $s6, $t9, shape_next
+        add  $t0, $s4, $s6
+        li   $t9, 64
+        bge  $t0, $t9, shape_next
+        sll  $t7, $t0, 7
+        add  $t7, $t7, $s3
+        add  $t7, $s0, $t7
+        li   $s7, 0              # column
+rc_col:
+        li   $t9, 8
+        bge  $s7, $t9, rc_row_next
+        add  $t1, $s3, $s7
+        li   $t9, 128
+        bge  $t1, $t9, rc_row_next
+        li   $t9, 51
+        sb   $t9, 0($t7)
+        addiu $t7, $t7, 1
+        addiu $s7, $s7, 1
+        b    rc_col
+rc_row_next:
+        addiu $s6, $s6, 1
+        b    rc_row
+shape_next:
+        lw   $s2, 0($sp)
+        addiu $s2, $s2, 1
+        b    shape_loop
+shapes_done:
+        # ---- readback: count lit pixels ----
+        li   $s2, 0
+        li   $s3, 0
+cnt_loop:
+        li   $t9, 8192
+        bge  $s2, $t9, cnt_done
+        add  $t0, $s0, $s2
+        lbu  $t1, 0($t0)
+        beqz $t1, cnt_next
+        addiu $s3, $s3, 1
+cnt_next:
+        addiu $s2, $s2, 1
+        b    cnt_loop
+cnt_done:
+        la   $t0, lit
+        sw   $s3, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// matlab: dense 24x24 integer matrix multiply (row-major loads of A,
+// column-strided loads of B) followed by a 1024-element vector fill and
+// sum-of-squares reduction.
+// ---------------------------------------------------------------------------
+const char kMatlab[] = R"(
+        .data
+mata:   .space 2304            # 24x24 words
+matb:   .space 2304
+matc:   .space 2304
+vec:    .space 4096            # 1024 words
+norm:   .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, mata
+        la   $s1, matb
+        la   $s2, matc
+        li   $t0, 555            # LCG state
+        li   $t1, 0
+ini_loop:
+        li   $t9, 576
+        bge  $t1, $t9, ini_done
+        li   $t2, 1103515245
+        mul  $t0, $t0, $t2
+        addiu $t0, $t0, 12345
+        srl  $t3, $t0, 20
+        andi $t3, $t3, 63
+        sll  $t4, $t1, 2
+        add  $t5, $s0, $t4
+        sw   $t3, 0($t5)
+        srl  $t6, $t0, 8
+        andi $t6, $t6, 63
+        add  $t7, $s1, $t4
+        sw   $t6, 0($t7)
+        addiu $t1, $t1, 1
+        b    ini_loop
+ini_done:
+        li   $s3, 0              # i
+mm_i:
+        li   $t9, 24
+        bge  $s3, $t9, mm_done
+        li   $s4, 0              # j
+mm_j:
+        li   $t9, 24
+        bge  $s4, $t9, mm_i_next
+        sw   $s4, 0($sp)         # spill j
+        li   $s5, 0              # k
+        li   $s6, 0              # accumulator
+mm_k:
+        li   $t9, 24
+        bge  $s5, $t9, mm_k_done
+        mul  $t1, $s3, $t9
+        add  $t1, $t1, $s5
+        sll  $t1, $t1, 2
+        add  $t1, $s0, $t1
+        lw   $t2, 0($t1)         # A[i][k]
+        li   $t9, 24
+        mul  $t3, $s5, $t9
+        add  $t3, $t3, $s4
+        sll  $t3, $t3, 2
+        add  $t3, $s1, $t3
+        lw   $t4, 0($t3)         # B[k][j]
+        mul  $t5, $t2, $t4
+        add  $s6, $s6, $t5
+        addiu $s5, $s5, 1
+        b    mm_k
+mm_k_done:
+        li   $t9, 24
+        mul  $t6, $s3, $t9
+        add  $t6, $t6, $s4
+        sll  $t6, $t6, 2
+        add  $t6, $s2, $t6
+        sw   $s6, 0($t6)         # C[i][j]
+        lw   $s4, 0($sp)         # reload j
+        addiu $s4, $s4, 1
+        b    mm_j
+mm_i_next:
+        addiu $s3, $s3, 1
+        b    mm_i
+mm_done:
+        # ---- vector fill and reduction ----
+        la   $s3, vec
+        li   $t1, 0
+vf_loop:
+        li   $t9, 1024
+        bge  $t1, $t9, vf_done
+        li   $t2, 1103515245
+        mul  $t0, $t0, $t2
+        addiu $t0, $t0, 12345
+        srl  $t3, $t0, 16
+        andi $t3, $t3, 1023
+        sll  $t4, $t1, 2
+        add  $t5, $s3, $t4
+        sw   $t3, 0($t5)
+        addiu $t1, $t1, 1
+        b    vf_loop
+vf_done:
+        li   $t1, 0
+        li   $s6, 0
+vr_loop:
+        li   $t9, 1024
+        bge  $t1, $t9, vr_done
+        sll  $t4, $t1, 2
+        add  $t5, $s3, $t4
+        lw   $t6, 0($t5)
+        mul  $t7, $t6, $t6
+        srl  $t7, $t7, 6
+        add  $s6, $s6, $t7
+        addiu $t1, $t1, 1
+        b    vr_loop
+vr_done:
+        la   $t0, norm
+        sw   $s6, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+// ---------------------------------------------------------------------------
+// oracle: 1024 sorted keys with 8-word records; 2000 random probes run a
+// binary search and copy the record to a result buffer on a hit — the
+// pointer-chasing, low-sequentiality data pattern of a database engine.
+// ---------------------------------------------------------------------------
+const char kOracle[] = R"(
+        .data
+keys:   .space 4096            # 1024 words, sorted
+recs:   .space 32768           # 1024 records x 8 words
+res:    .space 64
+hits:   .word 0
+        .text
+main:
+        subi $sp, $sp, 16
+        la   $s0, keys
+        la   $s1, recs
+        li   $t1, 0
+ki_loop:
+        li   $t9, 1024
+        bge  $t1, $t9, ki_done
+        li   $t2, 7
+        mul  $t3, $t1, $t2
+        addiu $t3, $t3, 3        # key = 7*i + 3
+        sll  $t4, $t1, 2
+        add  $t5, $s0, $t4
+        sw   $t3, 0($t5)
+        sll  $t6, $t1, 5
+        add  $t6, $s1, $t6       # record base
+        li   $t7, 0
+ri_loop:
+        li   $t9, 8
+        bge  $t7, $t9, ri_done
+        add  $t8, $t3, $t7
+        sll  $t0, $t7, 2
+        add  $t0, $t6, $t0
+        sw   $t8, 0($t0)
+        addiu $t7, $t7, 1
+        b    ri_loop
+ri_done:
+        addiu $t1, $t1, 1
+        b    ki_loop
+ki_done:
+        # ---- probe loop ----
+        la   $s2, res
+        li   $s3, 2000           # queries
+        li   $s4, 31337          # LCG state
+        li   $s5, 0              # hits
+q_loop:
+        blez $s3, q_done
+        sw   $s3, 0($sp)         # spill query counter
+        li   $t2, 1103515245
+        mul  $s4, $s4, $t2
+        addiu $s4, $s4, 12345
+        srl  $t3, $s4, 12
+        li   $t9, 7200
+        rem  $s6, $t3, $t9       # probe key 0..7199
+        li   $t4, 0              # lo
+        li   $t5, 1024           # hi (exclusive)
+bs_loop:
+        bge  $t4, $t5, q_next
+        add  $t6, $t4, $t5
+        srl  $t6, $t6, 1         # mid
+        sll  $t7, $t6, 2
+        add  $t7, $s0, $t7
+        lw   $t8, 0($t7)
+        beq  $t8, $s6, bs_hit
+        blt  $t8, $s6, bs_right
+        move $t5, $t6            # hi = mid
+        b    bs_loop
+bs_right:
+        addiu $t4, $t6, 1        # lo = mid + 1
+        b    bs_loop
+bs_hit:
+        addiu $s5, $s5, 1
+        sll  $t0, $t6, 5
+        add  $t0, $s1, $t0       # record base
+        li   $t1, 0
+cp_loop:
+        li   $t9, 8
+        bge  $t1, $t9, q_next
+        sll  $t2, $t1, 2
+        add  $t3, $t0, $t2
+        lw   $t4, 0($t3)
+        add  $t5, $s2, $t2
+        sw   $t4, 0($t5)
+        addiu $t1, $t1, 1
+        b    cp_loop
+q_next:
+        lw   $s3, 0($sp)         # reload query counter
+        subi $s3, $s3, 1
+        b    q_loop
+q_done:
+        la   $t0, hits
+        sw   $s5, 0($t0)
+        addi $sp, $sp, 16
+        halt
+)";
+
+}  // namespace abenc::sim::programs

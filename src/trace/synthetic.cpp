@@ -1,0 +1,160 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace abenc {
+
+AddressTrace SyntheticGenerator::Sequential(std::size_t count, Word start,
+                                            Word stride, unsigned width) {
+  AddressTrace trace("sequential");
+  trace.Reserve(count);
+  Word a = start & LowMask(width);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.Append(a, AccessKind::kInstruction);
+    a = (a + stride) & LowMask(width);
+  }
+  return trace;
+}
+
+AddressTrace SyntheticGenerator::UniformRandom(std::size_t count,
+                                               unsigned width) {
+  AddressTrace trace("uniform-random");
+  trace.Reserve(count);
+  std::uniform_int_distribution<Word> dist(0, LowMask(width));
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.Append(dist(rng_), AccessKind::kData);
+  }
+  return trace;
+}
+
+AddressTrace SyntheticGenerator::Markov(std::size_t count,
+                                        double p_in_sequence, Word stride,
+                                        unsigned width, Word working_set) {
+  AddressTrace trace("markov");
+  trace.Reserve(count);
+  const Word mask = LowMask(width);
+  const Word slots = std::max<Word>(1, working_set / stride);
+  std::uniform_int_distribution<Word> jump(0, slots - 1);
+  Word a = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.Append(a, AccessKind::kInstruction);
+    if (UniformUnit() < p_in_sequence) {
+      a = (a + stride) & mask;
+    } else {
+      Word next = (jump(rng_) * stride) & mask;
+      // A jump that happens to land in sequence would distort the dialled
+      // probability; nudge it one slot.
+      if (next == ((a + stride) & mask)) next = (next + stride) & mask;
+      a = next;
+    }
+  }
+  return trace;
+}
+
+AddressTrace SyntheticGenerator::InstructionLike(std::size_t count,
+                                                 double mean_run, Word stride,
+                                                 unsigned width, Word base,
+                                                 Word segment) {
+  AddressTrace trace("instruction-like");
+  trace.Reserve(count);
+  const Word mask = LowMask(width);
+  const Word slots = std::max<Word>(1, segment / stride);
+  std::geometric_distribution<std::size_t> run_length(
+      1.0 / std::max(1.0, mean_run));
+  std::uniform_int_distribution<Word> target(0, slots - 1);
+  Word pc = base & mask;
+  std::size_t emitted = 0;
+  while (emitted < count) {
+    const std::size_t run = 1 + run_length(rng_);
+    for (std::size_t i = 0; i < run && emitted < count; ++i, ++emitted) {
+      trace.Append(pc, AccessKind::kInstruction);
+      pc = (pc + stride) & mask;
+    }
+    pc = (base + target(rng_) * stride) & mask;  // taken branch
+  }
+  return trace;
+}
+
+AddressTrace SyntheticGenerator::DataLike(std::size_t count, Word stride,
+                                          unsigned width, Word heap_base,
+                                          Word stack_base) {
+  AddressTrace trace("data-like");
+  trace.Reserve(count);
+  const Word mask = LowMask(width);
+  std::uniform_int_distribution<Word> heap_jump(0, (1 << 16) - 1);
+  std::uniform_int_distribution<Word> stack_slot(0, 63);
+  Word array_ptr = heap_base & mask;
+  std::size_t sweep_left = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double p = UniformUnit();
+    Word a;
+    if (sweep_left > 0) {
+      a = array_ptr;
+      array_ptr = (array_ptr + stride) & mask;
+      --sweep_left;
+    } else if (p < 0.06) {
+      // Begin a short array sweep (average ~3.5 elements) — rare enough
+      // to land near the paper's ~11% data-stream sequentiality.
+      sweep_left = 2 + static_cast<std::size_t>(UniformUnit() * 3.0);
+      array_ptr = (heap_base + heap_jump(rng_) * stride) & mask;
+      a = array_ptr;
+      array_ptr = (array_ptr + stride) & mask;
+    } else if (p < 0.55) {
+      // Stack frame access (loop counters, spilled temporaries).
+      a = (stack_base - stack_slot(rng_) * stride) & mask;
+    } else {
+      // Irregular heap reference (pointer chasing, hash probes).
+      a = (heap_base + heap_jump(rng_) * stride) & mask;
+    }
+    trace.Append(a, AccessKind::kData);
+  }
+  return trace;
+}
+
+AddressTrace SyntheticGenerator::ZipfRandom(std::size_t count,
+                                            std::size_t universe,
+                                            double exponent, unsigned width,
+                                            Word base, Word stride) {
+  AddressTrace trace("zipf");
+  trace.Reserve(count);
+  std::vector<double> cdf(universe);
+  double total = 0.0;
+  for (std::size_t k = 0; k < universe; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf[k] = total;
+  }
+  const Word mask = LowMask(width);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = UniformUnit() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto rank = static_cast<Word>(it - cdf.begin());
+    trace.Append((base + rank * stride) & mask, AccessKind::kData);
+  }
+  return trace;
+}
+
+AddressTrace SyntheticGenerator::MultiplexedLike(std::size_t count,
+                                                 double data_ratio,
+                                                 Word stride, unsigned width) {
+  // Generate enough of each side, then interleave: after each instruction
+  // slot a data slot follows with probability data_ratio.
+  const auto instr_budget = count;
+  AddressTrace instr = InstructionLike(instr_budget, 6.0, stride, width);
+  AddressTrace data = DataLike(instr_budget, stride, width);
+  AddressTrace trace("multiplexed-like");
+  trace.Reserve(count);
+  std::size_t i = 0;
+  std::size_t d = 0;
+  while (trace.size() < count) {
+    if (i < instr.size()) trace.Append(instr[i++]);
+    if (trace.size() < count && UniformUnit() < data_ratio &&
+        d < data.size()) {
+      trace.Append(data[d++]);
+    }
+  }
+  return trace;
+}
+
+}  // namespace abenc

@@ -1,0 +1,71 @@
+// Parametric synthetic address streams. Used by the analytical benches
+// (Table 1's Monte-Carlo cross-check), the ablation sweeps, and the
+// property tests; they let the in-sequence probability be dialled
+// continuously, which no fixed benchmark trace allows.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "trace/trace.h"
+
+namespace abenc {
+
+/// Deterministic generator of synthetic streams. All methods are pure
+/// functions of the constructor seed and their arguments.
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(std::uint64_t seed = 0x5eedu) : rng_(seed) {}
+
+  /// An unlimited-consecutive stream: start, start+S, start+2S, ...
+  /// (the paper's asymptotic in-sequence case).
+  AddressTrace Sequential(std::size_t count, Word start = 0x400000,
+                          Word stride = 4, unsigned width = 32);
+
+  /// Independent uniformly distributed addresses (the paper's asymptotic
+  /// out-of-sequence case).
+  AddressTrace UniformRandom(std::size_t count, unsigned width = 32);
+
+  /// First-order Markov model of a real address stream: with probability
+  /// `p_in_sequence` the next address is previous+stride, otherwise it
+  /// jumps uniformly within a working set of `working_set` addresses
+  /// aligned to the stride. This is the knob the in-seq ablation sweeps.
+  AddressTrace Markov(std::size_t count, double p_in_sequence,
+                      Word stride = 4, unsigned width = 32,
+                      Word working_set = 1 << 20);
+
+  /// Instruction-stream model: sequential runs whose lengths are
+  /// geometrically distributed with mean `mean_run`, broken by branches
+  /// that jump within a code segment of `segment` bytes.
+  AddressTrace InstructionLike(std::size_t count, double mean_run = 6.0,
+                               Word stride = 4, unsigned width = 32,
+                               Word base = 0x400000, Word segment = 1 << 16);
+
+  /// Data-stream model: a mixture of sequential array sweeps, stack
+  /// accesses around a moving frame pointer, and pointer-chasing jumps,
+  /// with weights chosen to land near the paper's ~11 % in-sequence rate.
+  AddressTrace DataLike(std::size_t count, Word stride = 4,
+                        unsigned width = 32, Word heap_base = 0x10000000,
+                        Word stack_base = 0x7fff0000);
+
+  /// Zipf-distributed references over `universe` hot addresses — models
+  /// the skewed reuse of data references (no sequentiality at all).
+  AddressTrace ZipfRandom(std::size_t count, std::size_t universe,
+                          double exponent = 1.2, unsigned width = 32,
+                          Word base = 0x10000000, Word stride = 4);
+
+  /// Interleave instruction-like and data-like streams as a shared bus
+  /// would see them: each instruction slot is followed by a data slot with
+  /// probability `data_ratio` (MIPS-like loads/stores every ~3 instrs).
+  AddressTrace MultiplexedLike(std::size_t count, double data_ratio = 0.35,
+                               Word stride = 4, unsigned width = 32);
+
+ private:
+  double UniformUnit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+
+  std::mt19937_64 rng_;
+};
+
+}  // namespace abenc

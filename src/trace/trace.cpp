@@ -1,0 +1,25 @@
+#include "trace/trace.h"
+
+namespace abenc {
+
+AddressTrace MultiplexTraces(const AddressTrace& instruction,
+                             const AddressTrace& data,
+                             const std::vector<bool>& schedule) {
+  AddressTrace out(instruction.name().empty() ? data.name()
+                                              : instruction.name());
+  out.Reserve(instruction.size() + data.size());
+  std::size_t i = 0;
+  std::size_t d = 0;
+  for (bool take_instruction : schedule) {
+    if (take_instruction && i < instruction.size()) {
+      out.Append(instruction[i++]);
+    } else if (!take_instruction && d < data.size()) {
+      out.Append(data[d++]);
+    }
+  }
+  while (i < instruction.size()) out.Append(instruction[i++]);
+  while (d < data.size()) out.Append(data[d++]);
+  return out;
+}
+
+}  // namespace abenc

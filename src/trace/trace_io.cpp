@@ -1,0 +1,147 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace abenc {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'B', 'E', 'N', 'C', 'T', 'R', '1'};
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("trace I/O: " + what);
+}
+
+}  // namespace
+
+void WriteTextTrace(std::ostream& out, const AddressTrace& trace) {
+  if (!trace.name().empty()) out << "# " << trace.name() << '\n';
+  for (const TraceEntry& e : trace) {
+    out << (e.kind == AccessKind::kInstruction ? 'I' : 'D') << " 0x"
+        << std::hex << e.address << std::dec << '\n';
+  }
+}
+
+AddressTrace ReadTextTrace(std::istream& in, std::string name) {
+  AddressTrace trace(std::move(name));
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    std::string addr_text;
+    if (!(fields >> kind >> addr_text) || (kind != 'I' && kind != 'D')) {
+      Fail("bad record at line " + std::to_string(line_no) + ": '" + line +
+           "'");
+    }
+    Word address = 0;
+    try {
+      address = std::stoull(addr_text, nullptr, 0);
+    } catch (const std::exception&) {
+      Fail("bad address at line " + std::to_string(line_no) + ": '" +
+           addr_text + "'");
+    }
+    trace.Append(address, kind == 'I' ? AccessKind::kInstruction
+                                      : AccessKind::kData);
+  }
+  return trace;
+}
+
+void WriteBinaryTrace(std::ostream& out, const AddressTrace& trace) {
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t count = trace.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const TraceEntry& e : trace) {
+    out.write(reinterpret_cast<const char*>(&e.address), sizeof(e.address));
+    const std::uint8_t kind = e.kind == AccessKind::kInstruction ? 0 : 1;
+    out.write(reinterpret_cast<const char*>(&kind), sizeof(kind));
+  }
+  if (!out) Fail("write failed");
+}
+
+AddressTrace ReadBinaryTrace(std::istream& in, std::string name) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) Fail("bad magic (not an ABENC binary trace)");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) Fail("truncated header");
+  AddressTrace trace(std::move(name));
+  trace.Reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Word address = 0;
+    std::uint8_t kind = 0;
+    in.read(reinterpret_cast<char*>(&address), sizeof(address));
+    in.read(reinterpret_cast<char*>(&kind), sizeof(kind));
+    if (!in) Fail("truncated at entry " + std::to_string(i));
+    if (kind > 1) Fail("bad kind byte at entry " + std::to_string(i));
+    trace.Append(address, kind == 0 ? AccessKind::kInstruction
+                                    : AccessKind::kData);
+  }
+  return trace;
+}
+
+void WriteDineroTrace(std::ostream& out, const AddressTrace& trace) {
+  for (const TraceEntry& e : trace) {
+    out << (e.kind == AccessKind::kInstruction ? '2' : '0') << ' '
+        << std::hex << e.address << std::dec << '\n';
+  }
+}
+
+AddressTrace ReadDineroTrace(std::istream& in, std::string name) {
+  AddressTrace trace(std::move(name));
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int label = -1;
+    std::string addr_text;
+    if (!(fields >> label >> addr_text) || label < 0 || label > 2) {
+      Fail("bad dinero record at line " + std::to_string(line_no) + ": '" +
+           line + "'");
+    }
+    Word address = 0;
+    try {
+      address = std::stoull(addr_text, nullptr, 16);
+    } catch (const std::exception&) {
+      Fail("bad dinero address at line " + std::to_string(line_no) + ": '" +
+           addr_text + "'");
+    }
+    trace.Append(address, label == 2 ? AccessKind::kInstruction
+                                     : AccessKind::kData);
+  }
+  return trace;
+}
+
+void SaveTrace(const std::string& path, const AddressTrace& trace) {
+  const bool binary = path.ends_with(".btrace");
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) Fail("cannot open '" + path + "' for writing");
+  if (binary) {
+    WriteBinaryTrace(out, trace);
+  } else if (path.ends_with(".din")) {
+    WriteDineroTrace(out, trace);
+  } else {
+    WriteTextTrace(out, trace);
+  }
+  if (!out) Fail("write to '" + path + "' failed");
+}
+
+AddressTrace LoadTrace(const std::string& path) {
+  const bool binary = path.ends_with(".btrace");
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) Fail("cannot open '" + path + "'");
+  if (binary) return ReadBinaryTrace(in, path);
+  if (path.ends_with(".din")) return ReadDineroTrace(in, path);
+  return ReadTextTrace(in, path);
+}
+
+}  // namespace abenc

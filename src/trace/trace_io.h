@@ -1,0 +1,42 @@
+// Trace persistence: a line-oriented text format (easy to diff and to feed
+// from external tools) and a compact binary format for large traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace abenc {
+
+/// Text format, one reference per line:
+///   <kind> <hex-address>
+/// where <kind> is 'I' (instruction) or 'D' (data). Lines starting with
+/// '#' and blank lines are ignored. Example:
+///   # gzip, multiplexed bus
+///   I 0x00400000
+///   D 0x10008004
+void WriteTextTrace(std::ostream& out, const AddressTrace& trace);
+AddressTrace ReadTextTrace(std::istream& in, std::string name = "");
+
+/// Binary format: 8-byte magic "ABENCTR1", uint64 count, then per entry a
+/// uint64 address and a uint8 kind. Little-endian, host-order (the format
+/// is a cache, not an interchange standard).
+void WriteBinaryTrace(std::ostream& out, const AddressTrace& trace);
+AddressTrace ReadBinaryTrace(std::istream& in, std::string name = "");
+
+/// Classic dinero III "din" format, for interoperability with cache
+/// simulator traces: one reference per line, `<label> <hex-address>`,
+/// label 0 = data read, 1 = data write, 2 = instruction fetch. Reads and
+/// writes lose the read/write distinction on load (the address bus does
+/// not carry it); writes emit label 0 for every data reference.
+void WriteDineroTrace(std::ostream& out, const AddressTrace& trace);
+AddressTrace ReadDineroTrace(std::istream& in, std::string name = "");
+
+/// File helpers; the format is picked by extension (".trace" text,
+/// ".btrace" binary, ".din" dinero). Throw std::runtime_error on I/O or
+/// parse failure.
+void SaveTrace(const std::string& path, const AddressTrace& trace);
+AddressTrace LoadTrace(const std::string& path);
+
+}  // namespace abenc

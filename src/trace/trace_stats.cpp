@@ -1,0 +1,125 @@
+#include "trace/trace_stats.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace abenc {
+
+TraceStats ComputeStats(const AddressTrace& trace, unsigned width,
+                        Word stride) {
+  TraceStats stats;
+  stats.length = trace.size();
+  stats.hamming_histogram.assign(width + 1, 0);
+  stats.per_bit_toggles.assign(width, 0);
+  if (trace.empty()) return stats;
+
+  const Word mask = LowMask(width);
+  std::unordered_map<Word, std::size_t> histogram;
+  histogram.reserve(trace.size());
+
+  Word prev = trace[0].address & mask;
+  ++histogram[prev];
+
+  std::size_t in_seq = 0;
+  std::size_t repeated = 0;
+  long long hamming_sum = 0;
+  std::size_t run = 0;
+
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const Word cur = trace[i].address & mask;
+    ++histogram[cur];
+    const int h = HammingDistance(prev, cur, width);
+    hamming_sum += h;
+    ++stats.hamming_histogram[static_cast<std::size_t>(h)];
+    Word diff = prev ^ cur;
+    while (diff != 0) {
+      ++stats.per_bit_toggles[Log2(diff & (~diff + 1))];
+      diff &= diff - 1;
+    }
+    if (cur == ((prev + stride) & mask)) {
+      ++in_seq;
+      ++run;
+    } else {
+      ++stats.run_length_histogram[run];
+      run = 0;
+      if (cur == prev) ++repeated;
+    }
+    prev = cur;
+  }
+  ++stats.run_length_histogram[run];
+
+  const double steps = static_cast<double>(trace.size() - 1);
+  if (steps > 0) {
+    stats.in_sequence_percent = 100.0 * static_cast<double>(in_seq) / steps;
+    stats.repeated_percent = 100.0 * static_cast<double>(repeated) / steps;
+    stats.average_hamming = static_cast<double>(hamming_sum) / steps;
+  }
+  stats.unique_addresses = histogram.size();
+
+  double entropy = 0.0;
+  const double n = static_cast<double>(trace.size());
+  for (const auto& [addr, count] : histogram) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  stats.address_entropy_bits = entropy;
+  return stats;
+}
+
+Word DetectStride(const AddressTrace& trace, unsigned width) {
+  Word best_stride = 1;
+  double best = -1.0;
+  for (Word stride = 1; stride <= 256; stride <<= 1) {
+    if (Log2(stride) >= width) break;
+    const double in_seq = InSequencePercent(trace, width, stride);
+    if (in_seq > best) {
+      best = in_seq;
+      best_stride = stride;
+    }
+  }
+  return best_stride;
+}
+
+double WorkingSetSize(const AddressTrace& trace, std::size_t window) {
+  if (window == 0 || trace.size() < window) return 0.0;
+  std::unordered_map<Word, std::size_t> seen;
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t start = 0; start + window <= trace.size();
+       start += window) {
+    seen.clear();
+    for (std::size_t i = start; i < start + window; ++i) {
+      ++seen[trace[i].address];
+    }
+    total += static_cast<double>(seen.size());
+    ++windows;
+  }
+  return total / static_cast<double>(windows);
+}
+
+std::vector<std::pair<std::size_t, double>> WorkingSetCurve(
+    const AddressTrace& trace) {
+  std::vector<std::pair<std::size_t, double>> curve;
+  for (std::size_t window = 16; window <= 4096; window *= 2) {
+    if (window > trace.size()) break;
+    curve.emplace_back(window, WorkingSetSize(trace, window));
+  }
+  return curve;
+}
+
+double InSequencePercent(const AddressTrace& trace, unsigned width,
+                         Word stride) {
+  if (trace.size() < 2) return 0.0;
+  const Word mask = LowMask(width);
+  std::size_t in_seq = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if ((trace[i].address & mask) ==
+        ((trace[i - 1].address + stride) & mask)) {
+      ++in_seq;
+    }
+  }
+  return 100.0 * static_cast<double>(in_seq) /
+         static_cast<double>(trace.size() - 1);
+}
+
+}  // namespace abenc

@@ -1,0 +1,60 @@
+// Statistical characterisation of address streams — the quantities the
+// paper uses to explain when each code wins.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace abenc {
+
+/// Summary statistics of one address stream.
+struct TraceStats {
+  std::size_t length = 0;
+  std::size_t unique_addresses = 0;
+  double in_sequence_percent = 0.0;   // b(t) = b(t-1) + stride
+  double repeated_percent = 0.0;      // b(t) = b(t-1)
+  double average_hamming = 0.0;       // mean H(b(t-1), b(t))
+  double address_entropy_bits = 0.0;  // empirical entropy of the addresses
+
+  /// Histogram of maximal in-sequence run lengths (a run of length k is k
+  /// consecutive sequential steps). Key 0 counts isolated references.
+  std::map<std::size_t, std::size_t> run_length_histogram;
+
+  /// Histogram of Hamming distances between consecutive addresses.
+  std::vector<std::size_t> hamming_histogram;  // index = distance, size N+1
+
+  /// Toggle count of each address bit across the raw (binary) stream.
+  std::vector<long long> per_bit_toggles;  // size N
+};
+
+/// Compute the full statistics of `trace` on an N-bit bus with the given
+/// sequential stride.
+TraceStats ComputeStats(const AddressTrace& trace, unsigned width,
+                        Word stride);
+
+/// The paper's "In-Seq Addr." percentage alone (cheaper than ComputeStats).
+double InSequencePercent(const AddressTrace& trace, unsigned width,
+                         Word stride);
+
+/// Pick the power-of-two stride in [1, 256] that maximises the
+/// in-sequence percentage of `trace` — how a deployment configures T0's
+/// "parametric increment" from a profiling run (bench_stride_sweep shows
+/// what getting this wrong costs).
+Word DetectStride(const AddressTrace& trace, unsigned width);
+
+/// Denning working-set size: the average number of distinct addresses in
+/// consecutive non-overlapping windows of `window` references. The curve
+/// over growing windows characterises the locality the working-zone and
+/// MTF codes exploit.
+double WorkingSetSize(const AddressTrace& trace, std::size_t window);
+
+/// The curve at a standard set of window sizes (16..4096, doubling),
+/// truncated to windows no longer than the trace.
+std::vector<std::pair<std::size_t, double>> WorkingSetCurve(
+    const AddressTrace& trace);
+
+}  // namespace abenc

@@ -1,0 +1,137 @@
+// Tests for the analytical models behind Table 1 and the Table 9
+// crossover solver, including brute-force and Monte-Carlo cross-checks.
+#include <gtest/gtest.h>
+
+#include "analysis/analytical.h"
+#include "core/bus_invert_codec.h"
+#include "core/binary_codec.h"
+#include "core/stream_evaluator.h"
+#include "core/t0_codec.h"
+#include "trace/synthetic.h"
+
+namespace abenc {
+namespace {
+
+TEST(BinomialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(Binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 11), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(33, 16), 1166803110.0);
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (unsigned n = 1; n < 40; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_NEAR(Binomial(n, k),
+                  Binomial(n - 1, k - 1) + Binomial(n - 1, k),
+                  1e-6 * Binomial(n, k) + 1e-9);
+    }
+  }
+}
+
+TEST(BusInvertEtaTest, MatchesBruteForceEnumerationForSmallWidths) {
+  // For an N-bit bus the per-cycle cost under uniform random data is
+  // E[min(H, N+1-H)] with H ~ Binomial over the N+1 encoded lines and the
+  // candidate distribution of Eq. 5. Enumerate exactly for small N.
+  for (unsigned n : {2u, 4u, 6u, 8u, 10u}) {
+    double expected = 0.0;
+    for (unsigned k = 0; k <= n / 2; ++k) {
+      expected += static_cast<double>(k) * Binomial(n + 1, k);
+    }
+    expected /= std::exp2(static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(BusInvertEta(n), expected);
+  }
+}
+
+TEST(BusInvertEtaTest, MatchesMonteCarloCodec) {
+  for (unsigned n : {8u, 16u, 32u}) {
+    BusInvertCodec codec(n);
+    SyntheticGenerator gen(n);
+    const AddressTrace trace = gen.UniformRandom(300000, n);
+    const EvalResult r = Evaluate(codec, trace.ToBusAccesses(), 4, false);
+    EXPECT_NEAR(r.average_transitions_per_cycle(), BusInvertEta(n),
+                0.03 * BusInvertEta(n))
+        << "width " << n;
+  }
+}
+
+TEST(BusInvertEtaTest, AlwaysBelowBinary) {
+  for (unsigned n = 2; n <= 64; n += 2) {
+    EXPECT_LT(BusInvertEta(n), BinaryRandomTransitions(n));
+  }
+}
+
+TEST(BusInvertEtaTest, RejectsBadWidth) {
+  EXPECT_THROW(BusInvertEta(0), std::invalid_argument);
+  EXPECT_THROW(BusInvertEta(65), std::invalid_argument);
+}
+
+TEST(BinaryCountingTest, ClosedFormMatchesCodecOnCountingStreams) {
+  for (const auto& [width, stride] :
+       std::vector<std::pair<unsigned, Word>>{{16, 1}, {32, 4}, {32, 8}}) {
+    BinaryCodec codec(width);
+    SyntheticGenerator gen(1);
+    const AddressTrace trace = gen.Sequential(200000, 0, stride, width);
+    const EvalResult r = Evaluate(codec, trace.ToBusAccesses(), stride,
+                                  false);
+    EXPECT_NEAR(r.average_transitions_per_cycle(),
+                BinaryCountingTransitions(width, stride), 0.01)
+        << "width " << width << " stride " << stride;
+  }
+}
+
+TEST(BinaryCountingTest, ApproachesTwoForWideBuses) {
+  EXPECT_NEAR(BinaryCountingTransitions(32, 1), 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(BinaryCountingTransitions(4, 1), 2.0 * (1 - 1.0 / 16));
+}
+
+TEST(BinaryCountingTest, RejectsBadStride) {
+  EXPECT_THROW(BinaryCountingTransitions(32, 3), std::invalid_argument);
+  EXPECT_THROW(BinaryCountingTransitions(8, 256), std::invalid_argument);
+}
+
+TEST(Table1Test, RowsEncodeThePaperStructure) {
+  const auto rows = AnalyticalTable1(32, 4);
+  ASSERT_EQ(rows.size(), 6u);
+  // Out-of-sequence: binary and T0 cost N/2; bus-invert strictly less.
+  EXPECT_DOUBLE_EQ(rows[0].transitions_per_clock, 16.0);
+  EXPECT_DOUBLE_EQ(rows[1].transitions_per_clock, 16.0);
+  EXPECT_LT(rows[2].transitions_per_clock, 16.0);
+  // In-sequence: T0 achieves asymptotic zero; the others count.
+  EXPECT_GT(rows[3].transitions_per_clock, 1.9);
+  EXPECT_DOUBLE_EQ(rows[4].transitions_per_clock, 0.0);
+  EXPECT_DOUBLE_EQ(rows[5].relative_power, 1.0);
+  // T0 is never worse than binary in relative power.
+  EXPECT_LE(rows[1].relative_power, rows[0].relative_power);
+}
+
+TEST(Table1Test, T0MonteCarloConfirmsAsymptoticZero) {
+  T0Codec codec(32, 4);
+  SyntheticGenerator gen(2);
+  const AddressTrace trace = gen.Sequential(100000, 0x400000, 4, 32);
+  const EvalResult r = Evaluate(codec, trace.ToBusAccesses(), 4, false);
+  EXPECT_LT(r.average_transitions_per_cycle(), 0.001);
+}
+
+TEST(CrossoverTest, FindsInterpolatedCrossing) {
+  const std::vector<double> x = {0, 10, 20, 30};
+  const std::vector<double> a = {0, 5, 10, 15};   // slope 0.5
+  const std::vector<double> b = {6, 8, 10, 12};   // slope 0.2
+  // a < b until x = 20 where they meet.
+  EXPECT_DOUBLE_EQ(CrossoverAbscissa(x, a, b), 20.0);
+}
+
+TEST(CrossoverTest, ImmediateAndNeverCases) {
+  const std::vector<double> x = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(CrossoverAbscissa(x, {5, 6, 7}, {0, 0, 0}), 1.0);
+  EXPECT_LT(CrossoverAbscissa(x, {0, 0, 0}, {5, 6, 7}), 0.0);
+}
+
+TEST(CrossoverTest, RejectsMismatchedSizes) {
+  EXPECT_THROW(CrossoverAbscissa({1}, {1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(CrossoverAbscissa({}, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abenc

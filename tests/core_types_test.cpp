@@ -1,0 +1,68 @@
+// Unit tests for the core value types and bit utilities.
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace abenc {
+namespace {
+
+TEST(LowMaskTest, CoversRequestedBits) {
+  EXPECT_EQ(LowMask(1), 0x1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(LowMask(64), ~Word{0});
+}
+
+TEST(LowMaskTest, ZeroWidthIsEmpty) { EXPECT_EQ(LowMask(0), 0u); }
+
+TEST(HammingDistanceTest, CountsDifferingBitsWithinWidth) {
+  EXPECT_EQ(HammingDistance(0b1010, 0b0101, 4), 4);
+  EXPECT_EQ(HammingDistance(0b1010, 0b0101, 2), 2);
+  EXPECT_EQ(HammingDistance(0xFFFF0000u, 0x0000FFFFu, 16), 16);
+  EXPECT_EQ(HammingDistance(7, 7, 32), 0);
+}
+
+TEST(GrayCodeTest, RoundTripsAllBytes) {
+  for (Word b = 0; b < 256; ++b) {
+    EXPECT_EQ(GrayToBinary(BinaryToGray(b)), b);
+  }
+}
+
+TEST(GrayCodeTest, AdjacentValuesDifferInOneBit) {
+  for (Word b = 0; b < 4096; ++b) {
+    EXPECT_EQ(PopCount(BinaryToGray(b) ^ BinaryToGray(b + 1)), 1)
+        << "at b = " << b;
+  }
+}
+
+TEST(GrayCodeTest, RoundTripsWideValues) {
+  const Word samples[] = {0xDEADBEEFCAFEBABEull, ~Word{0}, Word{1} << 63};
+  for (Word w : samples) {
+    EXPECT_EQ(GrayToBinary(BinaryToGray(w)), w);
+  }
+}
+
+TEST(PowerOfTwoTest, ClassifiesCorrectly) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_TRUE(IsPowerOfTwo(Word{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+}
+
+TEST(Log2Test, InvertsShift) {
+  for (unsigned s = 0; s < 64; ++s) {
+    EXPECT_EQ(Log2(Word{1} << s), s);
+  }
+}
+
+TEST(TransitionsBetweenTest, CountsDataAndRedundantLines) {
+  const BusState a{0b1100, 0b1};
+  const BusState b{0b1010, 0b0};
+  EXPECT_EQ(TransitionsBetween(a, b, 4, 1), 2 + 1);
+  EXPECT_EQ(TransitionsBetween(a, b, 4, 0), 2);  // redundant lines ignored
+  EXPECT_EQ(TransitionsBetween(a, a, 4, 1), 0);
+}
+
+}  // namespace
+}  // namespace abenc

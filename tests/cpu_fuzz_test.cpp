@@ -1,0 +1,405 @@
+// Differential fuzzing of the assembler + CPU: random straight-line
+// programs are generated together with an independent architectural model
+// maintained by the generator itself; after execution every register and
+// the memory image must match the model exactly. This exercises the whole
+// toolchain (text -> assembler -> encoding -> decode -> execute) on tens
+// of thousands of instructions per seed.
+//
+// Plus: golden-value regression tests pinning the exact results the nine
+// benchmark kernels compute, so any semantic drift in the CPU or
+// assembler is caught immediately.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+
+#include "sim/assembler.h"
+#include "sim/cpu.h"
+#include "sim/memory.h"
+#include "sim/program_library.h"
+
+namespace abenc::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random program generator with a built-in architectural model
+// ---------------------------------------------------------------------------
+
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(std::uint64_t seed) : rng_(seed) {
+    source_ << ".data\nbuf: .space 256\n.text\n";
+    source_ << "la $s0, buf\n";
+    regs_[16] = kDataBase;  // $s0 holds the buffer base in the model too
+  }
+
+  /// Emit `count` random instructions (straight-line, no control flow).
+  void Generate(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      switch (rng_() % 12) {
+        case 0: ThreeReg(); break;
+        case 1: Shift(); break;
+        case 2: ImmediateArith(); break;
+        case 3: ImmediateLogic(); break;
+        case 4: Lui(); break;
+        case 5: MultDiv(); break;
+        case 6: StoreWord(); break;
+        case 7: LoadWord(); break;
+        case 8: StoreByte(); break;
+        case 9: LoadByte(); break;
+        case 10: StoreHalf(); break;
+        default: LoadHalf(); break;
+      }
+    }
+    source_ << "halt\n";
+  }
+
+  std::string source() const { return source_.str(); }
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  const std::uint8_t* buffer() const { return buffer_; }
+
+ private:
+  // Writable scratch registers: $v0-$v1, $a0-$a3, $t0-$t9, $s1-$s7.
+  unsigned PickDest() {
+    static constexpr unsigned kPool[] = {2,  3,  4,  5,  6,  7,  8,  9,
+                                         10, 11, 12, 13, 14, 15, 17, 18,
+                                         19, 20, 21, 22, 23, 24, 25};
+    return kPool[rng_() % std::size(kPool)];
+  }
+  unsigned PickSource() {
+    return rng_() % 4 == 0 ? 0 : PickDest();  // sometimes $zero
+  }
+  static const char* Name(unsigned r) {
+    static const char* kNames[32] = {
+        "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+        "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+        "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+        "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+    return kNames[r];
+  }
+  void Write(unsigned r, std::uint32_t v) {
+    if (r != 0) regs_[r] = v;
+  }
+
+  void ThreeReg() {
+    const unsigned d = PickDest();
+    const unsigned s = PickSource();
+    const unsigned t = PickSource();
+    const std::uint32_t a = regs_[s];
+    const std::uint32_t b = regs_[t];
+    switch (rng_() % 8) {
+      case 0: Emit3("addu", d, s, t); Write(d, a + b); break;
+      case 1: Emit3("subu", d, s, t); Write(d, a - b); break;
+      case 2: Emit3("and", d, s, t); Write(d, a & b); break;
+      case 3: Emit3("or", d, s, t); Write(d, a | b); break;
+      case 4: Emit3("xor", d, s, t); Write(d, a ^ b); break;
+      case 5: Emit3("nor", d, s, t); Write(d, ~(a | b)); break;
+      case 6:
+        Emit3("slt", d, s, t);
+        Write(d, static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)
+                     ? 1
+                     : 0);
+        break;
+      default: Emit3("sltu", d, s, t); Write(d, a < b ? 1 : 0); break;
+    }
+  }
+
+  void Shift() {
+    const unsigned d = PickDest();
+    const unsigned t = PickSource();
+    const unsigned shamt = rng_() % 32;
+    const std::uint32_t v = regs_[t];
+    switch (rng_() % 3) {
+      case 0:
+        source_ << "sll " << Name(d) << ", " << Name(t) << ", " << shamt
+                << "\n";
+        Write(d, v << shamt);
+        break;
+      case 1:
+        source_ << "srl " << Name(d) << ", " << Name(t) << ", " << shamt
+                << "\n";
+        Write(d, v >> shamt);
+        break;
+      default:
+        source_ << "sra " << Name(d) << ", " << Name(t) << ", " << shamt
+                << "\n";
+        Write(d, static_cast<std::uint32_t>(
+                     static_cast<std::int32_t>(v) >> static_cast<int>(shamt)));
+        break;
+    }
+  }
+
+  void ImmediateArith() {
+    const unsigned d = PickDest();
+    const unsigned s = PickSource();
+    const std::int32_t imm =
+        static_cast<std::int32_t>(rng_() % 65536) - 32768;
+    source_ << "addiu " << Name(d) << ", " << Name(s) << ", " << imm << "\n";
+    Write(d, regs_[s] + static_cast<std::uint32_t>(imm));
+  }
+
+  void ImmediateLogic() {
+    const unsigned d = PickDest();
+    const unsigned s = PickSource();
+    const std::uint32_t imm = rng_() % 65536;
+    switch (rng_() % 3) {
+      case 0:
+        source_ << "andi " << Name(d) << ", " << Name(s) << ", " << imm
+                << "\n";
+        Write(d, regs_[s] & imm);
+        break;
+      case 1:
+        source_ << "ori " << Name(d) << ", " << Name(s) << ", " << imm
+                << "\n";
+        Write(d, regs_[s] | imm);
+        break;
+      default:
+        source_ << "xori " << Name(d) << ", " << Name(s) << ", " << imm
+                << "\n";
+        Write(d, regs_[s] ^ imm);
+        break;
+    }
+  }
+
+  void Lui() {
+    const unsigned d = PickDest();
+    const std::uint32_t imm = rng_() % 65536;
+    source_ << "lui " << Name(d) << ", " << imm << "\n";
+    Write(d, imm << 16);
+  }
+
+  void MultDiv() {
+    const unsigned d = PickDest();
+    const unsigned s = PickSource();
+    const unsigned t = PickSource();
+    const std::uint32_t a = regs_[s];
+    const std::uint32_t b = regs_[t];
+    switch (rng_() % 3) {
+      case 0: {  // mul pseudo: low 32 bits of signed product
+        source_ << "mul " << Name(d) << ", " << Name(s) << ", " << Name(t)
+                << "\n";
+        const std::int64_t product =
+            static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+            static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+        Write(d, static_cast<std::uint32_t>(product));
+        break;
+      }
+      case 1: {  // multu + mfhi: high 32 bits of unsigned product
+        source_ << "multu " << Name(s) << ", " << Name(t) << "\n";
+        source_ << "mfhi " << Name(d) << "\n";
+        const std::uint64_t product =
+            static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+        Write(d, static_cast<std::uint32_t>(product >> 32));
+        break;
+      }
+      default: {  // force a nonzero divisor, then divu + mflo
+        const unsigned div = PickDest();
+        source_ << "ori " << Name(div) << ", " << Name(t) << ", 1\n";
+        const std::uint32_t divisor = b | 1;
+        Write(div, divisor);
+        source_ << "divu " << Name(s) << ", " << Name(div) << "\n";
+        source_ << "mflo " << Name(d) << "\n";
+        Write(d, a / divisor);
+        break;
+      }
+    }
+  }
+
+  std::uint32_t PickOffset(unsigned alignment) {
+    return (rng_() % (256 / alignment)) * alignment;
+  }
+
+  void StoreWord() {
+    const unsigned t = PickSource();
+    const std::uint32_t offset = PickOffset(4);
+    source_ << "sw " << Name(t) << ", " << offset << "($s0)\n";
+    for (unsigned i = 0; i < 4; ++i) {
+      buffer_[offset + i] = static_cast<std::uint8_t>(regs_[t] >> (8 * i));
+    }
+  }
+
+  void LoadWord() {
+    const unsigned d = PickDest();
+    const std::uint32_t offset = PickOffset(4);
+    source_ << "lw " << Name(d) << ", " << offset << "($s0)\n";
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buffer_[offset + i]) << (8 * i);
+    }
+    Write(d, v);
+  }
+
+  void StoreByte() {
+    const unsigned t = PickSource();
+    const std::uint32_t offset = PickOffset(1);
+    source_ << "sb " << Name(t) << ", " << offset << "($s0)\n";
+    buffer_[offset] = static_cast<std::uint8_t>(regs_[t]);
+  }
+
+  void LoadByte() {
+    const unsigned d = PickDest();
+    const std::uint32_t offset = PickOffset(1);
+    const bool is_unsigned = rng_() % 2 == 0;
+    source_ << (is_unsigned ? "lbu " : "lb ") << Name(d) << ", " << offset
+            << "($s0)\n";
+    const std::uint8_t byte = buffer_[offset];
+    Write(d, is_unsigned ? byte
+                         : static_cast<std::uint32_t>(
+                               static_cast<std::int8_t>(byte)));
+  }
+
+  void StoreHalf() {
+    const unsigned t = PickSource();
+    const std::uint32_t offset = PickOffset(2);
+    source_ << "sh " << Name(t) << ", " << offset << "($s0)\n";
+    buffer_[offset] = static_cast<std::uint8_t>(regs_[t]);
+    buffer_[offset + 1] = static_cast<std::uint8_t>(regs_[t] >> 8);
+  }
+
+  void LoadHalf() {
+    const unsigned d = PickDest();
+    const std::uint32_t offset = PickOffset(2);
+    const bool is_unsigned = rng_() % 2 == 0;
+    source_ << (is_unsigned ? "lhu " : "lh ") << Name(d) << ", " << offset
+            << "($s0)\n";
+    const std::uint16_t half =
+        static_cast<std::uint16_t>(buffer_[offset]) |
+        static_cast<std::uint16_t>(buffer_[offset + 1] << 8);
+    Write(d, is_unsigned ? half
+                         : static_cast<std::uint32_t>(
+                               static_cast<std::int16_t>(half)));
+  }
+
+  void Emit3(const char* op, unsigned d, unsigned s, unsigned t) {
+    source_ << op << " " << Name(d) << ", " << Name(s) << ", " << Name(t)
+            << "\n";
+  }
+
+  std::mt19937_64 rng_;
+  std::ostringstream source_;
+  std::uint32_t regs_[32] = {};
+  std::uint8_t buffer_[256] = {};
+};
+
+class CpuFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuFuzzTest, RandomProgramMatchesArchitecturalModel) {
+  ProgramFuzzer fuzzer(GetParam());
+  fuzzer.Generate(4000);
+
+  Memory memory;
+  Cpu cpu(memory);
+  cpu.LoadProgram(Assemble(fuzzer.source()));
+  ASSERT_EQ(cpu.Run(20000), StopReason::kBreak);
+
+  for (unsigned r = 2; r < 26; ++r) {
+    if (r == 16) continue;  // $s0: checked via memory addressing below
+    EXPECT_EQ(cpu.reg(r), fuzzer.reg(r)) << "register " << r << " seed "
+                                         << GetParam();
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    ASSERT_EQ(memory.LoadByte(kDataBase + i), fuzzer.buffer()[i])
+        << "buf[" << i << "] seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+// ---------------------------------------------------------------------------
+// Golden results of the benchmark kernels
+// ---------------------------------------------------------------------------
+
+struct Golden {
+  const char* program;
+  std::uint64_t retired;
+  const char* symbol;       // scalar result cell, or nullptr
+  std::uint32_t value;      // its expected value
+  const char* buffer;       // output buffer to checksum, or nullptr
+  std::uint32_t checksum;   // fold of its first 512 bytes
+};
+
+std::uint32_t BufferChecksum(const Memory& memory, std::uint32_t base) {
+  std::uint32_t sum = 0;
+  for (std::uint32_t i = 0; i < 512; i += 4) {
+    sum = sum * 31 + memory.LoadWord(base + i);
+  }
+  return sum;
+}
+
+class GoldenResultTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenResultTest, KernelComputesExactlyTheGoldenValue) {
+  const Golden& golden = GetParam();
+  const BenchmarkProgram& program = FindBenchmarkProgram(golden.program);
+  const AssembledProgram assembled = Assemble(program.source);
+  Memory memory;
+  Cpu cpu(memory);
+  cpu.LoadProgram(assembled);
+  ASSERT_EQ(cpu.Run(program.step_budget), StopReason::kBreak);
+  EXPECT_EQ(cpu.retired_instructions(), golden.retired);
+  if (golden.symbol != nullptr) {
+    EXPECT_EQ(memory.LoadWord(assembled.Symbol(golden.symbol)),
+              golden.value)
+        << golden.symbol;
+  }
+  if (golden.buffer != nullptr) {
+    EXPECT_EQ(BufferChecksum(memory, assembled.Symbol(golden.buffer)),
+              golden.checksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, GoldenResultTest,
+    ::testing::Values(
+        Golden{"gzip", 729082, nullptr, 0, "dst", 1788332079u},
+        Golden{"gunzip", 110495, nullptr, 0, "out", 2226428309u},
+        Golden{"ghostview", 121882, "lit", 3019, nullptr, 0},
+        Golden{"espresso", 247252, "merges", 68, nullptr, 0},
+        Golden{"nova", 166726, "cost", 317604, nullptr, 0},
+        Golden{"jedi", 919357, "accept", 89, nullptr, 0},
+        Golden{"latex", 238650, "nlines", 128, nullptr, 0},
+        Golden{"matlab", 340088, "norm", 5450627, nullptr, 0},
+        Golden{"oracle", 387611, "hits", 279, nullptr, 0},
+        Golden{"fft", 58443, "chk", 3319228925u, nullptr, 0},
+        Golden{"qsort", 86423, "sorted", 1, nullptr, 0},
+        Golden{"dhry", 36034, "acc", 63008, nullptr, 0}),
+    [](const auto& info) { return std::string(info.param.program); });
+
+TEST(ExtendedProgramsTest, QsortActuallySorts) {
+  // `sorted` is computed by the guest itself; double-check from the host
+  // side that the array really is non-decreasing.
+  const BenchmarkProgram& program = FindBenchmarkProgram("qsort");
+  const AssembledProgram assembled = Assemble(program.source);
+  Memory memory;
+  Cpu cpu(memory);
+  cpu.LoadProgram(assembled);
+  ASSERT_EQ(cpu.Run(program.step_budget), StopReason::kBreak);
+  const std::uint32_t base = assembled.Symbol("arr");
+  std::uint32_t prev = memory.LoadWord(base);
+  for (std::uint32_t i = 1; i < 512; ++i) {
+    const std::uint32_t cur = memory.LoadWord(base + i * 4);
+    ASSERT_GE(cur, prev) << "index " << i;
+    prev = cur;
+  }
+}
+
+TEST(ExtendedProgramsTest, DhryListWalkVisitsEveryNode) {
+  // The 37-step permutation over 64 nodes is a full cycle, so 2000 steps
+  // visit each node 2000/64 = 31.25 times; sum of values = 31 full cycles
+  // of sum(0..63) plus a partial lap, plus 40 string-compare successes.
+  // acc = 63008 (golden above) is consistent with that: verify the
+  // arithmetic here so the golden is explained, not just pinned.
+  long long acc = 0;
+  int node = 0;
+  for (int step = 0; step < 2000; ++step) {
+    acc += node;
+    node = (node + 37) % 64;
+  }
+  EXPECT_EQ(acc + 40, 63008);
+}
+
+}  // namespace
+}  // namespace abenc::sim

@@ -1,0 +1,94 @@
+// Tests for the disassembler, including the strongest property we have on
+// the toolchain: assemble(disassemble(program)) is bit-identical for every
+// benchmark in the library.
+#include <gtest/gtest.h>
+
+#include "sim/disassembler.h"
+#include "sim/program_library.h"
+
+namespace abenc::sim {
+namespace {
+
+TEST(DisassembleTest, RendersRType) {
+  EXPECT_EQ(Disassemble(Instruction{EncodeR(Funct::kAddu, 8, 9, 10)},
+                        kTextBase),
+            "addu $t0, $t1, $t2");
+  EXPECT_EQ(Disassemble(Instruction{EncodeR(Funct::kSll, 2, 0, 3, 5)},
+                        kTextBase),
+            "sll $v0, $v1, 5");
+  EXPECT_EQ(Disassemble(Instruction{EncodeR(Funct::kJr, 0, 31, 0)},
+                        kTextBase),
+            "jr $ra");
+  EXPECT_EQ(Disassemble(Instruction{EncodeR(Funct::kBreak, 0, 0, 0)},
+                        kTextBase),
+            "break");
+}
+
+TEST(DisassembleTest, RendersITypeWithSignedImmediates) {
+  EXPECT_EQ(Disassemble(Instruction{EncodeI(Opcode::kAddiu, 8, 8, 0xFFFF)},
+                        kTextBase),
+            "addiu $t0, $t0, -1");
+  EXPECT_EQ(Disassemble(Instruction{EncodeI(Opcode::kOri, 8, 8, 0xFFFF)},
+                        kTextBase),
+            "ori $t0, $t0, 65535");
+  EXPECT_EQ(Disassemble(Instruction{EncodeI(Opcode::kLw, 9, 29, 0xFFFC)},
+                        kTextBase),
+            "lw $t1, -4($sp)");
+}
+
+TEST(DisassembleTest, RendersControlFlowWithAbsoluteTargets) {
+  // beq $t0, $t1, +2 instructions from 0x400000.
+  const Instruction branch{EncodeI(Opcode::kBeq, 9, 8, 1)};
+  EXPECT_EQ(Disassemble(branch, 0x400000), "beq $t0, $t1, 0x400008");
+  const Instruction jump{EncodeJ(Opcode::kJal, 0x400010 >> 2)};
+  EXPECT_EQ(Disassemble(jump, 0x400000), "jal 0x400010");
+}
+
+TEST(DisassembleTest, UnknownWordsFallBackToWordDirective) {
+  const Instruction bogus{0xFC000000};  // opcode 0x3F
+  EXPECT_NE(Disassemble(bogus, kTextBase).find(".word"), std::string::npos);
+}
+
+TEST(DisassembleListingTest, OneLinePerInstruction) {
+  const auto program = Assemble("nop\nhalt\n");
+  const std::string listing = DisassembleListing(program);
+  EXPECT_NE(listing.find("0x400000"), std::string::npos);
+  EXPECT_NE(listing.find("break"), std::string::npos);
+  EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 2);
+}
+
+TEST(DisassembleProgramTest, SimpleLoopRoundTrips) {
+  const auto original = Assemble(
+      "li $t0, 0\n"
+      "loop: addiu $t0, $t0, 1\n"
+      "li $t9, 10\n"
+      "blt $t0, $t9, loop\n"
+      "bltz $t0, loop\n"
+      "bgez $zero, done\n"
+      "done: halt\n");
+  const std::string source = DisassembleProgram(original);
+  const auto rebuilt = Assemble(source);
+  EXPECT_EQ(rebuilt.text, original.text);
+  EXPECT_EQ(rebuilt.data, original.data);
+}
+
+class BenchmarkRoundTripTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(BenchmarkRoundTripTest, AssembleDisassembleAssembleIsIdentity) {
+  const BenchmarkProgram& program = FindBenchmarkProgram(GetParam());
+  const AssembledProgram original = Assemble(program.source);
+  const std::string source = DisassembleProgram(original);
+  const AssembledProgram rebuilt = Assemble(source);
+  EXPECT_EQ(rebuilt.text, original.text) << program.name;
+  EXPECT_EQ(rebuilt.data, original.data) << program.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, BenchmarkRoundTripTest,
+    ::testing::Values("gzip", "gunzip", "ghostview", "espresso", "nova",
+                      "jedi", "latex", "matlab", "oracle", "fft", "qsort",
+                      "dhry"));
+
+}  // namespace
+}  // namespace abenc::sim

@@ -1,0 +1,85 @@
+// Tests for the DRAM row/column address-bus model.
+#include <gtest/gtest.h>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "sim/dram.h"
+
+namespace abenc::sim {
+namespace {
+
+AddressTrace Accesses(std::initializer_list<Word> byte_addresses) {
+  AddressTrace t;
+  for (Word a : byte_addresses) t.Append(a, AccessKind::kData);
+  return t;
+}
+
+TEST(DramBusTest, FirstAccessDrivesRowThenColumn) {
+  const DramConfig config{10, 12, true};
+  DramBusStats stats;
+  const AddressTrace bus = ToDramBusTrace(Accesses({0x12345678}), config,
+                                          &stats);
+  ASSERT_EQ(bus.size(), 2u);
+  EXPECT_EQ(bus[0].kind, AccessKind::kInstruction);  // RAS
+  EXPECT_EQ(bus[1].kind, AccessKind::kData);         // CAS
+  const Word word = 0x12345678 >> 2;
+  EXPECT_EQ(bus[1].address, word & LowMask(10));
+  EXPECT_EQ(bus[0].address, (word >> 10) & LowMask(12));
+  EXPECT_EQ(stats.row_cycles, 1u);
+  EXPECT_EQ(stats.column_cycles, 1u);
+}
+
+TEST(DramBusTest, OpenPagePolicySkipsRepeatedRows) {
+  const DramConfig config{10, 12, true};
+  DramBusStats stats;
+  // Three accesses in the same 4 KiB page, then one in another page.
+  const AddressTrace bus = ToDramBusTrace(
+      Accesses({0x1000, 0x1004, 0x1040, 0x200000}), config, &stats);
+  EXPECT_EQ(stats.row_cycles, 2u);
+  EXPECT_EQ(stats.column_cycles, 4u);
+  EXPECT_EQ(bus.size(), 6u);
+  EXPECT_NEAR(stats.page_hit_rate(), 0.5, 1e-12);
+}
+
+TEST(DramBusTest, ClosedPagePolicyAlwaysDrivesRows) {
+  const DramConfig config{10, 12, false};
+  DramBusStats stats;
+  ToDramBusTrace(Accesses({0x1000, 0x1004, 0x1008}), config, &stats);
+  EXPECT_EQ(stats.row_cycles, 3u);
+  EXPECT_DOUBLE_EQ(stats.page_hit_rate(), 0.0);
+}
+
+TEST(DramBusTest, SequentialBurstColumnsAreSequentialOnTheBus) {
+  const DramConfig config{10, 12, true};
+  AddressTrace accesses;
+  for (Word a = 0x4000; a < 0x4100; a += 4) {
+    accesses.Append(a, AccessKind::kData);
+  }
+  const AddressTrace bus = ToDramBusTrace(accesses, config);
+  // One RAS + 64 CAS cycles, columns stepping by one word.
+  ASSERT_EQ(bus.size(), 65u);
+  for (std::size_t i = 2; i < bus.size(); ++i) {
+    EXPECT_EQ(bus[i].address, bus[i - 1].address + 1);
+  }
+}
+
+TEST(DramBusTest, StreamsStayDecodableThroughEveryCode) {
+  const DramConfig config{10, 12, true};
+  AddressTrace accesses;
+  Word lcg = 99;
+  for (int i = 0; i < 4000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    accesses.Append((lcg >> 16) & 0x3FFFFFF0, AccessKind::kData);
+  }
+  const AddressTrace bus = ToDramBusTrace(accesses, config);
+  CodecOptions options;
+  options.width = config.bus_width();
+  options.stride = 1;
+  for (const std::string& name : AllCodecNames()) {
+    auto codec = MakeCodec(name, options);
+    EXPECT_NO_THROW(Evaluate(*codec, bus.ToBusAccesses(), 1, true)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace abenc::sim

@@ -1,0 +1,152 @@
+// Tests for the stream-evaluation layer: transition counting, savings
+// arithmetic, in-sequence measurement, and the decode self-check.
+#include <gtest/gtest.h>
+
+#include "core/binary_codec.h"
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "core/transition_counter.h"
+
+namespace abenc {
+namespace {
+
+TEST(TransitionCounterTest, CountsDataAndRedundantToggles) {
+  TransitionCounter counter(4, 1);
+  counter.Observe({0b0000, 0});  // from power-on all-zero: 0 toggles
+  counter.Observe({0b1010, 1});  // 2 data + 1 redundant
+  counter.Observe({0b1010, 1});  // 0
+  counter.Observe({0b0101, 0});  // 4 data + 1 redundant
+  EXPECT_EQ(counter.total(), 8);
+  EXPECT_EQ(counter.cycles(), 4u);
+  EXPECT_DOUBLE_EQ(counter.average_per_cycle(), 2.0);
+  // Per-line: bits 0..3 toggled 2, 2, 2, 2? -> 0:0->0->1? check exact.
+  const auto& lines = counter.per_line();
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[4], 2);  // the redundant line toggled twice
+}
+
+TEST(TransitionCounterTest, FirstCycleChargesFromAllZeroBus) {
+  TransitionCounter counter(8, 0);
+  counter.Observe({0xFF, 0});
+  EXPECT_EQ(counter.total(), 8);
+}
+
+TEST(TransitionCounterTest, SkipFirstSuppressesPowerOnCharge) {
+  TransitionCounter counter(8, 0, /*skip_first=*/true);
+  counter.Observe({0xFF, 0});
+  EXPECT_EQ(counter.total(), 0);
+  counter.Observe({0x0F, 0});
+  EXPECT_EQ(counter.total(), 4);
+}
+
+TEST(TransitionCounterTest, ResetClearsEverything) {
+  TransitionCounter counter(8, 1);
+  counter.Observe({0xFF, 1});
+  counter.Reset();
+  EXPECT_EQ(counter.total(), 0);
+  EXPECT_EQ(counter.cycles(), 0u);
+  counter.Observe({0x01, 0});
+  EXPECT_EQ(counter.total(), 1);  // back to the power-on reference
+}
+
+TEST(TransitionCounterTest, TracksPeakCycle) {
+  TransitionCounter counter(8, 0);
+  counter.Observe({0x0F, 0});  // 4
+  counter.Observe({0xFF, 0});  // 4
+  counter.Observe({0x00, 0});  // 8 <- peak
+  counter.Observe({0x01, 0});  // 1
+  EXPECT_EQ(counter.peak(), 8);
+  counter.Reset();
+  EXPECT_EQ(counter.peak(), 0);
+}
+
+TEST(PeakTransitionsTest, BusInvertBoundsThePeakBinaryCannot) {
+  // Stan/Burleson's original claim: bus-invert bounds *peak* per-cycle
+  // switching at ceil((N+1)/2) where binary can hit N.
+  std::vector<BusAccess> stream;
+  for (int i = 0; i < 200; ++i) {
+    stream.push_back({i % 2 == 0 ? Word{0x0000} : Word{0xFFFF}, true});
+  }
+  BinaryCodec binary(16);
+  const EvalResult raw = Evaluate(binary, stream, 4, true);
+  EXPECT_EQ(raw.peak_transitions, 16);
+
+  CodecOptions options;
+  options.width = 16;
+  auto bi = MakeCodec("bus-invert", options);
+  const EvalResult coded = Evaluate(*bi, stream, 4, true);
+  EXPECT_LE(coded.peak_transitions, (16 + 1 + 1) / 2);
+}
+
+TEST(SavingsPercentTest, MatchesPaperArithmetic) {
+  EXPECT_DOUBLE_EQ(SavingsPercent(50, 100), 50.0);
+  EXPECT_DOUBLE_EQ(SavingsPercent(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(SavingsPercent(150, 100), -50.0);
+  EXPECT_DOUBLE_EQ(SavingsPercent(0, 0), 0.0);  // guarded
+}
+
+TEST(InSequencePercentTest, CountsStrideStepsOnly) {
+  const std::vector<BusAccess> stream = {
+      {0x100, true}, {0x104, true}, {0x108, true}, {0x200, true},
+      {0x204, true}};
+  EXPECT_DOUBLE_EQ(InSequencePercent(stream, 4, 32), 75.0);
+  EXPECT_DOUBLE_EQ(InSequencePercent(stream, 8, 32), 0.0);
+}
+
+TEST(InSequencePercentTest, WrapsAroundTheBusWidth) {
+  const std::vector<BusAccess> stream = {{0xFFFFFFFC, true}, {0x0, true}};
+  EXPECT_DOUBLE_EQ(InSequencePercent(stream, 4, 32), 100.0);
+}
+
+TEST(InSequencePercentTest, DegenerateStreams) {
+  EXPECT_DOUBLE_EQ(InSequencePercent({}, 4, 32), 0.0);
+  EXPECT_DOUBLE_EQ(InSequencePercent({{BusAccess{1, true}}}, 4, 32), 0.0);
+}
+
+TEST(EvaluateTest, BinaryCountsHammingSum) {
+  BinaryCodec codec(8);
+  const std::vector<BusAccess> stream = {
+      {0x00, true}, {0x0F, true}, {0xFF, true}};
+  const EvalResult r = Evaluate(codec, stream, 4, true);
+  EXPECT_EQ(r.transitions, 0 + 4 + 4);
+  EXPECT_EQ(r.stream_length, 3u);
+  ASSERT_EQ(r.per_line.size(), 8u);
+  EXPECT_EQ(r.per_line[0], 1);  // bit 0: 0 -> 1 -> 1
+  EXPECT_EQ(r.per_line[7], 1);  // bit 7: 0 -> 0 -> 1
+}
+
+// A deliberately broken codec to prove the self-check fires.
+class LyingCodec final : public Codec {
+ public:
+  explicit LyingCodec(unsigned width) : Codec(width) {}
+  std::string name() const override { return "lying"; }
+  std::string display_name() const override { return "Lying"; }
+  unsigned redundant_lines() const override { return 0; }
+  BusState Encode(Word address, bool) override {
+    return BusState{Mask(address), 0};
+  }
+  Word Decode(const BusState& bus, bool) override {
+    return Mask(bus.lines + 1);  // off by one
+  }
+  void Reset() override {}
+};
+
+TEST(EvaluateTest, VerifyDecodeCatchesBrokenCodec) {
+  LyingCodec codec(16);
+  const std::vector<BusAccess> stream = {{1, true}};
+  EXPECT_THROW(Evaluate(codec, stream, 4, true), std::logic_error);
+  EXPECT_NO_THROW(Evaluate(codec, stream, 4, false));
+}
+
+TEST(ToAccessesTest, WrapsAddressesWithConstantSel) {
+  const std::vector<Word> addresses = {1, 2, 3};
+  const auto instruction = ToAccesses(addresses, true);
+  const auto data = ToAccesses(addresses, false);
+  ASSERT_EQ(instruction.size(), 3u);
+  EXPECT_TRUE(instruction[2].sel);
+  EXPECT_FALSE(data[0].sel);
+  EXPECT_EQ(data[1].address, 2u);
+}
+
+}  // namespace
+}  // namespace abenc

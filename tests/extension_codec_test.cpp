@@ -1,0 +1,287 @@
+// Semantic tests for the extension codes (offset, INC-XOR, working-zone,
+// Beach) beyond the round-trip sweeps of codec_test.cpp.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/beach_codec.h"
+#include "core/inc_xor_codec.h"
+#include "core/mtf_codec.h"
+#include "core/offset_codec.h"
+#include "core/stream_evaluator.h"
+#include "core/working_zone_codec.h"
+#include "trace/synthetic.h"
+
+namespace abenc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Offset
+// ---------------------------------------------------------------------------
+
+TEST(OffsetCodecTest, ConstantStrideFreezesTheBus) {
+  OffsetCodec codec(32);
+  TransitionCounter counter(32, 0);
+  for (Word a = 0x1000; a < 0x2000; a += 4) {
+    counter.Observe(codec.Encode(a, true));
+  }
+  // First delta is 0x1000, second is 4, then the bus holds 4 forever.
+  const BusState first{0x1000, 0};
+  const BusState second{4, 0};
+  EXPECT_EQ(counter.total(),
+            PopCount(first.lines) + PopCount(first.lines ^ second.lines));
+}
+
+TEST(OffsetCodecTest, DecoderAccumulates) {
+  OffsetCodec codec(16);
+  for (Word a : {Word{10}, Word{14}, Word{5}, Word{0xFFFF}, Word{3}}) {
+    const BusState s = codec.Encode(a, true);
+    EXPECT_EQ(codec.Decode(s, true), a);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// INC-XOR
+// ---------------------------------------------------------------------------
+
+TEST(IncXorCodecTest, SequentialRunIsCompletelyQuiet) {
+  IncXorCodec codec(32, 4);
+  TransitionCounter counter(32, 0, /*skip_first=*/true);
+  for (Word a = 0x40000; a < 0x42000; a += 4) {
+    counter.Observe(codec.Encode(a, true));
+  }
+  // After the first pattern, predictions are perfect: zero toggles, with
+  // no redundant line at all (better than T0 on this metric).
+  EXPECT_EQ(counter.total(), 0);
+}
+
+TEST(IncXorCodecTest, MispredictionCostsHammingToPrediction) {
+  IncXorCodec codec(16, 4);
+  codec.Encode(0x100, true);
+  const BusState before = codec.Encode(0x104, true);  // predicted
+  const BusState after = codec.Encode(0x200, true);   // jump
+  EXPECT_EQ(PopCount(before.lines ^ after.lines),
+            HammingDistance(0x200, 0x104 + 4, 16));
+}
+
+TEST(IncXorCodecTest, RejectsBadStride) {
+  EXPECT_THROW(IncXorCodec(32, 6), CodecConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Working-zone
+// ---------------------------------------------------------------------------
+
+TEST(WorkingZoneCodecTest, HitsFreezeTheUpperLines) {
+  WorkingZoneCodec codec(32, 4, 8);
+  codec.Encode(0x12345000, true);  // miss, seeds a zone
+  const BusState hit = codec.Encode(0x12345010, true);  // within the window
+  EXPECT_EQ(hit.redundant & 1, 1u);
+  // Upper lines frozen at the previous bus value.
+  EXPECT_EQ(hit.lines >> 10, Word{0x12345000} >> 10);
+}
+
+TEST(WorkingZoneCodecTest, InterleavedZonesStayHits) {
+  WorkingZoneCodec codec(32, 4, 8);
+  codec.Encode(0x10000000, true);   // zone A
+  codec.Encode(0x20000000, false);  // zone B
+  codec.Encode(0x30000000, true);   // zone C
+  // Returning to each zone within its window must hit.
+  EXPECT_EQ(codec.Encode(0x10000004, true).redundant & 1, 1u);
+  EXPECT_EQ(codec.Encode(0x20000008, false).redundant & 1, 1u);
+  EXPECT_EQ(codec.Encode(0x3000000C, true).redundant & 1, 1u);
+}
+
+TEST(WorkingZoneCodecTest, EncoderAndDecoderZoneFilesStayInLockStep) {
+  WorkingZoneCodec codec(32, 4, 8);
+  SyntheticGenerator gen(77);
+  // Stress with more distinct regions than zone registers.
+  std::vector<BusAccess> stream;
+  const Word bases[] = {0x1000, 0x20000, 0x300000, 0x4000000, 0x50000000,
+                        0x6100000};
+  for (int i = 0; i < 4000; ++i) {
+    const Word base = bases[static_cast<std::size_t>(i * 2654435761u) %
+                            std::size(bases)];
+    stream.push_back({base + (static_cast<Word>(i) % 32) * 4, i % 2 == 0});
+  }
+  EXPECT_NO_THROW(Evaluate(codec, stream, 4, /*verify_decode=*/true));
+}
+
+TEST(WorkingZoneCodecTest, RejectsBadGeometry) {
+  EXPECT_THROW(WorkingZoneCodec(32, 3, 8), CodecConfigError);
+  EXPECT_THROW(WorkingZoneCodec(8, 4, 8), CodecConfigError);
+  EXPECT_THROW(WorkingZoneCodec(32, 4, 0), CodecConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Beach
+// ---------------------------------------------------------------------------
+
+TEST(BeachCodecTest, UntrainedIsIdentity) {
+  BeachCodec codec(32, 8);
+  EXPECT_EQ(codec.Encode(0xDEADBEEF, true).lines, 0xDEADBEEFu);
+  for (BeachCodec::Transform t : codec.transforms()) {
+    EXPECT_EQ(t, BeachCodec::Transform::kIdentity);
+  }
+}
+
+TEST(BeachCodecTest, TrainingPicksGrayForCountingCluster) {
+  // A unit-stride counter toggles low bits heavily; Gray on the low
+  // cluster cuts that to one transition per step.
+  BeachCodec codec(32, 8);
+  std::vector<Word> sample;
+  for (Word a = 0; a < 4096; ++a) sample.push_back(a);
+  codec.Train(sample);
+  EXPECT_EQ(codec.transforms()[0], BeachCodec::Transform::kGray);
+}
+
+TEST(BeachCodecTest, TrainingPicksXorPrevForAlternatingCluster) {
+  // A cluster alternating between two far-apart values repeats after XOR
+  // decorrelation (the sent value is constant from step 2 on).
+  BeachCodec codec(16, 8);
+  std::vector<Word> sample;
+  for (int i = 0; i < 2048; ++i) sample.push_back(i % 2 == 0 ? 0x00AA : 0x0055);
+  codec.Train(sample);
+  EXPECT_EQ(codec.transforms()[0], BeachCodec::Transform::kXorPrev);
+}
+
+TEST(BeachCodecTest, TrainingNeverHurtsOnTheTrainingStream) {
+  SyntheticGenerator gen(123);
+  const AddressTrace trace = gen.MultiplexedLike(20000, 0.35, 4, 32);
+  const auto accesses = trace.ToBusAccesses();
+  const std::vector<Word> sample = trace.Addresses();
+
+  BeachCodec untrained(32, 8);
+  const EvalResult base = Evaluate(untrained, accesses, 4, true);
+  BeachCodec trained(32, 8);
+  trained.Train(sample);
+  const EvalResult tuned = Evaluate(trained, accesses, 4, true);
+  EXPECT_LE(tuned.transitions, base.transitions);
+}
+
+TEST(BeachCodecTest, RoundTripsAfterTraining) {
+  BeachCodec codec(32, 8);
+  SyntheticGenerator gen(9);
+  const AddressTrace train = gen.InstructionLike(5000, 6.0, 4, 32);
+  codec.Train(train.Addresses());
+  const AddressTrace test = gen.DataLike(5000, 4, 32);
+  EXPECT_NO_THROW(Evaluate(codec, test.ToBusAccesses(), 4, true));
+}
+
+TEST(BeachCodecTest, CorrelationClusteringGroupsCoToggledLines) {
+  // Two interleaved line groups that always toggle together: bits
+  // {0,2,4,6} flip as a block, bits {1,3,5,7} flip as another block.
+  // Correlation clustering must put each block in one cluster even
+  // though the lines are not adjacent.
+  BeachCodec codec(8, 4, BeachCodec::Clustering::kCorrelation);
+  std::vector<Word> sample;
+  Word value = 0;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    if (rng() % 2 == 0) value ^= 0b01010101;
+    if (rng() % 3 == 0) value ^= 0b10101010;
+    sample.push_back(value);
+  }
+  codec.Train(sample);
+  ASSERT_EQ(codec.clusters().size(), 2u);
+  for (const auto& cluster : codec.clusters()) {
+    // All members share parity: a pure even or pure odd group.
+    for (unsigned line : cluster) {
+      EXPECT_EQ(line % 2, cluster.front() % 2)
+          << "mixed cluster: correlation grouping failed";
+    }
+  }
+}
+
+TEST(BeachCodecTest, CorrelationVariantRoundTripsAfterTraining) {
+  BeachCodec codec(32, 8, BeachCodec::Clustering::kCorrelation);
+  SyntheticGenerator gen(14);
+  const AddressTrace train = gen.MultiplexedLike(8000, 0.35, 4, 32);
+  codec.Train(train.Addresses());
+  const AddressTrace test = gen.MultiplexedLike(8000, 0.35, 4, 32);
+  EXPECT_NO_THROW(Evaluate(codec, test.ToBusAccesses(), 4, true));
+}
+
+TEST(BeachCodecTest, CorrelationClusteringNeverHurtsOnTrainingStream) {
+  SyntheticGenerator gen(15);
+  const AddressTrace trace = gen.MultiplexedLike(20000, 0.35, 4, 32);
+  const auto accesses = trace.ToBusAccesses();
+  const std::vector<Word> sample = trace.Addresses();
+
+  BeachCodec untrained(32, 8);
+  const EvalResult base = Evaluate(untrained, accesses, 4, true);
+  BeachCodec correlated(32, 8, BeachCodec::Clustering::kCorrelation);
+  correlated.Train(sample);
+  const EvalResult tuned = Evaluate(correlated, accesses, 4, true);
+  EXPECT_LE(tuned.transitions, base.transitions);
+}
+
+TEST(BeachCodecTest, RejectsBadClusterSize) {
+  EXPECT_THROW(BeachCodec(32, 0), CodecConfigError);
+  EXPECT_THROW(BeachCodec(8, 16), CodecConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// MTF (self-organizing list)
+// ---------------------------------------------------------------------------
+
+TEST(MtfCodecTest, RepeatingValuesHitTheDictionary) {
+  MtfCodec codec(32, 16);
+  codec.Encode(0x7FFF0040, true);                        // miss
+  codec.Encode(0x10008000, true);                        // miss
+  const BusState hit = codec.Encode(0x7FFF0040, true);   // revisit
+  EXPECT_EQ(hit.redundant & 1, 1u);
+  // Upper lines frozen at the previous bus value.
+  EXPECT_EQ(hit.lines >> 4, Word{0x10008000} >> 4);
+  EXPECT_EQ(hit.lines & 0xF, 1u);  // it sat at index 1
+}
+
+TEST(MtfCodecTest, MoveToFrontPromotesHotValues) {
+  MtfCodec codec(32, 4);
+  codec.Encode(0xAAA0, true);
+  codec.Encode(0xBBB0, true);
+  codec.Encode(0xAAA0, true);  // hit at 1, promoted to 0
+  const BusState again = codec.Encode(0xAAA0, true);
+  EXPECT_EQ(again.lines & 0x3, 0u);
+}
+
+TEST(MtfCodecTest, EvictedValuesMissAgain) {
+  MtfCodec codec(32, 4);
+  // Fill with 4 fresh values, pushing the seeds out.
+  for (Word v : {Word{0x100}, Word{0x200}, Word{0x300}, Word{0x400}}) {
+    codec.Encode(v, true);
+  }
+  EXPECT_EQ(codec.Encode(0x500, true).redundant, 0u);  // miss, evicts 0x100
+  EXPECT_EQ(codec.Encode(0x100, true).redundant, 0u);  // gone
+  EXPECT_EQ(codec.Encode(0x400, true).redundant, 1u);  // still resident
+}
+
+TEST(MtfCodecTest, AlternatingAddressesBecomeCheap) {
+  // A stack slot and an array pointer ping-ponging: binary pays the full
+  // Hamming distance every cycle; MTF pays index wiggles only.
+  MtfCodec codec(32, 16);
+  TransitionCounter mtf_counter(32, 1);
+  TransitionCounter binary_counter(32, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const Word a = (i % 2 == 0) ? 0x7FFF0040 : 0x10008000;
+    mtf_counter.Observe(codec.Encode(a, true));
+    binary_counter.Observe(BusState{a, 0});
+  }
+  EXPECT_LT(mtf_counter.total(), binary_counter.total() / 5);
+}
+
+TEST(MtfCodecTest, LockStepUnderStress) {
+  MtfCodec codec(32, 16);
+  SyntheticGenerator gen(55);
+  const AddressTrace trace = gen.ZipfRandom(20000, 64, 1.1, 32);
+  EXPECT_NO_THROW(Evaluate(codec, trace.ToBusAccesses(), 4, true));
+}
+
+TEST(MtfCodecTest, RejectsBadGeometry) {
+  EXPECT_THROW(MtfCodec(32, 0), CodecConfigError);
+  EXPECT_THROW(MtfCodec(32, 12), CodecConfigError);
+  EXPECT_THROW(MtfCodec(4, 16), CodecConfigError);
+}
+
+}  // namespace
+}  // namespace abenc

@@ -1,0 +1,54 @@
+// Tests for the table renderer used by every bench.
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace abenc {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Name", "Value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string text = table.ToString();
+  // Every line has the same length (alignment).
+  std::size_t expected = text.find('\n');
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    EXPECT_EQ(eol - pos, expected);
+    pos = eol + 1;
+  }
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleAppearsBeforeNextRow) {
+  TextTable table({"A"});
+  table.AddRow({"x"});
+  table.AddRule();
+  table.AddRow({"avg"});
+  const std::string text = table.ToString();
+  const std::size_t x = text.find("x");
+  const std::size_t rule = text.rfind("---");
+  const std::size_t avg = text.find("avg");
+  EXPECT_LT(x, rule);
+  EXPECT_LT(rule, avg);
+}
+
+TEST(TextTableTest, RejectsWrongArity) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(FormattersTest, FixedAndPercent) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+  EXPECT_EQ(FormatPercent(35.519), "35.52%");
+  EXPECT_EQ(FormatPercent(-1.005), "-1.00%");
+  EXPECT_EQ(FormatCount(1234567), "1234567");
+  EXPECT_EQ(FormatCount(-5), "-5");
+}
+
+}  // namespace
+}  // namespace abenc

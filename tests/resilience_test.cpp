@@ -1,0 +1,123 @@
+// Tests for the single-event-upset analysis.
+#include <gtest/gtest.h>
+
+#include "core/resilience.h"
+#include "trace/synthetic.h"
+
+namespace abenc {
+namespace {
+
+std::vector<BusAccess> SequentialStream(std::size_t count) {
+  SyntheticGenerator gen(1);
+  return gen.Sequential(count, 0x400000, 4, 32).ToBusAccesses();
+}
+
+TEST(UpsetTest, BinaryCorruptsExactlyOneAddress) {
+  const auto stream = SequentialStream(500);
+  const UpsetResult r =
+      MeasureSingleUpset("binary", CodecOptions{}, stream, 100, 7);
+  EXPECT_EQ(r.corrupted_addresses, 1u);
+  EXPECT_EQ(r.recovery_cycles, 0u);
+  EXPECT_TRUE(r.resynchronised);
+}
+
+TEST(UpsetTest, BusInvertCorruptsExactlyOneAddress) {
+  // Decoding is a stateless conditional inversion; flipping either a data
+  // line or the INV line ruins only the cycle it hits.
+  const auto stream = SequentialStream(500);
+  for (unsigned line : {3u, 32u /* INV */}) {
+    const UpsetResult r =
+        MeasureSingleUpset("bus-invert", CodecOptions{}, stream, 100, line);
+    EXPECT_EQ(r.corrupted_addresses, 1u) << "line " << line;
+  }
+}
+
+TEST(UpsetTest, T0FrozenCyclesAbsorbDataLineUpsets) {
+  // During a frozen (INC = 1) run the decoder regenerates addresses
+  // locally and never reads the data lines — a flipped line there is
+  // completely harmless. This is T0's surprising SEU upside.
+  const auto stream = SequentialStream(500);
+  const UpsetResult r =
+      MeasureSingleUpset("t0", CodecOptions{}, stream, 100, 0);
+  EXPECT_EQ(r.corrupted_addresses, 0u);
+}
+
+TEST(UpsetTest, T0BinaryCycleUpsetPropagatesUntilResync) {
+  // Hitting the binary (INC = 0) launch address poisons the decoder's
+  // regeneration base: every following regenerated address carries the
+  // error until the next out-of-sequence address arrives in binary.
+  std::vector<BusAccess> stream = SequentialStream(200);
+  SyntheticGenerator gen(2);
+  const auto tail = gen.UniformRandom(50, 32).ToBusAccesses();
+  stream.insert(stream.end(), tail.begin(), tail.end());
+
+  const UpsetResult r =
+      MeasureSingleUpset("t0", CodecOptions{}, stream, 0, 0);
+  EXPECT_GE(r.corrupted_addresses, 190u);  // the whole run is poisoned
+  EXPECT_TRUE(r.resynchronised);           // binary tail resyncs
+
+  // Flipping the INC line mid-run breaks at least that cycle and skews
+  // the regeneration base.
+  const UpsetResult inc =
+      MeasureSingleUpset("t0", CodecOptions{}, stream, 100, 32 /* INC */);
+  EXPECT_GE(inc.corrupted_addresses, 1u);
+}
+
+TEST(UpsetTest, T0ResynchronisesAtTheNextBinaryCycle) {
+  // 50 sequential addresses launched at cycle 0, then random (binary)
+  // addresses: damage from hitting the launch is capped at the run.
+  std::vector<BusAccess> stream = SequentialStream(50);
+  SyntheticGenerator gen(3);
+  const auto tail = gen.UniformRandom(100, 32).ToBusAccesses();
+  stream.insert(stream.end(), tail.begin(), tail.end());
+  const UpsetResult r =
+      MeasureSingleUpset("t0", CodecOptions{}, stream, 0, 0);
+  EXPECT_GE(r.corrupted_addresses, 45u);
+  EXPECT_LE(r.recovery_cycles, 50u);
+  EXPECT_TRUE(r.resynchronised);
+}
+
+TEST(UpsetTest, WorkingZoneDictionaryDamageCanOutliveTheCycle) {
+  // A corrupted miss re-seeds a zone register differently on the two
+  // ends; later hits against that zone decode wrong long after.
+  // (During hits the decoder ignores the upper lines entirely, so many
+  // injections are harmless — scan until one lands on a miss cycle.)
+  SyntheticGenerator gen(4);
+  const auto stream = gen.MultiplexedLike(2000, 0.35, 4, 32).ToBusAccesses();
+  std::size_t worst = 0;
+  for (std::size_t cycle = 0; cycle < 1500 && worst < 2; cycle += 25) {
+    const UpsetResult r = MeasureSingleUpset("working-zone", CodecOptions{},
+                                             stream, cycle, 12);
+    worst = std::max(worst, r.corrupted_addresses);
+  }
+  EXPECT_GE(worst, 2u) << "a corrupted miss must poison later zone hits";
+}
+
+TEST(UpsetTest, AverageCorruptionSeparatesStatelessFromHistoryCodes) {
+  SyntheticGenerator gen(5);
+  const auto stream =
+      gen.InstructionLike(3000, 6.0, 4, 32).ToBusAccesses();
+  const double binary =
+      AverageUpsetCorruption("binary", CodecOptions{}, stream, 40, 9);
+  const double offset =
+      AverageUpsetCorruption("offset", CodecOptions{}, stream, 40, 9);
+  // Stateless decode: exactly one corrupted address per upset.
+  EXPECT_DOUBLE_EQ(binary, 1.0);
+  // Accumulating decode with no resync channel: damage is unbounded.
+  EXPECT_GT(offset, 100.0);
+}
+
+TEST(UpsetTest, RejectsOutOfRangeInjections) {
+  const auto stream = SequentialStream(10);
+  EXPECT_THROW(
+      MeasureSingleUpset("binary", CodecOptions{}, stream, 10, 0),
+      std::out_of_range);
+  EXPECT_THROW(
+      MeasureSingleUpset("binary", CodecOptions{}, stream, 0, 32),
+      std::out_of_range);
+  EXPECT_NO_THROW(
+      MeasureSingleUpset("t0", CodecOptions{}, stream, 0, 32));  // INC
+}
+
+}  // namespace
+}  // namespace abenc

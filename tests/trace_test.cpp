@@ -1,0 +1,322 @@
+// Tests for the trace substrate: container, statistics, synthetic
+// generators and persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+
+namespace abenc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AddressTrace
+// ---------------------------------------------------------------------------
+
+TEST(AddressTraceTest, AppendAndFilter) {
+  AddressTrace trace("t");
+  trace.Append(0x100, AccessKind::kInstruction);
+  trace.Append(0x200, AccessKind::kData);
+  trace.Append(0x104, AccessKind::kInstruction);
+  EXPECT_EQ(trace.size(), 3u);
+  const AddressTrace instr = trace.Filtered(AccessKind::kInstruction);
+  EXPECT_EQ(instr.size(), 2u);
+  EXPECT_EQ(instr[1].address, 0x104u);
+  const AddressTrace data = trace.Filtered(AccessKind::kData);
+  EXPECT_EQ(data.size(), 1u);
+}
+
+TEST(AddressTraceTest, BusAccessesCarrySel) {
+  AddressTrace trace;
+  trace.Append(1, AccessKind::kInstruction);
+  trace.Append(2, AccessKind::kData);
+  const auto accesses = trace.ToBusAccesses();
+  EXPECT_TRUE(accesses[0].sel);
+  EXPECT_FALSE(accesses[1].sel);
+}
+
+TEST(MultiplexTracesTest, FollowsScheduleAndDrainsRemainder) {
+  AddressTrace instr("i");
+  instr.Append(0x10, AccessKind::kInstruction);
+  instr.Append(0x14, AccessKind::kInstruction);
+  AddressTrace data("d");
+  data.Append(0x90, AccessKind::kData);
+  const AddressTrace mux =
+      MultiplexTraces(instr, data, {true, false});
+  ASSERT_EQ(mux.size(), 3u);
+  EXPECT_EQ(mux[0].address, 0x10u);
+  EXPECT_EQ(mux[1].address, 0x90u);
+  EXPECT_EQ(mux[2].address, 0x14u);  // drained after the schedule
+}
+
+// ---------------------------------------------------------------------------
+// TraceStats
+// ---------------------------------------------------------------------------
+
+TEST(TraceStatsTest, PureSequentialStream) {
+  SyntheticGenerator gen;
+  const AddressTrace trace = gen.Sequential(1000, 0, 4, 32);
+  const TraceStats stats = ComputeStats(trace, 32, 4);
+  EXPECT_EQ(stats.length, 1000u);
+  EXPECT_EQ(stats.unique_addresses, 1000u);
+  EXPECT_DOUBLE_EQ(stats.in_sequence_percent, 100.0);
+  EXPECT_DOUBLE_EQ(stats.repeated_percent, 0.0);
+  // A single maximal run of 999 sequential steps.
+  EXPECT_EQ(stats.run_length_histogram.at(999), 1u);
+}
+
+TEST(TraceStatsTest, RepeatedAddressesAreNotInSequence) {
+  AddressTrace trace;
+  for (int i = 0; i < 10; ++i) trace.Append(0x40, AccessKind::kData);
+  const TraceStats stats = ComputeStats(trace, 32, 4);
+  EXPECT_DOUBLE_EQ(stats.in_sequence_percent, 0.0);
+  EXPECT_DOUBLE_EQ(stats.repeated_percent, 100.0);
+  EXPECT_EQ(stats.unique_addresses, 1u);
+  EXPECT_DOUBLE_EQ(stats.average_hamming, 0.0);
+  EXPECT_NEAR(stats.address_entropy_bits, 0.0, 1e-12);
+}
+
+TEST(TraceStatsTest, HammingHistogramAndPerBitToggles) {
+  AddressTrace trace;
+  trace.Append(0b0000, AccessKind::kData);
+  trace.Append(0b0011, AccessKind::kData);  // H = 2
+  trace.Append(0b0111, AccessKind::kData);  // H = 1
+  const TraceStats stats = ComputeStats(trace, 4, 1);
+  EXPECT_EQ(stats.hamming_histogram[2], 1u);
+  EXPECT_EQ(stats.hamming_histogram[1], 1u);
+  EXPECT_EQ(stats.per_bit_toggles[0], 1);
+  EXPECT_EQ(stats.per_bit_toggles[1], 1);
+  EXPECT_EQ(stats.per_bit_toggles[2], 1);
+  EXPECT_EQ(stats.per_bit_toggles[3], 0);
+}
+
+TEST(TraceStatsTest, UniformEntropyApproachesLogOfUniverse) {
+  SyntheticGenerator gen(5);
+  const AddressTrace trace = gen.ZipfRandom(50000, 256, 0.0, 32);  // flat
+  const TraceStats stats = ComputeStats(trace, 32, 4);
+  EXPECT_NEAR(stats.address_entropy_bits, 8.0, 0.05);
+}
+
+TEST(DetectStrideTest, FindsTheDominantIncrement) {
+  SyntheticGenerator gen(1);
+  EXPECT_EQ(DetectStride(gen.Sequential(5000, 0, 4, 32), 32), 4u);
+  EXPECT_EQ(DetectStride(gen.Sequential(5000, 0, 16, 32), 32), 16u);
+  EXPECT_EQ(DetectStride(gen.Sequential(5000, 0, 1, 32), 32), 1u);
+}
+
+TEST(DetectStrideTest, MixedStreamPicksTheMajorityStride) {
+  SyntheticGenerator gen(2);
+  AddressTrace mixed = gen.Sequential(8000, 0x400000, 4, 32);
+  const AddressTrace minority = gen.Sequential(1000, 0x800000, 8, 32);
+  for (const TraceEntry& e : minority) mixed.Append(e);
+  EXPECT_EQ(DetectStride(mixed, 32), 4u);
+}
+
+TEST(DetectStrideTest, RandomStreamDefaultsToSomePowerOfTwo) {
+  SyntheticGenerator gen(3);
+  const Word stride = DetectStride(gen.UniformRandom(5000, 32), 32);
+  EXPECT_TRUE(IsPowerOfTwo(stride));
+  EXPECT_LE(stride, 256u);
+}
+
+TEST(WorkingSetTest, CountsDistinctAddressesPerWindow) {
+  AddressTrace trace;
+  for (int round = 0; round < 8; ++round) {
+    for (Word a = 0; a < 8; ++a) trace.Append(a * 4, AccessKind::kData);
+  }
+  // Every 16-reference window covers the same 8 addresses twice.
+  EXPECT_DOUBLE_EQ(WorkingSetSize(trace, 16), 8.0);
+  EXPECT_DOUBLE_EQ(WorkingSetSize(trace, 8), 8.0);
+  EXPECT_DOUBLE_EQ(WorkingSetSize(trace, 4), 4.0);
+}
+
+TEST(WorkingSetTest, SequentialStreamHasFullWindows) {
+  SyntheticGenerator gen;
+  const AddressTrace trace = gen.Sequential(4096, 0, 4, 32);
+  EXPECT_DOUBLE_EQ(WorkingSetSize(trace, 64), 64.0);
+}
+
+TEST(WorkingSetTest, CurveStopsAtTraceLength) {
+  SyntheticGenerator gen;
+  const AddressTrace trace = gen.Sequential(100, 0, 4, 32);
+  const auto curve = WorkingSetCurve(trace);
+  ASSERT_EQ(curve.size(), 3u);  // 16, 32, 64
+  EXPECT_EQ(curve.back().first, 64u);
+  EXPECT_EQ(WorkingSetSize(trace, 0), 0.0);
+  EXPECT_EQ(WorkingSetSize(trace, 1000), 0.0);
+}
+
+TEST(WorkingSetTest, ZipfWorkingSetIsMuchSmallerThanWindow) {
+  SyntheticGenerator gen(3);
+  const AddressTrace trace = gen.ZipfRandom(8192, 64, 1.5, 32);
+  EXPECT_LT(WorkingSetSize(trace, 1024), 65.0);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generators
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticTest, MarkovDialsInSequenceProbability) {
+  SyntheticGenerator gen(11);
+  for (double p : {0.1, 0.5, 0.9}) {
+    const AddressTrace trace = gen.Markov(60000, p, 4, 32);
+    EXPECT_NEAR(InSequencePercent(trace, 32, 4), 100.0 * p, 1.5)
+        << "p = " << p;
+  }
+}
+
+TEST(SyntheticTest, GeneratorIsDeterministicPerSeed) {
+  SyntheticGenerator a(7);
+  SyntheticGenerator b(7);
+  EXPECT_EQ(a.UniformRandom(100, 32).Addresses(),
+            b.UniformRandom(100, 32).Addresses());
+  SyntheticGenerator c(8);
+  EXPECT_NE(a.UniformRandom(100, 32).Addresses(),
+            c.UniformRandom(100, 32).Addresses());
+}
+
+TEST(SyntheticTest, InstructionLikeIsMostlySequential) {
+  SyntheticGenerator gen(13);
+  const AddressTrace trace = gen.InstructionLike(50000, 6.0, 4, 32);
+  const double seq = InSequencePercent(trace, 32, 4);
+  EXPECT_GT(seq, 60.0);
+  EXPECT_LT(seq, 95.0);
+}
+
+TEST(SyntheticTest, DataLikeIsWeaklySequential) {
+  SyntheticGenerator gen(13);
+  const AddressTrace trace = gen.DataLike(50000, 4, 32);
+  const double seq = InSequencePercent(trace, 32, 4);
+  EXPECT_GT(seq, 2.0);
+  EXPECT_LT(seq, 35.0);
+}
+
+TEST(SyntheticTest, MultiplexedLikeMixesKinds) {
+  SyntheticGenerator gen(13);
+  const AddressTrace trace = gen.MultiplexedLike(10000, 0.35, 4, 32);
+  EXPECT_EQ(trace.size(), 10000u);
+  const std::size_t data = trace.Filtered(AccessKind::kData).size();
+  EXPECT_GT(data, 1500u);
+  EXPECT_LT(data, 4000u);
+}
+
+TEST(SyntheticTest, ZipfConcentratesOnHotAddresses) {
+  SyntheticGenerator gen(21);
+  const AddressTrace trace = gen.ZipfRandom(20000, 1024, 1.5, 32);
+  std::size_t top = 0;
+  const Word hottest = trace[0].address;  // rank-0 address is base
+  for (const TraceEntry& e : trace) {
+    if (e.address == hottest) ++top;
+  }
+  // With exponent 1.5 the top address draws a large share.
+  EXPECT_GT(top, trace.size() / 20);
+}
+
+// ---------------------------------------------------------------------------
+// Trace I/O
+// ---------------------------------------------------------------------------
+
+TEST(TraceIoTest, TextRoundTrip) {
+  SyntheticGenerator gen(3);
+  const AddressTrace original = gen.MultiplexedLike(500, 0.4, 4, 32);
+  std::stringstream buffer;
+  WriteTextTrace(buffer, original);
+  const AddressTrace loaded = ReadTextTrace(buffer, "x");
+  EXPECT_EQ(loaded.entries(), original.entries());
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  SyntheticGenerator gen(4);
+  const AddressTrace original = gen.MultiplexedLike(500, 0.4, 4, 32);
+  std::stringstream buffer;
+  WriteBinaryTrace(buffer, original);
+  const AddressTrace loaded = ReadBinaryTrace(buffer, "x");
+  EXPECT_EQ(loaded.entries(), original.entries());
+}
+
+TEST(TraceIoTest, TextParserSkipsCommentsAndBlankLines) {
+  std::stringstream in("# header\n\nI 0x100\n# mid\nD 0x200\n");
+  const AddressTrace t = ReadTextTrace(in);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].kind, AccessKind::kInstruction);
+  EXPECT_EQ(t[1].address, 0x200u);
+}
+
+TEST(TraceIoTest, TextParserRejectsGarbage) {
+  std::stringstream bad_kind("X 0x100\n");
+  EXPECT_THROW(ReadTextTrace(bad_kind), std::runtime_error);
+  std::stringstream bad_addr("I zebra\n");
+  EXPECT_THROW(ReadTextTrace(bad_addr), std::runtime_error);
+}
+
+TEST(TraceIoTest, BinaryParserRejectsBadMagicAndTruncation) {
+  std::stringstream bad("NOTMAGIC........");
+  EXPECT_THROW(ReadBinaryTrace(bad), std::runtime_error);
+
+  AddressTrace t;
+  t.Append(1, AccessKind::kData);
+  std::stringstream buffer;
+  WriteBinaryTrace(buffer, t);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 3);  // chop the last entry
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(ReadBinaryTrace(truncated), std::runtime_error);
+}
+
+TEST(TraceIoTest, FileHelpersPickFormatByExtension) {
+  namespace fs = std::filesystem;
+  SyntheticGenerator gen(6);
+  const AddressTrace original = gen.Sequential(64, 0x400000, 4, 32);
+  const fs::path dir = fs::temp_directory_path();
+  const std::string text_path = (dir / "abenc_io_test.trace").string();
+  const std::string bin_path = (dir / "abenc_io_test.btrace").string();
+
+  SaveTrace(text_path, original);
+  SaveTrace(bin_path, original);
+  EXPECT_EQ(LoadTrace(text_path).entries(), original.entries());
+  EXPECT_EQ(LoadTrace(bin_path).entries(), original.entries());
+  // Binary is self-identifying; loading it as text must fail loudly.
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(TraceIoTest, DineroRoundTrip) {
+  SyntheticGenerator gen(8);
+  const AddressTrace original = gen.MultiplexedLike(300, 0.4, 4, 32);
+  std::stringstream buffer;
+  WriteDineroTrace(buffer, original);
+  const AddressTrace loaded = ReadDineroTrace(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].address, original[i].address);
+    EXPECT_EQ(loaded[i].kind, original[i].kind);
+  }
+}
+
+TEST(TraceIoTest, DineroParsesClassicLabels) {
+  std::stringstream in("2 400100\n0 7fff0040\n1 7fff0044\n");
+  const AddressTrace t = ReadDineroTrace(in);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].kind, AccessKind::kInstruction);
+  EXPECT_EQ(t[0].address, 0x400100u);
+  EXPECT_EQ(t[1].kind, AccessKind::kData);   // read
+  EXPECT_EQ(t[2].kind, AccessKind::kData);   // write
+  EXPECT_EQ(t[2].address, 0x7fff0044u);
+}
+
+TEST(TraceIoTest, DineroRejectsBadLabels) {
+  std::stringstream in("7 400100\n");
+  EXPECT_THROW(ReadDineroTrace(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadTrace("/nonexistent/abenc.trace"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace abenc
