@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adder_style.dir/bench_adder_style.cpp.o"
+  "CMakeFiles/bench_adder_style.dir/bench_adder_style.cpp.o.d"
+  "bench_adder_style"
+  "bench_adder_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adder_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_adder_style.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_filtered.dir/bench_cache_filtered.cpp.o"
+  "CMakeFiles/bench_cache_filtered.dir/bench_cache_filtered.cpp.o.d"
+  "bench_cache_filtered"
+  "bench_cache_filtered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_filtered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dram.dir/bench_dram.cpp.o"
+  "CMakeFiles/bench_dram.dir/bench_dram.cpp.o.d"
+  "bench_dram"
+  "bench_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

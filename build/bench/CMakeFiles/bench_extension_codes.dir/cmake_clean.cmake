@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_codes.dir/bench_extension_codes.cpp.o"
+  "CMakeFiles/bench_extension_codes.dir/bench_extension_codes.cpp.o.d"
+  "bench_extension_codes"
+  "bench_extension_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

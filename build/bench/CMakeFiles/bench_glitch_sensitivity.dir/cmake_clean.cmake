@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glitch_sensitivity.dir/bench_glitch_sensitivity.cpp.o"
+  "CMakeFiles/bench_glitch_sensitivity.dir/bench_glitch_sensitivity.cpp.o.d"
+  "bench_glitch_sensitivity"
+  "bench_glitch_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glitch_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inseq_sweep.dir/bench_inseq_sweep.cpp.o"
+  "CMakeFiles/bench_inseq_sweep.dir/bench_inseq_sweep.cpp.o.d"
+  "bench_inseq_sweep"
+  "bench_inseq_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inseq_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

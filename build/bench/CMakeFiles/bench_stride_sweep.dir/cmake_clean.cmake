@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stride_sweep.dir/bench_stride_sweep.cpp.o"
+  "CMakeFiles/bench_stride_sweep.dir/bench_stride_sweep.cpp.o.d"
+  "bench_stride_sweep"
+  "bench_stride_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stride_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

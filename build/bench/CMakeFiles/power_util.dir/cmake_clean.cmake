@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_util.dir/power_util.cpp.o"
+  "CMakeFiles/power_util.dir/power_util.cpp.o.d"
+  "libpower_util.a"
+  "libpower_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

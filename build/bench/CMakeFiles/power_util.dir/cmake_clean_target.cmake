@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpower_util.a"
+)

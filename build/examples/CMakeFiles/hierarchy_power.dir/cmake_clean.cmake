@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_power.dir/hierarchy_power.cpp.o"
+  "CMakeFiles/hierarchy_power.dir/hierarchy_power.cpp.o.d"
+  "hierarchy_power"
+  "hierarchy_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

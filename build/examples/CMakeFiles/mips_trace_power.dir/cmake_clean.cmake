@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_trace_power.dir/mips_trace_power.cpp.o"
+  "CMakeFiles/mips_trace_power.dir/mips_trace_power.cpp.o.d"
+  "mips_trace_power"
+  "mips_trace_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_trace_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_codec_explorer "/root/repo/build/examples/codec_explorer" "20000")
+set_tests_properties(example_codec_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mips_trace_power "/root/repo/build/examples/mips_trace_power" "gunzip" "50")
+set_tests_properties(example_mips_trace_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hierarchy_power "/root/repo/build/examples/hierarchy_power" "dhry")
+set_tests_properties(example_hierarchy_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_netlist_export "/root/repo/build/examples/netlist_export" "8" "/root/repo/build/examples/smoke_dt")
+set_tests_properties(example_netlist_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool "/root/repo/build/examples/trace_tool" "gen" "markov" "0.6" "5000" "/root/repo/build/examples/smoke.trace")
+set_tests_properties(example_trace_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_stats "/root/repo/build/examples/trace_tool" "stats" "/root/repo/build/examples/smoke.trace")
+set_tests_properties(example_trace_tool_stats PROPERTIES  DEPENDS "example_trace_tool" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_convert "/root/repo/build/examples/trace_tool" "convert" "/root/repo/build/examples/smoke.trace" "/root/repo/build/examples/smoke.din")
+set_tests_properties(example_trace_tool_convert PROPERTIES  DEPENDS "example_trace_tool" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_encode "/root/repo/build/examples/trace_tool" "encode" "all" "/root/repo/build/examples/smoke.din")
+set_tests_properties(example_trace_tool_encode PROPERTIES  DEPENDS "example_trace_tool_convert" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_capture "/root/repo/build/examples/trace_tool" "capture" "dhry" "/root/repo/build/examples/smoke.btrace")
+set_tests_properties(example_trace_tool_capture PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")

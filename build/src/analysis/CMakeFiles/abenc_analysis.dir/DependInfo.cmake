@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analytical.cpp" "src/analysis/CMakeFiles/abenc_analysis.dir/analytical.cpp.o" "gcc" "src/analysis/CMakeFiles/abenc_analysis.dir/analytical.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/abenc_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/abenc_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/memory_mapping.cpp" "src/analysis/CMakeFiles/abenc_analysis.dir/memory_mapping.cpp.o" "gcc" "src/analysis/CMakeFiles/abenc_analysis.dir/memory_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abenc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abenc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abenc_analysis.dir/analytical.cpp.o"
+  "CMakeFiles/abenc_analysis.dir/analytical.cpp.o.d"
+  "CMakeFiles/abenc_analysis.dir/markov.cpp.o"
+  "CMakeFiles/abenc_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/abenc_analysis.dir/memory_mapping.cpp.o"
+  "CMakeFiles/abenc_analysis.dir/memory_mapping.cpp.o.d"
+  "libabenc_analysis.a"
+  "libabenc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abenc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

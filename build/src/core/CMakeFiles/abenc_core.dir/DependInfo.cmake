@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec_factory.cpp" "src/core/CMakeFiles/abenc_core.dir/codec_factory.cpp.o" "gcc" "src/core/CMakeFiles/abenc_core.dir/codec_factory.cpp.o.d"
+  "/root/repo/src/core/coupling.cpp" "src/core/CMakeFiles/abenc_core.dir/coupling.cpp.o" "gcc" "src/core/CMakeFiles/abenc_core.dir/coupling.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/abenc_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/abenc_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/resilience.cpp" "src/core/CMakeFiles/abenc_core.dir/resilience.cpp.o" "gcc" "src/core/CMakeFiles/abenc_core.dir/resilience.cpp.o.d"
+  "/root/repo/src/core/stream_evaluator.cpp" "src/core/CMakeFiles/abenc_core.dir/stream_evaluator.cpp.o" "gcc" "src/core/CMakeFiles/abenc_core.dir/stream_evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abenc_core.dir/codec_factory.cpp.o"
+  "CMakeFiles/abenc_core.dir/codec_factory.cpp.o.d"
+  "CMakeFiles/abenc_core.dir/coupling.cpp.o"
+  "CMakeFiles/abenc_core.dir/coupling.cpp.o.d"
+  "CMakeFiles/abenc_core.dir/experiment.cpp.o"
+  "CMakeFiles/abenc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/abenc_core.dir/resilience.cpp.o"
+  "CMakeFiles/abenc_core.dir/resilience.cpp.o.d"
+  "CMakeFiles/abenc_core.dir/stream_evaluator.cpp.o"
+  "CMakeFiles/abenc_core.dir/stream_evaluator.cpp.o.d"
+  "libabenc_core.a"
+  "libabenc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abenc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abenc_core.
+# This may be replaced when dependencies are built.

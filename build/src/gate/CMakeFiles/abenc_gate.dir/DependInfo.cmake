@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/circuits.cpp" "src/gate/CMakeFiles/abenc_gate.dir/circuits.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/circuits.cpp.o.d"
+  "/root/repo/src/gate/power.cpp" "src/gate/CMakeFiles/abenc_gate.dir/power.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/power.cpp.o.d"
+  "/root/repo/src/gate/probabilistic.cpp" "src/gate/CMakeFiles/abenc_gate.dir/probabilistic.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/probabilistic.cpp.o.d"
+  "/root/repo/src/gate/simulator.cpp" "src/gate/CMakeFiles/abenc_gate.dir/simulator.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/simulator.cpp.o.d"
+  "/root/repo/src/gate/system.cpp" "src/gate/CMakeFiles/abenc_gate.dir/system.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/system.cpp.o.d"
+  "/root/repo/src/gate/timing.cpp" "src/gate/CMakeFiles/abenc_gate.dir/timing.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/timing.cpp.o.d"
+  "/root/repo/src/gate/vcd.cpp" "src/gate/CMakeFiles/abenc_gate.dir/vcd.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/vcd.cpp.o.d"
+  "/root/repo/src/gate/verilog.cpp" "src/gate/CMakeFiles/abenc_gate.dir/verilog.cpp.o" "gcc" "src/gate/CMakeFiles/abenc_gate.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abenc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abenc_gate.dir/circuits.cpp.o"
+  "CMakeFiles/abenc_gate.dir/circuits.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/power.cpp.o"
+  "CMakeFiles/abenc_gate.dir/power.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/probabilistic.cpp.o"
+  "CMakeFiles/abenc_gate.dir/probabilistic.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/simulator.cpp.o"
+  "CMakeFiles/abenc_gate.dir/simulator.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/system.cpp.o"
+  "CMakeFiles/abenc_gate.dir/system.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/timing.cpp.o"
+  "CMakeFiles/abenc_gate.dir/timing.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/vcd.cpp.o"
+  "CMakeFiles/abenc_gate.dir/vcd.cpp.o.d"
+  "CMakeFiles/abenc_gate.dir/verilog.cpp.o"
+  "CMakeFiles/abenc_gate.dir/verilog.cpp.o.d"
+  "libabenc_gate.a"
+  "libabenc_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abenc_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabenc_gate.a"
+)

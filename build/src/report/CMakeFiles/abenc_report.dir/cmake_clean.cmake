@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abenc_report.dir/table.cpp.o"
+  "CMakeFiles/abenc_report.dir/table.cpp.o.d"
+  "libabenc_report.a"
+  "libabenc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abenc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cpp" "src/sim/CMakeFiles/abenc_sim.dir/assembler.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/assembler.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/abenc_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/abenc_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/disassembler.cpp" "src/sim/CMakeFiles/abenc_sim.dir/disassembler.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/disassembler.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/abenc_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/isa.cpp" "src/sim/CMakeFiles/abenc_sim.dir/isa.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/isa.cpp.o.d"
+  "/root/repo/src/sim/program_library.cpp" "src/sim/CMakeFiles/abenc_sim.dir/program_library.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/program_library.cpp.o.d"
+  "/root/repo/src/sim/programs_compress.cpp" "src/sim/CMakeFiles/abenc_sim.dir/programs_compress.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/programs_compress.cpp.o.d"
+  "/root/repo/src/sim/programs_eda.cpp" "src/sim/CMakeFiles/abenc_sim.dir/programs_eda.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/programs_eda.cpp.o.d"
+  "/root/repo/src/sim/programs_extra.cpp" "src/sim/CMakeFiles/abenc_sim.dir/programs_extra.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/programs_extra.cpp.o.d"
+  "/root/repo/src/sim/programs_numeric.cpp" "src/sim/CMakeFiles/abenc_sim.dir/programs_numeric.cpp.o" "gcc" "src/sim/CMakeFiles/abenc_sim.dir/programs_numeric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/abenc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abenc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abenc_sim.dir/assembler.cpp.o"
+  "CMakeFiles/abenc_sim.dir/assembler.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/cache.cpp.o"
+  "CMakeFiles/abenc_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/cpu.cpp.o"
+  "CMakeFiles/abenc_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/disassembler.cpp.o"
+  "CMakeFiles/abenc_sim.dir/disassembler.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/dram.cpp.o"
+  "CMakeFiles/abenc_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/isa.cpp.o"
+  "CMakeFiles/abenc_sim.dir/isa.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/program_library.cpp.o"
+  "CMakeFiles/abenc_sim.dir/program_library.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/programs_compress.cpp.o"
+  "CMakeFiles/abenc_sim.dir/programs_compress.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/programs_eda.cpp.o"
+  "CMakeFiles/abenc_sim.dir/programs_eda.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/programs_extra.cpp.o"
+  "CMakeFiles/abenc_sim.dir/programs_extra.cpp.o.d"
+  "CMakeFiles/abenc_sim.dir/programs_numeric.cpp.o"
+  "CMakeFiles/abenc_sim.dir/programs_numeric.cpp.o.d"
+  "libabenc_sim.a"
+  "libabenc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abenc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

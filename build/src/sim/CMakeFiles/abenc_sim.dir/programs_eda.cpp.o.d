@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/abenc_sim.dir/programs_eda.cpp.o: \
+ /root/repo/src/sim/programs_eda.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sim/programs.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abenc_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/abenc_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/abenc_trace.dir/trace.cpp.o"
+  "CMakeFiles/abenc_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/abenc_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/abenc_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/abenc_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/abenc_trace.dir/trace_stats.cpp.o.d"
+  "libabenc_trace.a"
+  "libabenc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abenc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

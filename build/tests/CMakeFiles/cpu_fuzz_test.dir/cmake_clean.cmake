@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_fuzz_test.dir/cpu_fuzz_test.cpp.o"
+  "CMakeFiles/cpu_fuzz_test.dir/cpu_fuzz_test.cpp.o.d"
+  "cpu_fuzz_test"
+  "cpu_fuzz_test.pdb"
+  "cpu_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disassembler_test.cpp" "tests/CMakeFiles/disassembler_test.dir/disassembler_test.cpp.o" "gcc" "tests/CMakeFiles/disassembler_test.dir/disassembler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abenc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abenc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abenc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/abenc_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/abenc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/abenc_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

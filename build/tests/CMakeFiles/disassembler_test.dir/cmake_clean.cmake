@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disassembler_test.dir/disassembler_test.cpp.o"
+  "CMakeFiles/disassembler_test.dir/disassembler_test.cpp.o.d"
+  "disassembler_test"
+  "disassembler_test.pdb"
+  "disassembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disassembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_codec_test.dir/extension_codec_test.cpp.o"
+  "CMakeFiles/extension_codec_test.dir/extension_codec_test.cpp.o.d"
+  "extension_codec_test"
+  "extension_codec_test.pdb"
+  "extension_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_test.dir/gate_test.cpp.o"
+  "CMakeFiles/gate_test.dir/gate_test.cpp.o.d"
+  "gate_test"
+  "gate_test.pdb"
+  "gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

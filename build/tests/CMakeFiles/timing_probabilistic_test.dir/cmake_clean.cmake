@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_probabilistic_test.dir/timing_probabilistic_test.cpp.o"
+  "CMakeFiles/timing_probabilistic_test.dir/timing_probabilistic_test.cpp.o.d"
+  "timing_probabilistic_test"
+  "timing_probabilistic_test.pdb"
+  "timing_probabilistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_probabilistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

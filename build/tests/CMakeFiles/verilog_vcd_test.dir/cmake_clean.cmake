@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_vcd_test.dir/verilog_vcd_test.cpp.o"
+  "CMakeFiles/verilog_vcd_test.dir/verilog_vcd_test.cpp.o.d"
+  "verilog_vcd_test"
+  "verilog_vcd_test.pdb"
+  "verilog_vcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
