@@ -1,0 +1,139 @@
+// Extension: what fault tolerance costs, per code and protection layer.
+//
+// Each code from the resilience study is run through a BusChannel four
+// ways — bare, with one parity line, with width-generic SECDED, and with
+// a resync beacon (K = 64, no ECC) — over the gzip multiplexed stream.
+// Table A charges the check/beacon overhead against the paper's
+// Tables 2-4 savings (savings are vs the *bare binary* bus, so the
+// columns answer: how much of the power win survives each protection
+// level?). Table B reports what each level buys back in resilience:
+// average corrupted addresses per single-line upset and the worst-case
+// recovery span.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "channel/fault_models.h"
+#include "channel/upset.h"
+#include "core/stream_evaluator.h"
+#include "report/table.h"
+#include "sim/program_library.h"
+
+namespace {
+
+using namespace abenc;
+
+ChannelConfig Configure(const std::string& code, Protection protection,
+                        std::size_t resync_period) {
+  ChannelConfig config;
+  config.codec_name = code;
+  config.protection = protection;
+  config.resync_period = resync_period;
+  return config;
+}
+
+double TransitionsPerCycle(const ChannelConfig& config,
+                           std::span<const BusAccess> stream) {
+  BusChannel channel(config);
+  return RunStream(channel, stream).average_transitions_per_cycle();
+}
+
+// Worst recovery span over a deterministic probe grid (the same grid
+// bench_error_resilience uses, plus a redundant-line probe).
+std::size_t WorstRecovery(const ChannelConfig& config,
+                          std::span<const BusAccess> stream) {
+  BusChannel probe(config);
+  std::size_t worst = 0;
+  for (std::size_t cycle = 500; cycle < stream.size();
+       cycle += stream.size() / 8) {
+    for (unsigned line : {5u, probe.total_lines() - 1}) {
+      worst = std::max(
+          worst, MeasureSingleUpset(config, stream, cycle, line)
+                     .recovery_cycles);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace abenc;
+
+  const sim::ProgramTraces traces =
+      sim::RunBenchmark(sim::FindBenchmarkProgram("gzip"));
+  auto accesses = traces.multiplexed.ToBusAccesses();
+  accesses.resize(std::min<std::size_t>(accesses.size(), 20000));
+  constexpr std::size_t kBeaconPeriod = 64;
+  constexpr std::size_t kInjections = 24;
+
+  const std::vector<std::string> codes = {
+      "binary", "gray-word", "bus-invert", "t0",     "t0-bi", "dual-t0",
+      "dual-t0-bi", "inc-xor", "offset",   "working-zone",    "mtf"};
+
+  std::cout << "Extension: power overhead vs recovery bound per protection "
+               "layer\n(gzip multiplexed stream, "
+            << accesses.size() << " references; savings vs bare binary)\n\n";
+
+  const double binary_tpc =
+      TransitionsPerCycle(Configure("binary", Protection::kNone, 0),
+                          accesses);
+  const long long binary_total =
+      static_cast<long long>(binary_tpc * static_cast<double>(accesses.size()));
+
+  TextTable power({"Code", "Bare t/c", "Sav.%", "+Parity", "Sav.%",
+                   "+SECDED", "Sav.%", "+Beacon64", "Sav.%"});
+  for (const std::string& code : codes) {
+    std::vector<std::string> row = {code};
+    for (const auto& [protection, period] :
+         {std::pair{Protection::kNone, std::size_t{0}},
+          std::pair{Protection::kParity, std::size_t{0}},
+          std::pair{Protection::kSecded, std::size_t{0}},
+          std::pair{Protection::kNone, kBeaconPeriod}}) {
+      const double tpc =
+          TransitionsPerCycle(Configure(code, protection, period), accesses);
+      const long long total =
+          static_cast<long long>(tpc * static_cast<double>(accesses.size()));
+      row.push_back(FormatFixed(tpc, 2));
+      row.push_back(FormatFixed(SavingsPercent(total, binary_total), 1));
+    }
+    power.AddRow(row);
+  }
+  std::cout << power.ToString() << '\n';
+
+  // Table B uses a shorter stream: each cell is kInjections full runs.
+  auto probe_stream = accesses;
+  probe_stream.resize(std::min<std::size_t>(probe_stream.size(), 12000));
+  TextTable damage({"Code", "Corr/upset bare", "Corr/upset +SECDED",
+                    "Worst recovery bare", "Worst recovery +Beacon64"});
+  for (const std::string& code : codes) {
+    const ChannelConfig bare = Configure(code, Protection::kNone, 0);
+    const ChannelConfig secded = Configure(code, Protection::kSecded, 0);
+    const ChannelConfig beacon =
+        Configure(code, Protection::kNone, kBeaconPeriod);
+    damage.AddRow(
+        {code,
+         FormatFixed(AverageUpsetCorruption(bare, probe_stream, kInjections,
+                                            77),
+                     2),
+         FormatFixed(AverageUpsetCorruption(secded, probe_stream,
+                                            kInjections, 77),
+                     2),
+         FormatCount(static_cast<long long>(WorstRecovery(bare,
+                                                          probe_stream))),
+         FormatCount(
+             static_cast<long long>(WorstRecovery(beacon, probe_stream)))});
+  }
+  std::cout << damage.ToString();
+
+  std::cout << "\nReading the two tables together: SECDED zeroes the damage\n"
+               "column outright for every code — any single flipped line,\n"
+               "check lines included, is located and repaired before the\n"
+               "decoder sees it — at the price of 7 extra lines' worth of\n"
+               "transitions. The parity line costs almost nothing but only\n"
+               "*detects* (feeding the recovery state machine); the beacon\n"
+               "keeps the full code savings minus a verbatim cycle every\n"
+               "64, and in exchange caps the history codes' worst-case\n"
+               "smear at the beacon period.\n";
+  return 0;
+}

@@ -33,6 +33,13 @@
 #include "core/types.h"
 #include "core/working_zone_codec.h"
 
+// The fault-tolerant channel layer.
+#include "channel/bus_channel.h"
+#include "channel/fault_model.h"
+#include "channel/fault_models.h"
+#include "channel/secded.h"
+#include "channel/upset.h"
+
 // Traces.
 #include "trace/synthetic.h"
 #include "trace/trace.h"

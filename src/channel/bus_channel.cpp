@@ -1,0 +1,190 @@
+#include "channel/bus_channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "channel/fault_models.h"
+
+namespace abenc {
+
+std::string ProtectionName(Protection protection) {
+  switch (protection) {
+    case Protection::kNone:   return "none";
+    case Protection::kParity: return "parity";
+    case Protection::kSecded: return "secded";
+  }
+  return "?";
+}
+
+BusChannel::BusChannel(ChannelConfig config) : config_(std::move(config)) {
+  codec_ = MakeCodec(config_.codec_name, config_.codec_options);
+  fallback_ = MakeCodec("binary", config_.codec_options);
+
+  geometry_.data_lines = codec_->width();
+  geometry_.redundant_lines = codec_->redundant_lines();
+  switch (config_.protection) {
+    case Protection::kNone:
+      break;
+    case Protection::kParity:
+      geometry_.check_lines = 1;
+      break;
+    case Protection::kSecded:
+      secded_.emplace(geometry_.data_lines, geometry_.redundant_lines);
+      geometry_.check_lines = secded_->check_lines();
+      break;
+  }
+
+  if (config_.enable_recovery) {
+    if (config_.protection == Protection::kNone) {
+      throw ChannelConfigError(
+          "recovery requires a detecting protection layer (parity or "
+          "SECDED); with Protection::kNone corruption is never observed");
+    }
+    if (config_.fallback_threshold == 0 || config_.detection_window == 0 ||
+        config_.clean_window == 0) {
+      throw ChannelConfigError(
+          "recovery thresholds and windows must be nonzero");
+    }
+  }
+}
+
+void BusChannel::AddFault(FaultModelPtr fault) {
+  faults_.push_back(std::move(fault));
+}
+
+Word BusChannel::Transfer(Word address, bool sel) {
+  const std::size_t cycle = counters_.cycles;
+
+  // Resync beacon: both ends drop their history, so this cycle's frame
+  // travels verbatim and any divergence between the two ends dies here.
+  if (config_.resync_period != 0 && cycle != 0 &&
+      cycle % config_.resync_period == 0) {
+    codec_->Reset();
+    fallback_->Reset();
+    ++counters_.resync_beacons;
+  }
+
+  // Transmitter: encode with whichever code the recovery machine has
+  // active, then drive the check lines. In fallback the configured
+  // code's redundant lines idle low (binary never drives them), but they
+  // remain part of the physical channel and of the protected message, so
+  // the geometry — and the check-line count — never changes.
+  Codec& tx = mode_ == ChannelMode::kActive ? *codec_ : *fallback_;
+  ChannelFrame frame;
+  frame.coded = tx.Encode(address, sel);
+  switch (config_.protection) {
+    case Protection::kNone:
+      break;
+    case Protection::kParity:
+      frame.check = ComputeParity(frame.coded, geometry_.data_lines,
+                                  geometry_.redundant_lines);
+      break;
+    case Protection::kSecded:
+      frame.check = secded_->ComputeCheck(frame.coded);
+      break;
+  }
+
+  // The wire: faults corrupt the frame in flight. Power is charged for
+  // what the lines physically do, corruption and check lines included.
+  for (FaultModelPtr& fault : faults_) {
+    fault->Apply(frame, cycle, geometry_);
+  }
+  wire_transitions_ += FrameTransitions(prev_frame_, frame, geometry_);
+  prev_frame_ = frame;
+
+  // Receiver: verify (and with SECDED repair) the sampled frame.
+  bool detected = false;
+  switch (config_.protection) {
+    case Protection::kNone:
+      break;
+    case Protection::kParity:
+      if (ComputeParity(frame.coded, geometry_.data_lines,
+                        geometry_.redundant_lines) != frame.check) {
+        detected = true;
+        ++counters_.uncorrectable_errors;
+      }
+      break;
+    case Protection::kSecded:
+      switch (secded_->CorrectInPlace(frame.coded, frame.check)) {
+        case SecdedOutcome::kClean:
+          break;
+        case SecdedOutcome::kCorrectedMessage:
+        case SecdedOutcome::kCorrectedCheck:
+          detected = true;
+          ++counters_.corrected_errors;
+          break;
+        case SecdedOutcome::kDoubleError:
+          detected = true;
+          ++counters_.uncorrectable_errors;
+          break;
+      }
+      break;
+  }
+  if (detected) ++counters_.detected_errors;
+  last_flagged_ = detected;
+
+  const Word decoded = DecodeFrame(frame.coded, sel);
+
+  if (mode_ == ChannelMode::kFallback) ++counters_.cycles_in_fallback;
+  StepRecovery(detected);
+  ++counters_.cycles;
+  return decoded;
+}
+
+Word BusChannel::DecodeFrame(const BusState& coded, bool sel) {
+  return mode_ == ChannelMode::kActive ? codec_->Decode(coded, sel)
+                                       : fallback_->Decode(coded, sel);
+}
+
+void BusChannel::StepRecovery(bool detected) {
+  if (!config_.enable_recovery) return;
+  const std::size_t cycle = counters_.cycles;
+
+  if (detected) {
+    clean_run_ = 0;
+    recent_detections_.push_back(cycle);
+    // Keep only stamps inside the sliding window ending at this cycle.
+    const std::size_t window = config_.detection_window;
+    const std::size_t cutoff = cycle >= window - 1 ? cycle - (window - 1) : 0;
+    recent_detections_.erase(
+        recent_detections_.begin(),
+        std::lower_bound(recent_detections_.begin(), recent_detections_.end(),
+                         cutoff));
+    if (mode_ == ChannelMode::kActive &&
+        recent_detections_.size() >= config_.fallback_threshold) {
+      // Graceful degradation: demote to the stateless code so further
+      // upsets cost one address each instead of a history smear.
+      mode_ = ChannelMode::kFallback;
+      ++counters_.fallbacks;
+      fallback_->Reset();
+      recent_detections_.clear();
+    }
+  } else {
+    ++clean_run_;
+    if (mode_ == ChannelMode::kFallback && clean_run_ >= config_.clean_window) {
+      // The channel has been clean long enough: promote back. Resetting
+      // the configured code puts both ends in the power-on state, so the
+      // first promoted frame travels verbatim and the ends are in sync.
+      mode_ = ChannelMode::kActive;
+      ++counters_.repromotions;
+      codec_->Reset();
+      clean_run_ = 0;
+      recent_detections_.clear();
+    }
+  }
+}
+
+void BusChannel::Reset() {
+  codec_->Reset();
+  fallback_->Reset();
+  for (FaultModelPtr& fault : faults_) fault->Reset();
+  mode_ = ChannelMode::kActive;
+  counters_ = ChannelCounters{};
+  prev_frame_ = ChannelFrame{};
+  wire_transitions_ = 0;
+  last_flagged_ = false;
+  clean_run_ = 0;
+  recent_detections_.clear();
+}
+
+}  // namespace abenc

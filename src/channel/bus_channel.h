@@ -1,0 +1,138 @@
+// BusChannel: a deployable, fault-tolerant transfer stack around any
+// codec in the factory.
+//
+// The paper's history codes buy power with state shared between the two
+// ends of the bus; core/resilience shows one flipped line can smear
+// corruption across thousands of decoded addresses before that state
+// reconverges. A BusChannel closes the loop from measuring that damage to
+// surviving it, composing three independent mechanisms:
+//
+//  - fault models (channel/fault_models.h) corrupt frames in flight;
+//  - a protection layer adds check lines: a single parity line
+//    (detection only) or width-generic SECDED (corrects any single line
+//    error, detects doubles);
+//  - a resync beacon wipes the codec history at both ends every K cycles,
+//    forcing the next frame to travel verbatim, so worst-case error
+//    propagation of *any* history code is bounded by K;
+//
+// plus a recovery state machine for graceful degradation: repeated
+// detected corruption demotes the channel from the configured code to
+// plain binary (stateless decode — an upset then costs exactly one
+// address), and a sustained clean window promotes it back. Every
+// transition is counted and exposed.
+//
+// One BusChannel owns both ends of the bus, like Codec owns both
+// encoder- and decoder-side state: Transfer() performs one full cycle
+// (encode, protect, corrupt, check/correct, decode). Mode switches of
+// the recovery machine are modelled as atomic on both ends — the in-band
+// control exchange a hardware implementation would need is idealised
+// away, as the paper does for SEL.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/fault_model.h"
+#include "channel/secded.h"
+#include "core/codec_factory.h"
+
+namespace abenc {
+
+/// Protection layer carried on the channel's check lines.
+enum class Protection : unsigned char { kNone, kParity, kSecded };
+
+std::string ProtectionName(Protection protection);
+
+/// Recovery state: which code is currently driving the bus.
+enum class ChannelMode : unsigned char {
+  kActive,    // the configured codec
+  kFallback,  // demoted to plain binary
+};
+
+struct ChannelConfig {
+  std::string codec_name = "binary";
+  CodecOptions codec_options;
+  Protection protection = Protection::kNone;
+
+  /// Resync beacon period K: every K-th cycle both ends drop their
+  /// history before encoding, so that frame travels verbatim. 0 disables.
+  std::size_t resync_period = 0;
+
+  /// Recovery state machine. Requires a detecting protection layer
+  /// (parity or SECDED); with Protection::kNone nothing is ever detected
+  /// and the machine stays in kActive.
+  bool enable_recovery = false;
+  /// Demote to binary after this many detected-error cycles...
+  std::size_t fallback_threshold = 3;
+  /// ...within a sliding window of this many cycles.
+  std::size_t detection_window = 64;
+  /// Promote back to the configured code after this many consecutive
+  /// clean cycles in fallback.
+  std::size_t clean_window = 256;
+};
+
+/// Monotonic event counters since the last Reset().
+struct ChannelCounters {
+  std::size_t cycles = 0;
+  std::size_t detected_errors = 0;       // cycles the layer flagged (any kind)
+  std::size_t corrected_errors = 0;      // SECDED single-error repairs
+  std::size_t uncorrectable_errors = 0;  // parity hits + SECDED doubles
+  std::size_t resync_beacons = 0;
+  std::size_t fallbacks = 0;      // kActive -> kFallback transitions
+  std::size_t repromotions = 0;   // kFallback -> kActive transitions
+  std::size_t cycles_in_fallback = 0;
+};
+
+class BusChannel {
+ public:
+  explicit BusChannel(ChannelConfig config);
+
+  BusChannel(const BusChannel&) = delete;
+  BusChannel& operator=(const BusChannel&) = delete;
+
+  /// Attach a fault model; models fire in attachment order each cycle.
+  void AddFault(FaultModelPtr fault);
+
+  /// One full bus cycle; returns the receiver's decoded address.
+  Word Transfer(Word address, bool sel = true);
+
+  /// Both ends, fault models and counters back to power-on.
+  void Reset();
+
+  const ChannelConfig& config() const { return config_; }
+  const ChannelGeometry& geometry() const { return geometry_; }
+  unsigned width() const { return geometry_.data_lines; }
+  /// All physically driven lines: data + redundant + check.
+  unsigned total_lines() const { return geometry_.total_lines(); }
+
+  ChannelMode mode() const { return mode_; }
+  const ChannelCounters& counters() const { return counters_; }
+  /// Whether the protection layer flagged the most recent Transfer().
+  bool last_cycle_flagged() const { return last_flagged_; }
+  /// Line toggles across all physical lines since Reset() — what the
+  /// power model charges for, check lines included.
+  long long wire_transitions() const { return wire_transitions_; }
+
+ private:
+  Word DecodeFrame(const BusState& coded, bool sel);
+  void StepRecovery(bool detected);
+
+  ChannelConfig config_;
+  ChannelGeometry geometry_;
+  CodecPtr codec_;     // the configured code, both ends
+  CodecPtr fallback_;  // plain binary, both ends
+  std::optional<SecdedCode> secded_;
+  std::vector<FaultModelPtr> faults_;
+
+  ChannelMode mode_ = ChannelMode::kActive;
+  ChannelCounters counters_;
+  ChannelFrame prev_frame_;
+  long long wire_transitions_ = 0;
+  bool last_flagged_ = false;
+  std::size_t clean_run_ = 0;
+  std::vector<std::size_t> recent_detections_;  // cycle stamps, window-pruned
+};
+
+}  // namespace abenc

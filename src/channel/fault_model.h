@@ -1,0 +1,84 @@
+// Physical fault processes on the bus and the frame they corrupt.
+//
+// The channel layer treats a bus transfer as a *frame*: the inner codec's
+// BusState plus the check lines added by the channel's protection layer
+// (parity or SECDED). Fault models mutate frames in flight, one call per
+// bus cycle, after the transmitter has driven the lines and before the
+// receiver samples them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// Geometry of the physical channel. Flat line numbering follows
+/// core/resilience and extends it: data lines first (bit i of
+/// BusState::lines), then the inner code's redundant lines (bit i of
+/// BusState::redundant), then the protection check lines (bit i of
+/// ChannelFrame::check).
+struct ChannelGeometry {
+  unsigned data_lines = 0;
+  unsigned redundant_lines = 0;
+  unsigned check_lines = 0;
+
+  unsigned total_lines() const {
+    return data_lines + redundant_lines + check_lines;
+  }
+};
+
+/// One physical state of the protected bus.
+struct ChannelFrame {
+  BusState coded;  // the inner codec's data + redundant lines
+  Word check = 0;  // the channel's protection lines
+
+  friend bool operator==(const ChannelFrame&, const ChannelFrame&) = default;
+};
+
+/// Flip one line of a frame, by flat line index. Throws std::out_of_range
+/// for a line beyond the geometry.
+void FlipLine(ChannelFrame& frame, const ChannelGeometry& geometry,
+              unsigned line);
+
+/// Read / force one line of a frame, by flat line index.
+bool ReadLine(const ChannelFrame& frame, const ChannelGeometry& geometry,
+              unsigned line);
+void WriteLine(ChannelFrame& frame, const ChannelGeometry& geometry,
+               unsigned line, bool value);
+
+/// Line toggles between two consecutive frames across every physical line
+/// (data, redundant and check), the quantity the power model charges for.
+int FrameTransitions(const ChannelFrame& prev, const ChannelFrame& next,
+                     const ChannelGeometry& geometry);
+
+/// A fault process on the wire. Apply() is called exactly once per bus
+/// cycle, in the order the models were attached, and mutates the frame in
+/// place. Implementations must be deterministic given their construction
+/// parameters so a channel run replays bit-exactly; Reset() returns any
+/// internal state (e.g. an RNG) to the pre-run state.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  FaultModel(const FaultModel&) = delete;
+  FaultModel& operator=(const FaultModel&) = delete;
+
+  /// Human-readable one-line description, e.g. "upset(cycle=100, line=5)".
+  virtual std::string describe() const = 0;
+
+  /// Corrupt (or leave alone) the frame of one bus cycle.
+  virtual void Apply(ChannelFrame& frame, std::size_t cycle,
+                     const ChannelGeometry& geometry) = 0;
+
+  virtual void Reset() {}
+
+ protected:
+  FaultModel() = default;
+};
+
+using FaultModelPtr = std::unique_ptr<FaultModel>;
+
+}  // namespace abenc

@@ -1,0 +1,119 @@
+#include "channel/secded.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace abenc {
+
+SecdedCode::SecdedCode(unsigned data_lines, unsigned redundant_lines)
+    : data_lines_(data_lines), redundant_lines_(redundant_lines),
+      message_bits_(data_lines + redundant_lines) {
+  if (message_bits_ == 0 || message_bits_ > 120 || data_lines > 64 ||
+      redundant_lines > 64) {
+    throw std::invalid_argument("SECDED message must span 1..120 lines, got " +
+                                std::to_string(message_bits_));
+  }
+  unsigned r = 2;
+  while ((1u << r) < message_bits_ + r + 1) ++r;
+  hamming_bits_ = r;
+
+  const unsigned codeword_bits = message_bits_ + r;
+  position_of_message_.reserve(message_bits_);
+  message_at_position_.assign(codeword_bits + 1, -1);
+  group_lines_.assign(r, 0);
+  group_redundant_.assign(r, 0);
+  for (unsigned pos = 1, msg = 0; pos <= codeword_bits; ++pos) {
+    if (IsPowerOfTwo(pos)) continue;  // check-bit position
+    position_of_message_.push_back(pos);
+    message_at_position_[pos] = static_cast<std::int32_t>(msg);
+    for (unsigned j = 0; j < r; ++j) {
+      if ((pos >> j) & 1) {
+        if (msg < data_lines_) {
+          group_lines_[j] |= Word{1} << msg;
+        } else {
+          group_redundant_[j] |= Word{1} << (msg - data_lines_);
+        }
+      }
+    }
+    ++msg;
+  }
+}
+
+void SecdedCode::FlipMessageBit(BusState& coded, unsigned i) const {
+  if (i < data_lines_) {
+    coded.lines ^= Word{1} << i;
+  } else {
+    coded.redundant ^= Word{1} << (i - data_lines_);
+  }
+}
+
+Word SecdedCode::Syndrome(const BusState& coded, Word check) const {
+  // Bit j of the syndrome is the parity of codeword positions with bit j
+  // set — message bits via the group masks, plus check bit j itself
+  // (which sits at position 2^j). Zero for a valid codeword; for a
+  // single flipped bit, the flipped position.
+  Word syndrome = 0;
+  for (unsigned j = 0; j < hamming_bits_; ++j) {
+    const int ones = PopCount(coded.lines & group_lines_[j]) +
+                     PopCount(coded.redundant & group_redundant_[j]) +
+                     static_cast<int>((check >> j) & 1);
+    syndrome |= static_cast<Word>(ones & 1) << j;
+  }
+  return syndrome;
+}
+
+bool SecdedCode::OverallParity(const BusState& coded, Word check) const {
+  const int ones =
+      PopCount(coded.lines & LowMask(data_lines_)) +
+      (redundant_lines_ == 0
+           ? 0
+           : PopCount(coded.redundant & LowMask(redundant_lines_))) +
+      PopCount(check & LowMask(hamming_bits_ + 1));
+  return (ones & 1) != 0;
+}
+
+Word SecdedCode::ComputeCheck(const BusState& coded) const {
+  // With the check bits still zero the syndrome is exactly the check-bit
+  // vector that zeroes it.
+  Word check = Syndrome(coded, 0);
+  // The overall parity line (bit r) makes the whole codeword even.
+  if (OverallParity(coded, check)) check |= Word{1} << hamming_bits_;
+  return check;
+}
+
+SecdedOutcome SecdedCode::CorrectInPlace(BusState& coded, Word& check) const {
+  const Word syndrome = Syndrome(coded, check);
+  const bool parity_odd = OverallParity(coded, check);
+
+  if (syndrome == 0) {
+    if (!parity_odd) return SecdedOutcome::kClean;
+    // Only the overall parity line itself flipped.
+    check ^= Word{1} << hamming_bits_;
+    return SecdedOutcome::kCorrectedCheck;
+  }
+  if (!parity_odd) return SecdedOutcome::kDoubleError;
+  if (syndrome >= message_at_position_.size()) {
+    // The syndrome points outside the codeword: at least two errors.
+    return SecdedOutcome::kDoubleError;
+  }
+  const std::int32_t msg = message_at_position_[syndrome];
+  if (msg >= 0) {
+    FlipMessageBit(coded, static_cast<unsigned>(msg));
+    return SecdedOutcome::kCorrectedMessage;
+  }
+  // Power-of-two position: one of the Hamming check lines flipped.
+  check ^= Word{1} << Log2(syndrome);
+  return SecdedOutcome::kCorrectedCheck;
+}
+
+Word ComputeParity(const BusState& coded, unsigned data_lines,
+                   unsigned redundant_lines) {
+  const int ones =
+      PopCount(coded.lines & LowMask(data_lines)) +
+      (redundant_lines == 0
+           ? 0
+           : PopCount(coded.redundant & LowMask(redundant_lines)));
+  return static_cast<Word>(ones & 1);
+}
+
+}  // namespace abenc

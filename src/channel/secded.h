@@ -1,0 +1,71 @@
+// Width-generic SECDED over the coded bus lines.
+//
+// An extended Hamming code in the style of the DRAM industry's
+// Hamming(72,64): r check bits chosen as the smallest r with
+// 2^r >= m + r + 1 over the m message bits (the inner code's data +
+// redundant lines), plus one overall parity bit. Single line errors —
+// anywhere, including on the check lines — are located and corrected;
+// double errors are detected and flagged uncorrectable. For the paper's
+// 32-bit T0 frame (33 message bits) this costs 7 check lines; for a
+// 64-bit binary frame, 8 — exactly the (72,64) geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// What the receiver-side check found in one frame.
+enum class SecdedOutcome : unsigned char {
+  kClean,            // syndrome zero, parity agrees
+  kCorrectedMessage, // single error on a message line, fixed in place
+  kCorrectedCheck,   // single error on a check line, message untouched
+  kDoubleError,      // two errors detected; frame is uncorrectable
+};
+
+class SecdedCode {
+ public:
+  /// `data_lines` + `redundant_lines` define the message: message bit i is
+  /// data line i for i < data_lines, else redundant line i - data_lines.
+  /// Supports up to 120 message bits (check bits must fit one Word).
+  SecdedCode(unsigned data_lines, unsigned redundant_lines);
+
+  unsigned message_bits() const { return message_bits_; }
+  /// Hamming bits + the overall parity bit.
+  unsigned check_lines() const { return hamming_bits_ + 1; }
+
+  /// Check-line value the transmitter drives alongside `coded`.
+  Word ComputeCheck(const BusState& coded) const;
+
+  /// Receiver side: verify `coded`/`check` as sampled off the wire and
+  /// repair a single-line error in place.
+  SecdedOutcome CorrectInPlace(BusState& coded, Word& check) const;
+
+ private:
+  void FlipMessageBit(BusState& coded, unsigned i) const;
+  Word Syndrome(const BusState& coded, Word check) const;
+  bool OverallParity(const BusState& coded, Word check) const;
+
+  unsigned data_lines_;
+  unsigned redundant_lines_;
+  unsigned message_bits_;
+  unsigned hamming_bits_;  // r
+  // Codeword position (1-based, powers of two are check bits) of each
+  // message bit, and the inverse map for correction.
+  std::vector<std::uint32_t> position_of_message_;
+  std::vector<std::int32_t> message_at_position_;  // -1 at check positions
+  // Parity-group masks over the message words: syndrome bit j is the
+  // parity of (lines & group_lines_[j], redundant & group_redundant_[j])
+  // plus check bit j. Keeps the per-cycle check at a few popcounts.
+  std::vector<Word> group_lines_;
+  std::vector<Word> group_redundant_;
+};
+
+/// One even-parity line over the coded bus lines: detection only (any odd
+/// number of flipped lines), no correction. The cheapest protection layer.
+Word ComputeParity(const BusState& coded, unsigned data_lines,
+                   unsigned redundant_lines);
+
+}  // namespace abenc

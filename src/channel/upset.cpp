@@ -1,0 +1,71 @@
+#include "channel/upset.h"
+
+#include <memory>
+#include <random>
+#include <stdexcept>
+
+#include "channel/fault_models.h"
+
+namespace abenc {
+
+ChannelRunResult RunStream(BusChannel& channel,
+                           std::span<const BusAccess> stream) {
+  const Word mask = LowMask(channel.width());
+  ChannelRunResult result;
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    const Word decoded = channel.Transfer(stream[t].address, stream[t].sel);
+    if (decoded != (stream[t].address & mask)) {
+      if (!result.any_corruption) result.first_mismatch = t;
+      result.any_corruption = true;
+      result.last_mismatch = t;
+      ++result.corrupted_addresses;
+    }
+  }
+  result.cycles = stream.size();
+  result.counters = channel.counters();
+  result.final_mode = channel.mode();
+  result.wire_transitions = channel.wire_transitions();
+  return result;
+}
+
+UpsetResult MeasureSingleUpset(const ChannelConfig& config,
+                               std::span<const BusAccess> stream,
+                               std::size_t cycle, unsigned line) {
+  if (cycle >= stream.size()) {
+    throw std::out_of_range("injection cycle beyond the stream");
+  }
+  BusChannel channel(config);
+  if (line >= channel.total_lines()) {
+    throw std::out_of_range("injection line beyond the coded bus");
+  }
+  channel.AddFault(std::make_unique<SingleUpsetFault>(cycle, line));
+
+  const ChannelRunResult run = RunStream(channel, stream);
+  UpsetResult result;
+  result.corrupted_addresses = run.corrupted_addresses;
+  const std::size_t last_mismatch =
+      run.any_corruption ? run.last_mismatch : cycle;
+  result.recovery_cycles = last_mismatch - cycle;
+  result.resynchronised = last_mismatch + 1 < stream.size();
+  return result;
+}
+
+double AverageUpsetCorruption(const ChannelConfig& config,
+                              std::span<const BusAccess> stream,
+                              std::size_t injections, std::uint64_t seed) {
+  if (stream.empty() || injections == 0) return 0.0;
+  const unsigned lines = BusChannel(config).total_lines();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick_cycle(0, stream.size() - 1);
+  std::uniform_int_distribution<unsigned> pick_line(0, lines - 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < injections; ++i) {
+    const std::size_t cycle = pick_cycle(rng);
+    const unsigned line = pick_line(rng);
+    total += static_cast<double>(
+        MeasureSingleUpset(config, stream, cycle, line).corrupted_addresses);
+  }
+  return total / static_cast<double>(injections);
+}
+
+}  // namespace abenc

@@ -1,0 +1,57 @@
+// Stream-level measurement through the channel: drive a BusAccess stream
+// end to end and report corruption, protection activity and wire cost.
+//
+// core/resilience's MeasureSingleUpset/AverageUpsetCorruption are thin
+// wrappers over the ChannelConfig overloads here with an unprotected
+// configuration — protected and unprotected runs share this one code
+// path, so their numbers are directly comparable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "channel/bus_channel.h"
+#include "core/resilience.h"
+
+namespace abenc {
+
+/// What one stream run through a channel looked like from the outside.
+struct ChannelRunResult {
+  std::size_t cycles = 0;
+  std::size_t corrupted_addresses = 0;  // decoded != sent
+  bool any_corruption = false;
+  std::size_t first_mismatch = 0;       // valid iff any_corruption
+  std::size_t last_mismatch = 0;        // valid iff any_corruption
+  ChannelCounters counters;
+  ChannelMode final_mode = ChannelMode::kActive;
+  long long wire_transitions = 0;
+
+  double average_transitions_per_cycle() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(wire_transitions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Transfer every access of `stream` through `channel` (from the
+/// channel's current state; call channel.Reset() first for a fresh run)
+/// and diff the decoded addresses against what was sent.
+ChannelRunResult RunStream(BusChannel& channel,
+                           std::span<const BusAccess> stream);
+
+/// MeasureSingleUpset through an arbitrarily protected channel: flip line
+/// `line` (flat index: data, then redundant, then check lines) at `cycle`
+/// and report the decode damage. Throws std::out_of_range for an
+/// injection outside the stream or the channel.
+UpsetResult MeasureSingleUpset(const ChannelConfig& config,
+                               std::span<const BusAccess> stream,
+                               std::size_t cycle, unsigned line);
+
+/// Average corrupted addresses per upset over `injections` uniformly
+/// placed (cycle, line) injections — check lines included in the line
+/// space when the channel is protected. Deterministic per `seed`.
+double AverageUpsetCorruption(const ChannelConfig& config,
+                              std::span<const BusAccess> stream,
+                              std::size_t injections, std::uint64_t seed);
+
+}  // namespace abenc

@@ -8,6 +8,14 @@
 // dictionary codes, potentially much longer). Plain binary and the
 // stateless-decode inverts corrupt exactly one address. This module
 // quantifies the trade the paper's redundancy implicitly makes.
+//
+// These entry points measure the *unprotected* configuration. They are
+// implemented on top of the channel layer (src/channel/) — an
+// unprotected BusChannel carrying a SingleUpsetFault — so protected and
+// unprotected runs share one code path; see channel/upset.h for the
+// ChannelConfig overloads that add parity/SECDED check lines, resync
+// beacons and the recovery state machine. Link abenc_channel to use
+// either form.
 #pragma once
 
 #include <cstddef>

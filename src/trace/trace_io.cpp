@@ -1,5 +1,6 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <fstream>
@@ -41,11 +42,16 @@ AddressTrace ReadTextTrace(std::istream& in, std::string name) {
            "'");
     }
     Word address = 0;
+    std::size_t consumed = 0;
     try {
-      address = std::stoull(addr_text, nullptr, 0);
+      address = std::stoull(addr_text, &consumed, 0);
     } catch (const std::exception&) {
       Fail("bad address at line " + std::to_string(line_no) + ": '" +
            addr_text + "'");
+    }
+    if (consumed != addr_text.size()) {
+      Fail("trailing garbage in address at line " + std::to_string(line_no) +
+           ": '" + addr_text + "'");
     }
     trace.Append(address, kind == 'I' ? AccessKind::kInstruction
                                       : AccessKind::kData);
@@ -66,21 +72,47 @@ void WriteBinaryTrace(std::ostream& out, const AddressTrace& trace) {
 }
 
 AddressTrace ReadBinaryTrace(std::istream& in, std::string name) {
+  constexpr std::size_t kEntryBytes = sizeof(Word) + sizeof(std::uint8_t);
+  // Reserve() is bounded so a malformed header cannot demand an
+  // arbitrary allocation: a count larger than this grows incrementally,
+  // and a lying count fails at the first truncated entry instead.
+  constexpr std::uint64_t kMaxUpFrontReserve = std::uint64_t{1} << 20;
+
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) Fail("bad magic (not an ABENC binary trace)");
+  if (in.gcount() != static_cast<std::streamsize>(magic.size())) {
+    Fail("truncated magic: file ends at byte offset " +
+         std::to_string(in.gcount()) + " (header needs 16 bytes)");
+  }
+  if (magic != kMagic) {
+    Fail("bad magic at byte offset 0 (not an ABENC binary trace)");
+  }
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) Fail("truncated header");
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(count))) {
+    Fail("truncated header: file ends at byte offset " +
+         std::to_string(magic.size() + in.gcount()) +
+         " (header needs 16 bytes)");
+  }
   AddressTrace trace(std::move(name));
-  trace.Reserve(count);
+  trace.Reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kMaxUpFrontReserve)));
   for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t entry_offset = 16 + i * kEntryBytes;
     Word address = 0;
     std::uint8_t kind = 0;
     in.read(reinterpret_cast<char*>(&address), sizeof(address));
     in.read(reinterpret_cast<char*>(&kind), sizeof(kind));
-    if (!in) Fail("truncated at entry " + std::to_string(i));
-    if (kind > 1) Fail("bad kind byte at entry " + std::to_string(i));
+    if (!in) {
+      Fail("truncated at entry " + std::to_string(i) + " of " +
+           std::to_string(count) + " (byte offset " +
+           std::to_string(entry_offset) + ")");
+    }
+    if (kind > 1) {
+      Fail("bad kind byte " + std::to_string(int{kind}) + " at entry " +
+           std::to_string(i) + " (byte offset " +
+           std::to_string(entry_offset + sizeof(Word)) + ")");
+    }
     trace.Append(address, kind == 0 ? AccessKind::kInstruction
                                     : AccessKind::kData);
   }
@@ -109,11 +141,16 @@ AddressTrace ReadDineroTrace(std::istream& in, std::string name) {
            line + "'");
     }
     Word address = 0;
+    std::size_t consumed = 0;
     try {
-      address = std::stoull(addr_text, nullptr, 16);
+      address = std::stoull(addr_text, &consumed, 16);
     } catch (const std::exception&) {
       Fail("bad dinero address at line " + std::to_string(line_no) + ": '" +
            addr_text + "'");
+    }
+    if (consumed != addr_text.size()) {
+      Fail("trailing garbage in dinero address at line " +
+           std::to_string(line_no) + ": '" + addr_text + "'");
     }
     trace.Append(address, label == 2 ? AccessKind::kInstruction
                                      : AccessKind::kData);

@@ -107,6 +107,85 @@ TEST(UpsetTest, AverageCorruptionSeparatesStatelessFromHistoryCodes) {
   EXPECT_GT(offset, 100.0);
 }
 
+TEST(UpsetTest, InjectionAtCycleZeroIsMeasured) {
+  // The very first bus state is fair game: binary loses exactly that
+  // address and has resynchronised by the next cycle.
+  const auto stream = SequentialStream(100);
+  const UpsetResult r =
+      MeasureSingleUpset("binary", CodecOptions{}, stream, 0, 0);
+  EXPECT_EQ(r.corrupted_addresses, 1u);
+  EXPECT_EQ(r.recovery_cycles, 0u);
+  EXPECT_TRUE(r.resynchronised);
+}
+
+TEST(UpsetTest, InjectionAtTheFinalCycleNeverResynchronises) {
+  // There is no cycle after the hit, so the stream ends corrupted; the
+  // flag distinguishes "recovered" from "ran out of stream".
+  const auto stream = SequentialStream(100);
+  for (const char* name : {"binary", "t0", "offset"}) {
+    const UpsetResult r =
+        MeasureSingleUpset(name, CodecOptions{}, stream, 99, 0);
+    EXPECT_FALSE(r.resynchronised) << name;
+    EXPECT_EQ(r.recovery_cycles, 0u) << name;
+  }
+}
+
+TEST(UpsetTest, RedundantLineFlipsAreMeasuredPerLine) {
+  // T0_BI carries INC (bit 0 = line 32) and INV (bit 1 = line 33). The
+  // INV line only matters on out-of-sequence cycles (frozen cycles
+  // ignore it), so probe it on a stream of jumps: a flipped INV makes
+  // the decoder (un)complement the word, corrupting that address.
+  std::vector<BusAccess> jumps;
+  for (std::size_t i = 0; i < 400; ++i) {
+    jumps.push_back(BusAccess{0x1000u * ((i * 7) % 13), true});
+  }
+  const UpsetResult inv =
+      MeasureSingleUpset("t0-bi", CodecOptions{}, jumps, 200, 33);
+  EXPECT_GE(inv.corrupted_addresses, 1u);
+
+  // A flipped INC on a frozen cycle of a sequential stream makes the
+  // decoder read the stale lines as a fresh binary address and poisons
+  // the regeneration base.
+  const auto stream = SequentialStream(400);
+  const UpsetResult inc =
+      MeasureSingleUpset("t0-bi", CodecOptions{}, stream, 200, 32);
+  EXPECT_GE(inc.corrupted_addresses, 1u);
+
+  // Dual T0_BI overloads a single INCV line (bit 0 = line 32).
+  const UpsetResult incv =
+      MeasureSingleUpset("dual-t0-bi", CodecOptions{}, stream, 200, 32);
+  EXPECT_GE(incv.corrupted_addresses, 1u);
+}
+
+TEST(UpsetTest, WidthOneBusIsMeasurable) {
+  // The degenerate single-line bus: only line 0 (plus T0's INC) exists.
+  CodecOptions options;
+  options.width = 1;
+  options.stride = 1;
+  std::vector<BusAccess> stream;
+  for (std::size_t i = 0; i < 64; ++i) {
+    stream.push_back(BusAccess{i & 1, true});
+  }
+  const UpsetResult binary =
+      MeasureSingleUpset("binary", options, stream, 10, 0);
+  EXPECT_EQ(binary.corrupted_addresses, 1u);
+  EXPECT_EQ(binary.recovery_cycles, 0u);
+
+  // With stride 1 the alternating stream is in-sequence every cycle, so
+  // T0 freezes the data line after cycle 0 and the decoder never reads
+  // it: a transient flip there is invisible. Flipping INC on a cycle
+  // whose expected address is 1 forces a verbatim read of the frozen
+  // (low) line instead, and desynchronises the mod-2 regeneration.
+  const UpsetResult t0_data =
+      MeasureSingleUpset("t0", options, stream, 10, 0);
+  EXPECT_EQ(t0_data.corrupted_addresses, 0u);
+  const UpsetResult t0_inc =
+      MeasureSingleUpset("t0", options, stream, 11, 1);
+  EXPECT_GE(t0_inc.corrupted_addresses, 1u);
+  EXPECT_THROW(MeasureSingleUpset("t0", options, stream, 10, 2),
+               std::out_of_range);
+}
+
 TEST(UpsetTest, RejectsOutOfRangeInjections) {
   const auto stream = SequentialStream(10);
   EXPECT_THROW(

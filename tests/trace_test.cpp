@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -266,6 +267,61 @@ TEST(TraceIoTest, BinaryParserRejectsBadMagicAndTruncation) {
   bytes.resize(bytes.size() - 3);  // chop the last entry
   std::stringstream truncated(bytes);
   EXPECT_THROW(ReadBinaryTrace(truncated), std::runtime_error);
+}
+
+TEST(TraceIoTest, CorruptedBinaryInputsThrowWithByteOffsets) {
+  // Regression for the hardened reader: every malformed input must
+  // surface as a thrown, message-bearing runtime_error that names the
+  // byte offset — never a crash, hang or huge allocation.
+  auto message_of = [](const std::string& bytes) -> std::string {
+    std::stringstream in(bytes);
+    try {
+      ReadBinaryTrace(in);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // A valid two-entry trace to corrupt.
+  AddressTrace t;
+  t.Append(0x400000, AccessKind::kInstruction);
+  t.Append(0x400004, AccessKind::kData);
+  std::stringstream buffer;
+  WriteBinaryTrace(buffer, t);
+  const std::string good = buffer.str();
+
+  // Truncations at every interesting boundary.
+  EXPECT_NE(message_of(""), "");
+  EXPECT_NE(message_of(good.substr(0, 4)).find("byte offset"),
+            std::string::npos);  // inside the magic
+  EXPECT_NE(message_of(good.substr(0, 12)).find("byte offset"),
+            std::string::npos);  // inside the count
+  EXPECT_NE(message_of(good.substr(0, 20)).find("byte offset 16"),
+            std::string::npos);  // inside entry 0
+  EXPECT_NE(message_of(good.substr(0, good.size() - 1))
+                .find("byte offset 25"),
+            std::string::npos);  // inside entry 1
+
+  // A kind byte that is neither instruction nor data.
+  std::string bad_kind = good;
+  bad_kind[16 + 8] = 7;
+  EXPECT_NE(message_of(bad_kind).find("bad kind byte"), std::string::npos);
+
+  // A header lying about the entry count: the reader must fail at the
+  // first missing entry instead of allocating for the advertised count.
+  std::string lying = good;
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(lying.data() + 8, &huge, sizeof(huge));
+  EXPECT_NE(message_of(lying).find("truncated at entry 2"),
+            std::string::npos);
+}
+
+TEST(TraceIoTest, TextParsersRejectTrailingGarbageInAddresses) {
+  std::stringstream text("I 0x100junk\n");
+  EXPECT_THROW(ReadTextTrace(text), std::runtime_error);
+  std::stringstream din("2 400000zebra\n");
+  EXPECT_THROW(ReadDineroTrace(din), std::runtime_error);
 }
 
 TEST(TraceIoTest, FileHelpersPickFormatByExtension) {
