@@ -12,10 +12,14 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 
+#include "bench/bench_util.h"
 #include "channel/fault_models.h"
 #include "channel/upset.h"
 #include "core/stream_evaluator.h"
+#include "report/json_writer.h"
 #include "report/table.h"
 #include "sim/program_library.h"
 
@@ -57,8 +61,11 @@ std::size_t WorstRecovery(const ChannelConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abenc;
+
+  const bench::BenchOptions bench_options =
+      bench::ParseBenchOptions(argc, argv);
 
   const sim::ProgramTraces traces =
       sim::RunBenchmark(sim::FindBenchmarkProgram("gzip"));
@@ -81,25 +88,51 @@ int main() {
   const long long binary_total =
       static_cast<long long>(binary_tpc * static_cast<double>(accesses.size()));
 
+  // The machine-readable mirror of both tables (one outcome per
+  // (code, layer) pair), emitted with --json.
+  ProtectionStudy study;
+  study.stream_name = "gzip-multiplexed";
+  const std::vector<std::pair<std::string,
+                              std::pair<Protection, std::size_t>>> layers = {
+      {"none", {Protection::kNone, 0}},
+      {"parity", {Protection::kParity, 0}},
+      {"secded", {Protection::kSecded, 0}},
+      {"beacon64", {Protection::kNone, kBeaconPeriod}}};
+
   TextTable power({"Code", "Bare t/c", "Sav.%", "+Parity", "Sav.%",
                    "+SECDED", "Sav.%", "+Beacon64", "Sav.%"});
   for (const std::string& code : codes) {
     std::vector<std::string> row = {code};
-    for (const auto& [protection, period] :
-         {std::pair{Protection::kNone, std::size_t{0}},
-          std::pair{Protection::kParity, std::size_t{0}},
-          std::pair{Protection::kSecded, std::size_t{0}},
-          std::pair{Protection::kNone, kBeaconPeriod}}) {
+    for (const auto& [layer_name, layer] : layers) {
+      const auto& [protection, period] = layer;
       const double tpc =
           TransitionsPerCycle(Configure(code, protection, period), accesses);
       const long long total =
           static_cast<long long>(tpc * static_cast<double>(accesses.size()));
       row.push_back(FormatFixed(tpc, 2));
       row.push_back(FormatFixed(SavingsPercent(total, binary_total), 1));
+      ProtectionOutcome outcome;
+      outcome.codec = code;
+      outcome.protection = layer_name;
+      outcome.transitions_per_cycle = tpc;
+      outcome.savings_percent = SavingsPercent(total, binary_total);
+      study.outcomes.push_back(std::move(outcome));
     }
     power.AddRow(row);
   }
   std::cout << power.ToString() << '\n';
+
+  auto outcome_of = [&study](const std::string& code,
+                             const std::string& layer_name)
+      -> ProtectionOutcome& {
+    for (ProtectionOutcome& outcome : study.outcomes) {
+      if (outcome.codec == code && outcome.protection == layer_name) {
+        return outcome;
+      }
+    }
+    throw std::logic_error("unknown (code, layer): " + code + ", " +
+                           layer_name);
+  };
 
   // Table B uses a shorter stream: each cell is kInjections full runs.
   auto probe_stream = accesses;
@@ -111,20 +144,28 @@ int main() {
     const ChannelConfig secded = Configure(code, Protection::kSecded, 0);
     const ChannelConfig beacon =
         Configure(code, Protection::kNone, kBeaconPeriod);
+    const double bare_corruption =
+        AverageUpsetCorruption(bare, probe_stream, kInjections, 77);
+    const double secded_corruption =
+        AverageUpsetCorruption(secded, probe_stream, kInjections, 77);
+    const std::size_t bare_recovery = WorstRecovery(bare, probe_stream);
+    const std::size_t beacon_recovery = WorstRecovery(beacon, probe_stream);
+    outcome_of(code, "none").average_corruption = bare_corruption;
+    outcome_of(code, "none").worst_recovery_cycles = bare_recovery;
+    outcome_of(code, "secded").average_corruption = secded_corruption;
+    outcome_of(code, "beacon64").worst_recovery_cycles = beacon_recovery;
     damage.AddRow(
-        {code,
-         FormatFixed(AverageUpsetCorruption(bare, probe_stream, kInjections,
-                                            77),
-                     2),
-         FormatFixed(AverageUpsetCorruption(secded, probe_stream,
-                                            kInjections, 77),
-                     2),
-         FormatCount(static_cast<long long>(WorstRecovery(bare,
-                                                          probe_stream))),
-         FormatCount(
-             static_cast<long long>(WorstRecovery(beacon, probe_stream)))});
+        {code, FormatFixed(bare_corruption, 2),
+         FormatFixed(secded_corruption, 2),
+         FormatCount(static_cast<long long>(bare_recovery)),
+         FormatCount(static_cast<long long>(beacon_recovery))});
   }
   std::cout << damage.ToString();
+
+  if (!bench_options.json_path.empty()) {
+    WriteJsonFile(bench_options.json_path, ProtectionStudyToJson(study));
+    std::cout << "\nJSON written to " << bench_options.json_path << "\n";
+  }
 
   std::cout << "\nReading the two tables together: SECDED zeroes the damage\n"
                "column outright for every code — any single flipped line,\n"

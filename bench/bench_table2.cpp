@@ -3,9 +3,10 @@
 #include "bench/bench_util.h"
 #include "core/codec_factory.h"
 
-int main() {
+int main(int argc, char** argv) {
   abenc::bench::PrintExperimentalTable(
       "Table 2: Existing Encoding Schemes, Instruction Address Streams",
-      abenc::bench::StreamKind::kInstruction, {"t0", "bus-invert"});
+      abenc::bench::StreamKind::kInstruction, {"t0", "bus-invert"},
+      abenc::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

@@ -2,9 +2,10 @@
 // dedicated *data* address bus of the nine benchmarks.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   abenc::bench::PrintExperimentalTable(
       "Table 3: Existing Encoding Schemes, Data Address Streams",
-      abenc::bench::StreamKind::kData, {"t0", "bus-invert"});
+      abenc::bench::StreamKind::kData, {"t0", "bus-invert"},
+      abenc::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

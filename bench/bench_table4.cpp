@@ -2,9 +2,10 @@
 // time-multiplexed instruction/data address bus of the nine benchmarks.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   abenc::bench::PrintExperimentalTable(
       "Table 4: Existing Encoding Schemes, Multiplexed Address Streams",
-      abenc::bench::StreamKind::kMultiplexed, {"t0", "bus-invert"});
+      abenc::bench::StreamKind::kMultiplexed, {"t0", "bus-invert"},
+      abenc::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

@@ -2,10 +2,11 @@
 // dedicated *instruction* address bus of the nine benchmarks.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   abenc::bench::PrintExperimentalTable(
       "Table 5: Mixed Encoding Schemes, Instruction Address Streams",
       abenc::bench::StreamKind::kInstruction,
-      {"t0-bi", "dual-t0", "dual-t0-bi"});
+      {"t0-bi", "dual-t0", "dual-t0-bi"},
+      abenc::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

@@ -2,9 +2,10 @@
 // dedicated *data* address bus of the nine benchmarks.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   abenc::bench::PrintExperimentalTable(
       "Table 6: Mixed Encoding Schemes, Data Address Streams",
-      abenc::bench::StreamKind::kData, {"t0-bi", "dual-t0", "dual-t0-bi"});
+      abenc::bench::StreamKind::kData, {"t0-bi", "dual-t0", "dual-t0-bi"},
+      abenc::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

@@ -3,10 +3,11 @@
 // headline comparison (dual T0_BI wins with ~22% savings vs ~10% for T0).
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   abenc::bench::PrintExperimentalTable(
       "Table 7: Mixed Encoding Schemes, Multiplexed Address Streams",
       abenc::bench::StreamKind::kMultiplexed,
-      {"t0-bi", "dual-t0", "dual-t0-bi"});
+      {"t0-bi", "dual-t0", "dual-t0-bi"},
+      abenc::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

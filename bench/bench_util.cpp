@@ -1,12 +1,53 @@
 #include "bench/bench_util.h"
 
 #include <iostream>
+#include <stdexcept>
+#include <string_view>
 
 #include "core/codec_factory.h"
 #include "core/experiment.h"
+#include "report/json_writer.h"
 #include "report/table.h"
 
 namespace abenc::bench {
+namespace {
+
+// Returns true and fills `value` when `arg` matches `--name=value` or
+// `--name value` (consuming the next argument in the second form).
+bool MatchFlag(std::string_view name, int argc, char** argv, int& i,
+               std::string& value) {
+  const std::string_view arg = argv[i];
+  const std::string flag = std::string("--") + std::string(name);
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(flag + " requires a value");
+    }
+    value = argv[++i];
+    return true;
+  }
+  if (arg.starts_with(flag + "=")) {
+    value = std::string(arg.substr(flag.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (MatchFlag("json", argc, argv, i, value)) {
+      options.json_path = value;
+    } else if (MatchFlag("parallelism", argc, argv, i, value)) {
+      options.parallelism =
+          static_cast<unsigned>(std::stoul(value));
+    }
+    // Anything else (google-benchmark flags, etc.) is ignored.
+  }
+  return options;
+}
 
 const AddressTrace& SelectStream(const sim::ProgramTraces& traces,
                                  StreamKind kind) {
@@ -19,7 +60,8 @@ const AddressTrace& SelectStream(const sim::ProgramTraces& traces,
 }
 
 void PrintExperimentalTable(const std::string& title, StreamKind kind,
-                            const std::vector<std::string>& codec_names) {
+                            const std::vector<std::string>& codec_names,
+                            const BenchOptions& bench_options) {
   const CodecOptions options;  // 32-bit bus, stride 4: the MIPS setup
 
   std::vector<NamedStream> streams;
@@ -29,8 +71,10 @@ void PrintExperimentalTable(const std::string& title, StreamKind kind,
         NamedStream{program.name, SelectStream(traces, kind).ToBusAccesses()});
   }
 
+  RunOptions run;
+  run.parallelism = bench_options.parallelism;
   const Comparison comparison =
-      RunComparison(codec_names, streams, options);
+      RunComparison(codec_names, streams, options, nullptr, run);
 
   std::vector<std::string> headers = {"Benchmark", "Stream Length",
                                       "In-Seq Addr.", "Binary Trans."};
@@ -65,6 +109,12 @@ void PrintExperimentalTable(const std::string& title, StreamKind kind,
   table.AddRow(std::move(average));
 
   std::cout << title << "\n" << table.ToString() << "\n";
+
+  if (!bench_options.json_path.empty()) {
+    WriteJsonFile(bench_options.json_path,
+                  ComparisonToJson(comparison, title));
+    std::cout << "JSON written to " << bench_options.json_path << "\n";
+  }
 }
 
 }  // namespace abenc::bench

@@ -13,12 +13,33 @@ namespace abenc::bench {
 /// Which of the three buses of Tables 2-7 to evaluate.
 enum class StreamKind { kInstruction, kData, kMultiplexed };
 
+/// Command-line knobs shared by every table bench.
+struct BenchOptions {
+  /// Write the table's `abenc.comparison.v1` JSON document here
+  /// (empty: ASCII only). This is what the CI regression gate diffs
+  /// against bench/baselines/.
+  std::string json_path;
+  /// Worker threads for the experiment engine; 0 = one per hardware
+  /// thread, 1 = the sequential path. Results are identical either way.
+  unsigned parallelism = 0;
+};
+
+/// Parse `--json <path>` / `--json=<path>` and `--parallelism <n>` /
+/// `--parallelism=<n>`. Unknown arguments are ignored so the benches
+/// stay runnable under generic harnesses (e.g. the CI smoke loop passes
+/// google-benchmark flags to every binary). Throws
+/// std::invalid_argument when a recognized flag is missing its value.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
 /// Print one experimental table: a row per benchmark with stream length,
 /// in-sequence percentage, binary transition count, and per-code
 /// transition counts with savings, then the paper-style "Average" row of
 /// column means. Every code is also round-trip verified while encoding.
+/// With `options.json_path` set, additionally write the machine-readable
+/// document (see report/json_writer.h for the schema).
 void PrintExperimentalTable(const std::string& title, StreamKind kind,
-                            const std::vector<std::string>& codec_names);
+                            const std::vector<std::string>& codec_names,
+                            const BenchOptions& options = {});
 
 /// The stream of `kind` from one benchmark run.
 const AddressTrace& SelectStream(const sim::ProgramTraces& traces,

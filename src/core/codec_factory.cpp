@@ -21,7 +21,9 @@ namespace abenc {
 CodecPtr MakeCodec(const std::string& name, const CodecOptions& o) {
   if (name == "binary") return std::make_unique<BinaryCodec>(o.width);
   if (name == "gray") return std::make_unique<GrayCodec>(o.width, 1);
-  if (name == "gray-word") return std::make_unique<GrayCodec>(o.width, o.stride);
+  if (name == "gray-word") {
+    return std::make_unique<GrayCodec>(o.width, o.stride);
+  }
   if (name == "bus-invert") {
     return std::make_unique<BusInvertCodec>(o.width, o.partitions);
   }
@@ -34,7 +36,9 @@ CodecPtr MakeCodec(const std::string& name, const CodecOptions& o) {
     return std::make_unique<DualT0BICodec>(o.width, o.stride);
   }
   if (name == "offset") return std::make_unique<OffsetCodec>(o.width);
-  if (name == "inc-xor") return std::make_unique<IncXorCodec>(o.width, o.stride);
+  if (name == "inc-xor") {
+    return std::make_unique<IncXorCodec>(o.width, o.stride);
+  }
   if (name == "working-zone") {
     return std::make_unique<WorkingZoneCodec>(o.width, o.wz_zones,
                                               o.wz_offset_bits);

@@ -1,6 +1,122 @@
 #include "core/experiment.h"
 
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "core/thread_pool.h"
+
 namespace abenc {
+namespace {
+
+// One (stream, codec) cell from codec reset, decode-verified. Shared by
+// the sequential and parallel paths so both compute bit-identical cells.
+ComparisonCell EvaluateCell(
+    const std::string& codec_name, const NamedStream& stream,
+    const CodecOptions& options,
+    const std::function<void(const std::string&, CodecOptions&)>& configure) {
+  CodecOptions codec_options = options;
+  if (configure) configure(codec_name, codec_options);
+  auto codec = MakeCodec(codec_name, codec_options);
+  ComparisonCell cell;
+  cell.result = Evaluate(*codec, stream.accesses, options.stride,
+                         /*verify_decode=*/true);
+  return cell;
+}
+
+EvalResult EvaluateBinaryReference(const NamedStream& stream,
+                                   const CodecOptions& options) {
+  auto binary = MakeCodec("binary", options);
+  return Evaluate(*binary, stream.accesses, options.stride,
+                  /*verify_decode=*/true);
+}
+
+Comparison RunComparisonSequential(
+    const std::vector<std::string>& codec_names,
+    const std::vector<NamedStream>& streams, const CodecOptions& options,
+    const std::function<void(const std::string&, CodecOptions&)>& configure) {
+  Comparison comparison;
+  comparison.codec_names = codec_names;
+  comparison.rows.reserve(streams.size());
+  for (const NamedStream& stream : streams) {
+    ComparisonRow row;
+    row.stream_name = stream.name;
+    row.binary = EvaluateBinaryReference(stream, options);
+    for (const std::string& name : codec_names) {
+      ComparisonCell cell = EvaluateCell(name, stream, options, configure);
+      cell.savings_percent =
+          SavingsPercent(cell.result.transitions, row.binary.transitions);
+      row.cells.push_back(std::move(cell));
+    }
+    comparison.rows.push_back(std::move(row));
+  }
+  return comparison;
+}
+
+Comparison RunComparisonParallel(
+    const std::vector<std::string>& codec_names,
+    const std::vector<NamedStream>& streams, const CodecOptions& options,
+    const std::function<void(const std::string&, CodecOptions&)>& configure,
+    unsigned parallelism) {
+  Comparison comparison;
+  comparison.codec_names = codec_names;
+  comparison.rows.resize(streams.size());
+
+  // Futures are collected in deterministic submission order — binary
+  // reference then cells, stream-major — and reduced in that same
+  // order below, so the first failure in grid order wins no matter
+  // which worker hit it first.
+  std::vector<std::future<EvalResult>> binary_futures;
+  std::vector<std::future<ComparisonCell>> cell_futures;
+  binary_futures.reserve(streams.size());
+  cell_futures.reserve(streams.size() * codec_names.size());
+  {
+    ThreadPool pool(parallelism);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      const NamedStream* stream = &streams[s];
+      binary_futures.push_back(pool.Submit([stream, &options]() {
+        return EvaluateBinaryReference(*stream, options);
+      }));
+      for (std::size_t c = 0; c < codec_names.size(); ++c) {
+        const std::string* name = &codec_names[c];
+        cell_futures.push_back(
+            pool.Submit([name, stream, &options, &configure]() {
+              return EvaluateCell(*name, *stream, options, configure);
+            }));
+      }
+    }
+    // The pool destructor drains the queue: by the end of this block
+    // every task has run, so every future below is ready and the
+    // captured references above are no longer in use.
+  }
+
+  std::exception_ptr first_failure;
+  auto harvest = [&first_failure](auto& future, auto& destination) {
+    try {
+      destination = future.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  };
+
+  std::size_t cell_index = 0;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    ComparisonRow& row = comparison.rows[s];
+    row.stream_name = streams[s].name;
+    harvest(binary_futures[s], row.binary);
+    row.cells.resize(codec_names.size());
+    for (std::size_t c = 0; c < codec_names.size(); ++c, ++cell_index) {
+      harvest(cell_futures[cell_index], row.cells[c]);
+      row.cells[c].savings_percent = SavingsPercent(
+          row.cells[c].result.transitions, row.binary.transitions);
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
+  return comparison;
+}
+
+}  // namespace
 
 std::vector<double> Comparison::average_savings() const {
   std::vector<double> averages(codec_names.size(), 0.0);
@@ -26,30 +142,16 @@ double Comparison::average_in_sequence_percent() const {
 Comparison RunComparison(
     const std::vector<std::string>& codec_names,
     const std::vector<NamedStream>& streams, const CodecOptions& options,
-    const std::function<void(const std::string&, CodecOptions&)>& configure) {
-  Comparison comparison;
-  comparison.codec_names = codec_names;
-  comparison.rows.reserve(streams.size());
-  for (const NamedStream& stream : streams) {
-    ComparisonRow row;
-    row.stream_name = stream.name;
-    auto binary = MakeCodec("binary", options);
-    row.binary = Evaluate(*binary, stream.accesses, options.stride,
-                          /*verify_decode=*/true);
-    for (const std::string& name : codec_names) {
-      CodecOptions codec_options = options;
-      if (configure) configure(name, codec_options);
-      auto codec = MakeCodec(name, codec_options);
-      ComparisonCell cell;
-      cell.result = Evaluate(*codec, stream.accesses, options.stride,
-                             /*verify_decode=*/true);
-      cell.savings_percent =
-          SavingsPercent(cell.result.transitions, row.binary.transitions);
-      row.cells.push_back(std::move(cell));
-    }
-    comparison.rows.push_back(std::move(row));
+    const std::function<void(const std::string&, CodecOptions&)>& configure,
+    const RunOptions& run) {
+  const unsigned parallelism =
+      run.parallelism == 0 ? ThreadPool::DefaultParallelism()
+                           : run.parallelism;
+  if (parallelism <= 1 || streams.empty()) {
+    return RunComparisonSequential(codec_names, streams, options, configure);
   }
-  return comparison;
+  return RunComparisonParallel(codec_names, streams, options, configure,
+                               parallelism);
 }
 
 }  // namespace abenc

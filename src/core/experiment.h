@@ -43,13 +43,35 @@ struct Comparison {
   double average_in_sequence_percent() const;
 };
 
+/// Execution knobs of the experiment engine, orthogonal to the codec
+/// parameters in CodecOptions.
+struct RunOptions {
+  /// Worker threads for the (stream, codec) cell grid. `1` runs the
+  /// original single-threaded loop (no pool is created); `0` means one
+  /// worker per hardware thread. Results are bit-identical at every
+  /// setting — each cell constructs its own codec from reset and the
+  /// matrix is reduced in (stream, codec) order regardless of which
+  /// worker finished first.
+  unsigned parallelism = 1;
+};
+
 /// Run every named code over every stream (from codec reset each time,
 /// decode-verified). `configure` may adjust the options per codec name
 /// (e.g. a stride per bus); by default all codes share `options`.
+///
+/// With `run.parallelism != 1` the cells are sharded across a
+/// ThreadPool; `configure` is then invoked concurrently from worker
+/// threads (once per cell, exactly as in the sequential path) and must
+/// be thread-safe — a pure function of (name, options), the common
+/// case, always is. Exceptions thrown by `configure`, codec
+/// construction or decode verification propagate to the caller in both
+/// modes; under parallelism the pool is drained first and the failure
+/// of the earliest cell in deterministic (stream, codec) order wins.
 Comparison RunComparison(
     const std::vector<std::string>& codec_names,
     const std::vector<NamedStream>& streams, const CodecOptions& options,
     const std::function<void(const std::string&, CodecOptions&)>& configure =
-        nullptr);
+        nullptr,
+    const RunOptions& run = {});
 
 }  // namespace abenc

@@ -1,0 +1,55 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abenc {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  const unsigned count = std::max(1u, workers);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::DefaultParallelism() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool: Submit after destruction began");
+    }
+    tasks_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this]() { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task: exceptions are captured into the future
+  }
+}
+
+}  // namespace abenc

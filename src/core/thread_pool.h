@@ -1,0 +1,69 @@
+// Minimal fixed-size worker pool behind the parallel experiment engine.
+//
+// Deliberately small: a FIFO task queue, `Submit` returning a
+// `std::future` (so exceptions thrown inside a task surface at
+// `future::get`, never `std::terminate`), and a join-on-destruction
+// contract that drains every queued task before the destructor returns.
+// Determinism is the caller's job — the pool promises only that each
+// submitted task runs exactly once on some worker; callers that need
+// reproducible output write results into pre-allocated slots keyed by
+// submission index (see `RunComparison` in core/experiment.h).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace abenc {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; `workers` is clamped to at least 1.
+  explicit ThreadPool(unsigned workers);
+
+  /// Joins after draining the queue: every task submitted before
+  /// destruction runs to completion.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a callable; the future carries its return value or the
+  /// exception it threw.
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    Enqueue([packaged]() { (*packaged)(); });
+    return future;
+  }
+
+  /// `std::thread::hardware_concurrency()`, never reported as 0.
+  static unsigned DefaultParallelism();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace abenc

@@ -46,7 +46,9 @@ constexpr Word GrayToBinary(Word g) {
 constexpr bool IsPowerOfTwo(Word w) { return w != 0 && (w & (w - 1)) == 0; }
 
 /// log2 of a power of two.
-constexpr unsigned Log2(Word w) { return static_cast<unsigned>(std::countr_zero(w)); }
+constexpr unsigned Log2(Word w) {
+  return static_cast<unsigned>(std::countr_zero(w));
+}
 
 /// The physical state of the bus at one clock edge: N data lines plus up
 /// to 64 redundant control lines (bit 0 = first redundant line, e.g. INC).
@@ -62,16 +64,18 @@ struct BusState {
 constexpr int TransitionsBetween(const BusState& prev, const BusState& next,
                                  unsigned width, unsigned redundant_lines) {
   return HammingDistance(prev.lines, next.lines, width) +
-         (redundant_lines == 0
-              ? 0
-              : HammingDistance(prev.redundant, next.redundant, redundant_lines));
+         (redundant_lines == 0 ? 0
+                               : HammingDistance(prev.redundant,
+                                                 next.redundant,
+                                                 redundant_lines));
 }
 
 /// Thrown when a codec is constructed with invalid parameters
 /// (e.g. a stride that is not a power of two).
 class CodecConfigError : public std::invalid_argument {
  public:
-  explicit CodecConfigError(const std::string& what) : std::invalid_argument(what) {}
+  explicit CodecConfigError(const std::string& what)
+      : std::invalid_argument(what) {}
 };
 
 }  // namespace abenc

@@ -47,7 +47,8 @@ class WorkingZoneCodec final : public Codec {
     BusState out;
     const int hit = enc_.FindZone(b, offset_bits_, width());
     if (hit >= 0) {
-      const Word offset = BiasedOffset(b, enc_.zone[static_cast<unsigned>(hit)]);
+      const Word offset =
+          BiasedOffset(b, enc_.zone[static_cast<unsigned>(hit)]);
       Word lines = enc_prev_bus_;
       lines &= ~LowMask(offset_bits_ + zone_bits_);  // freeze upper lines
       lines |= BinaryToGray(offset);

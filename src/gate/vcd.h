@@ -29,7 +29,9 @@ class VcdWriter {
   /// Emit the complete dump.
   void Write(std::ostream& out) const;
 
-  std::size_t samples() const { return history_.empty() ? 0 : history_[0].size(); }
+  std::size_t samples() const {
+    return history_.empty() ? 0 : history_[0].size();
+  }
 
  private:
   const Netlist& netlist_;

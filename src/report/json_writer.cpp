@@ -1,0 +1,451 @@
+#include "report/json_writer.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+namespace abenc {
+namespace {
+
+const char* KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void ThrowKindMismatch(JsonValue::Kind want,
+                                    JsonValue::Kind have) {
+  throw JsonError(std::string("JSON value is ") + KindName(have) + ", not " +
+                  KindName(want));
+}
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buffer;
+          std::snprintf(buffer.data(), buffer.size(), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer.data();
+        } else {
+          out += c;  // UTF-8 passes through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+// Shortest decimal form that parses back to the same double; integers
+// print without an exponent or trailing ".0" (to_chars general form).
+void AppendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buffer;
+  const auto [end, ec] =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  if (ec != std::errc()) throw JsonError("number formatting failed");
+  out.append(buffer.data(), end);
+}
+
+void AppendIndent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+// --- Parsing -------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw JsonError("JSON parse error at byte " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    const char c = Peek();
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return JsonValue(ParseString());
+      case 't':
+        if (!Consume("true")) Fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!Consume("false")) Fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!Consume("null")) Fail("bad literal");
+        return JsonValue();
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue object = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      object.Set(std::move(key), ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return object;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue array = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.Append(ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return array;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad hex digit in \\u escape");
+            }
+          }
+          // The writer only emits \u escapes for control characters;
+          // accept the BMP generally and encode as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      Fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue EvalResultToJson(const EvalResult& result) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("codec", result.codec_name);
+  object.Set("stream_length", result.stream_length);
+  object.Set("transitions", result.transitions);
+  object.Set("peak_transitions", result.peak_transitions);
+  object.Set("in_sequence_percent", result.in_sequence_percent);
+  JsonValue per_line = JsonValue::MakeArray();
+  for (const long long toggles : result.per_line) per_line.Append(toggles);
+  object.Set("per_line", std::move(per_line));
+  return object;
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) ThrowKindMismatch(Kind::kBool, kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) ThrowKindMismatch(Kind::kNumber, kind_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) ThrowKindMismatch(Kind::kString, kind_);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) ThrowKindMismatch(Kind::kArray, kind_);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) ThrowKindMismatch(Kind::kObject, kind_);
+  return object_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (kind_ != Kind::kArray) ThrowKindMismatch(Kind::kArray, kind_);
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  if (kind_ != Kind::kObject) ThrowKindMismatch(Kind::kObject, kind_);
+  for (auto& [existing_key, existing_value] : object_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) ThrowKindMismatch(Kind::kObject, kind_);
+  for (const auto& [existing_key, value] : object_) {
+    if (existing_key == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (!value) throw JsonError("missing key \"" + std::string(key) + "\"");
+  return *value;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: AppendNumber(out, number_); return;
+    case Kind::kString: AppendEscaped(out, string_); return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        if (indent > 0) AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) AppendIndent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        if (indent > 0) AppendIndent(out, indent, depth + 1);
+        AppendEscaped(out, object_[i].first);
+        out += ':';
+        if (indent > 0) out += ' ';
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) AppendIndent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+JsonValue ComparisonToJson(const Comparison& comparison,
+                           const std::string& title) {
+  JsonValue document = JsonValue::MakeObject();
+  document.Set("schema", "abenc.comparison.v1");
+  document.Set("title", title);
+
+  JsonValue codecs = JsonValue::MakeArray();
+  for (const std::string& name : comparison.codec_names) codecs.Append(name);
+  document.Set("codecs", std::move(codecs));
+
+  JsonValue rows = JsonValue::MakeArray();
+  for (const ComparisonRow& row : comparison.rows) {
+    JsonValue row_json = JsonValue::MakeObject();
+    row_json.Set("stream", row.stream_name);
+    row_json.Set("binary", EvalResultToJson(row.binary));
+    JsonValue cells = JsonValue::MakeArray();
+    for (const ComparisonCell& cell : row.cells) {
+      JsonValue cell_json = EvalResultToJson(cell.result);
+      cell_json.Set("savings_percent", cell.savings_percent);
+      cells.Append(std::move(cell_json));
+    }
+    row_json.Set("cells", std::move(cells));
+    rows.Append(std::move(row_json));
+  }
+  document.Set("rows", std::move(rows));
+
+  document.Set("average_in_sequence_percent",
+               comparison.average_in_sequence_percent());
+  JsonValue averages = JsonValue::MakeArray();
+  const std::vector<double> average_savings = comparison.average_savings();
+  for (std::size_t c = 0; c < comparison.codec_names.size(); ++c) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("codec", comparison.codec_names[c]);
+    entry.Set("savings_percent", average_savings[c]);
+    averages.Append(std::move(entry));
+  }
+  document.Set("average_savings", std::move(averages));
+  return document;
+}
+
+JsonValue ProtectionStudyToJson(const ProtectionStudy& study) {
+  JsonValue document = JsonValue::MakeObject();
+  document.Set("schema", "abenc.protection.v1");
+  document.Set("stream", study.stream_name);
+  JsonValue outcomes = JsonValue::MakeArray();
+  for (const ProtectionOutcome& outcome : study.outcomes) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("codec", outcome.codec);
+    entry.Set("protection", outcome.protection);
+    entry.Set("transitions_per_cycle", outcome.transitions_per_cycle);
+    entry.Set("savings_percent", outcome.savings_percent);
+    entry.Set("average_corruption", outcome.average_corruption);
+    entry.Set("worst_recovery_cycles", outcome.worst_recovery_cycles);
+    outcomes.Append(std::move(entry));
+  }
+  document.Set("outcomes", std::move(outcomes));
+  return document;
+}
+
+void WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << value.Dump(2) << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace abenc

@@ -1,0 +1,161 @@
+// Machine-readable results: a small JSON document model plus the stable
+// serialization schemas for experiment results.
+//
+// The benches print paper-shaped ASCII for humans (table.h); this module
+// is the contract for machines — the `--json` flag of the table benches,
+// the committed baselines under bench/baselines/ and the CI regression
+// gate all speak the schemas below. Doubles are emitted in shortest
+// round-trip form (std::to_chars), so a value survives
+// write -> parse -> write bit-exactly and baseline comparisons can use
+// tight (1e-9) tolerances.
+//
+// Schema `abenc.comparison.v1` (one document per table bench):
+//   {
+//     "schema": "abenc.comparison.v1",
+//     "title": "<table title>",
+//     "codecs": ["t0", ...],
+//     "rows": [
+//       { "stream": "<benchmark>",
+//         "binary": {<eval>},
+//         "cells": [ {<eval>, "savings_percent": s}, ... ] }, ...
+//     ],
+//     "average_in_sequence_percent": p,
+//     "average_savings": [ {"codec": "t0", "savings_percent": s}, ... ]
+//   }
+// where <eval> spells out EvalResult: "codec", "stream_length",
+// "transitions", "peak_transitions", "in_sequence_percent", "per_line".
+//
+// Schema `abenc.protection.v1` (channel-protection studies):
+//   {
+//     "schema": "abenc.protection.v1",
+//     "stream": "<name>",
+//     "outcomes": [
+//       { "codec": c, "protection": p, "transitions_per_cycle": t,
+//         "savings_percent": s, "average_corruption": a,
+//         "worst_recovery_cycles": w }, ...
+//     ]
+//   }
+//
+// New fields may be added to either schema; existing fields never change
+// meaning. Consumers must ignore keys they do not know (the baseline
+// checker does).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace abenc {
+
+/// Malformed JSON input or a type-mismatched accessor.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value: null, bool, number, string, array or object. Objects
+/// preserve insertion order so serialization is byte-stable.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(long long value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::size_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(int value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(unsigned value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  static JsonValue MakeArray() { return WithKind(Kind::kArray); }
+  static JsonValue MakeObject() { return WithKind(Kind::kObject); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Checked accessors; throw JsonError on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Array append (must be an array).
+  void Append(JsonValue value);
+  /// Object insert-or-overwrite, preserving first-insertion order
+  /// (must be an object).
+  void Set(std::string key, JsonValue value);
+  /// Object lookup; nullptr when the key is absent (must be an object).
+  const JsonValue* Find(std::string_view key) const;
+  /// Object lookup; throws JsonError when the key is absent.
+  const JsonValue& At(std::string_view key) const;
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits the compact single-line form. Doubles use shortest
+  /// round-trip formatting; non-finite numbers serialize as null (JSON
+  /// has no NaN/Inf).
+  std::string Dump(int indent = 2) const;
+
+  /// Parse one JSON document (trailing whitespace allowed, nothing
+  /// else). Throws JsonError with a byte offset on malformed input.
+  static JsonValue Parse(std::string_view text);
+
+ private:
+  static JsonValue WithKind(Kind kind) {
+    JsonValue value;
+    value.kind_ = kind;
+    return value;
+  }
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Serialize a Comparison (the output of RunComparison) under schema
+/// `abenc.comparison.v1`. `title` labels the document (the bench's
+/// table title); it takes part in no comparisons.
+JsonValue ComparisonToJson(const Comparison& comparison,
+                           const std::string& title = "");
+
+/// One protection configuration's measured outcome, as produced by the
+/// channel-protection benches.
+struct ProtectionOutcome {
+  std::string codec;
+  std::string protection;  // "none", "parity", "secded", "beacon", ...
+  double transitions_per_cycle = 0.0;
+  double savings_percent = 0.0;  // vs the bare binary bus
+  double average_corruption = 0.0;
+  std::size_t worst_recovery_cycles = 0;
+};
+
+/// A channel-protection study over one stream.
+struct ProtectionStudy {
+  std::string stream_name;
+  std::vector<ProtectionOutcome> outcomes;
+};
+
+/// Serialize under schema `abenc.protection.v1`.
+JsonValue ProtectionStudyToJson(const ProtectionStudy& study);
+
+/// Write `Dump(2)` plus a trailing newline to `path`; throws
+/// std::runtime_error if the file cannot be written.
+void WriteJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace abenc

@@ -387,8 +387,9 @@ class EncodePass {
                              std::uint32_t pc) const {
     if (index >= i.operands.size()) Error(i, "missing branch target");
     const std::uint32_t target = LabelValue(i, i.operands[index]);
-    const std::int64_t delta =
-        (static_cast<std::int64_t>(target) - (static_cast<std::int64_t>(pc) + 4)) / 4;
+    const std::int64_t delta = (static_cast<std::int64_t>(target) -
+                                (static_cast<std::int64_t>(pc) + 4)) /
+                               4;
     if ((target - pc) % 4 != 0 || delta < -32768 || delta > 32767) {
       Error(i, "branch target out of range");
     }

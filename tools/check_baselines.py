@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare bench --json outputs against the committed baselines.
+
+The CI `bench-regression` job runs each table bench with `--json` and
+feeds the output directory here. For every baseline document under
+--baselines, the same-named file must exist under --results and agree
+on the codec list, the per-table average savings and the average
+in-sequence percentage to within --tolerance (default 1e-9 — the
+parallel engine is bit-identical to the sequential path, so legitimate
+runs match far tighter than that; see CONTRIBUTING.md for the
+baseline-update workflow when a code change moves a number on purpose).
+
+Exit status: 0 when everything matches, 1 on any deviation or missing
+file, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(messages):
+    for message in messages:
+        print(f"FAIL: {message}", file=sys.stderr)
+    print(f"\n{len(messages)} deviation(s) from baseline.", file=sys.stderr)
+    return 1
+
+
+def compare_protection(name, baseline, result, tolerance, errors):
+    baseline_keys = [(e["codec"], e["protection"])
+                     for e in baseline["outcomes"]]
+    result_keys = [(e["codec"], e["protection"])
+                   for e in result.get("outcomes", [])]
+    if baseline_keys != result_keys:
+        errors.append(f"{name}: outcome grid changed: {result_keys} "
+                      f"!= baseline {baseline_keys}")
+        return
+    for base_entry, result_entry in zip(baseline["outcomes"],
+                                        result["outcomes"]):
+        key = f"{base_entry['codec']}/{base_entry['protection']}"
+        for field in ("transitions_per_cycle", "savings_percent"):
+            expected = base_entry[field]
+            measured = result_entry[field]
+            if abs(measured - expected) > tolerance:
+                errors.append(
+                    f"{name}: {field} for {key} deviates: "
+                    f"measured {measured!r} vs baseline {expected!r}")
+
+
+def compare_document(name, baseline, result, tolerance, errors):
+    schema = baseline.get("schema")
+    if result.get("schema") != schema:
+        errors.append(
+            f"{name}: schema {result.get('schema')!r} != baseline {schema!r}")
+        return
+    if schema == "abenc.protection.v1":
+        compare_protection(name, baseline, result, tolerance, errors)
+        return
+
+    baseline_codecs = [e["codec"] for e in baseline["average_savings"]]
+    result_codecs = [e["codec"] for e in result.get("average_savings", [])]
+    if baseline_codecs != result_codecs:
+        errors.append(
+            f"{name}: codec list {result_codecs} != baseline {baseline_codecs}")
+        return
+
+    for base_entry, result_entry in zip(baseline["average_savings"],
+                                        result["average_savings"]):
+        codec = base_entry["codec"]
+        expected = base_entry["savings_percent"]
+        measured = result_entry["savings_percent"]
+        if abs(measured - expected) > tolerance:
+            errors.append(
+                f"{name}: average savings for {codec!r} deviates: "
+                f"measured {measured!r} vs baseline {expected!r} "
+                f"(|delta| = {abs(measured - expected):.3e} > {tolerance:g})")
+
+    expected = baseline["average_in_sequence_percent"]
+    measured = result.get("average_in_sequence_percent")
+    if measured is None or abs(measured - expected) > tolerance:
+        errors.append(
+            f"{name}: average in-sequence percent deviates: "
+            f"measured {measured!r} vs baseline {expected!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", type=Path, required=True,
+                        help="directory of committed baseline JSON documents")
+    parser.add_argument("--results", type=Path, required=True,
+                        help="directory of freshly measured JSON documents")
+    parser.add_argument("--tolerance", type=float, default=1e-9)
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baselines.glob("*.json"))
+    if not baseline_files:
+        print(f"no baselines found under {args.baselines}", file=sys.stderr)
+        return 2
+
+    errors = []
+    for baseline_path in baseline_files:
+        name = baseline_path.name
+        result_path = args.results / name
+        if not result_path.is_file():
+            errors.append(f"{name}: no result file at {result_path}")
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(result_path) as f:
+            result = json.load(f)
+        compare_document(name, baseline, result, args.tolerance, errors)
+        if not any(e.startswith(name) for e in errors):
+            print(f"OK: {name}")
+
+    if errors:
+        return fail(errors)
+    print(f"\nAll {len(baseline_files)} baseline document(s) match "
+          f"within {args.tolerance:g}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
