@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <charconv>
 #include <iostream>
 #include <stdexcept>
 #include <string_view>
@@ -32,6 +33,22 @@ bool MatchFlag(std::string_view name, int argc, char** argv, int& i,
   return false;
 }
 
+// Strict base-10 parse: the whole value must be digits ("12abc", "-1",
+// "" and values above unsigned all reject), unlike std::stoul which
+// accepts trailing garbage and wraps negatives.
+unsigned ParseUnsigned(std::string_view flag, std::string_view text) {
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() ||
+      text.empty()) {
+    throw std::invalid_argument(std::string("--") + std::string(flag) +
+                                " expects a non-negative integer, got '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
 }  // namespace
 
 BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -41,8 +58,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     if (MatchFlag("json", argc, argv, i, value)) {
       options.json_path = value;
     } else if (MatchFlag("parallelism", argc, argv, i, value)) {
-      options.parallelism =
-          static_cast<unsigned>(std::stoul(value));
+      options.parallelism = ParseUnsigned("parallelism", value);
     }
     // Anything else (google-benchmark flags, etc.) is ignored.
   }

@@ -431,15 +431,24 @@ class EncodePass {
 
     // --- R-type three-register ---
     static const std::map<std::string, Funct> kThreeReg = {
-        {"add", Funct::kAdd},   {"addu", Funct::kAddu},
-        {"sub", Funct::kSub},   {"subu", Funct::kSubu},
-        {"and", Funct::kAnd},   {"or", Funct::kOr},
-        {"xor", Funct::kXor},   {"nor", Funct::kNor},
-        {"slt", Funct::kSlt},   {"sltu", Funct::kSltu},
-        {"sllv", Funct::kSllv}, {"srlv", Funct::kSrlv},
-        {"srav", Funct::kSrav}};
+        {"add", Funct::kAdd}, {"addu", Funct::kAddu},
+        {"sub", Funct::kSub}, {"subu", Funct::kSubu},
+        {"and", Funct::kAnd}, {"or", Funct::kOr},
+        {"xor", Funct::kXor}, {"nor", Funct::kNor},
+        {"slt", Funct::kSlt}, {"sltu", Funct::kSltu}};
     if (const auto it = kThreeReg.find(m); it != kThreeReg.end()) {
       out.push_back(EncodeR(it->second, Reg(i, 0), Reg(i, 1), Reg(i, 2)));
+      return;
+    }
+
+    // --- variable shifts: MIPS operand order is `sllv rd, rt, rs`
+    // (value in rt, shift amount in rs), matching the disassembler ---
+    static const std::map<std::string, Funct> kVarShift = {
+        {"sllv", Funct::kSllv},
+        {"srlv", Funct::kSrlv},
+        {"srav", Funct::kSrav}};
+    if (const auto it = kVarShift.find(m); it != kVarShift.end()) {
+      out.push_back(EncodeR(it->second, Reg(i, 0), Reg(i, 2), Reg(i, 1)));
       return;
     }
 

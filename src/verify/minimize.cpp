@@ -1,0 +1,50 @@
+#include "verify/minimize.h"
+
+namespace abenc::verify {
+
+std::vector<BusAccess> MinimizeStream(std::vector<BusAccess> stream,
+                                      const FailingPredicate& still_fails,
+                                      std::size_t max_probes) {
+  std::size_t probes = 0;
+  const auto try_candidate = [&](const std::vector<BusAccess>& candidate) {
+    if (probes >= max_probes) return false;
+    ++probes;
+    return still_fails(candidate);
+  };
+
+  // Chunk removal with shrinking granularity (ddmin). A successful
+  // removal restarts at the same chunk size; exhausting every chunk
+  // halves it, down to single accesses.
+  for (std::size_t chunk = stream.size() / 2; chunk >= 1;) {
+    bool removed_any = false;
+    for (std::size_t begin = 0;
+         begin < stream.size() && probes < max_probes;) {
+      std::vector<BusAccess> candidate;
+      candidate.reserve(stream.size());
+      candidate.insert(candidate.end(), stream.begin(),
+                       stream.begin() + static_cast<std::ptrdiff_t>(begin));
+      const std::size_t end =
+          begin + chunk < stream.size() ? begin + chunk : stream.size();
+      candidate.insert(candidate.end(),
+                       stream.begin() + static_cast<std::ptrdiff_t>(end),
+                       stream.end());
+      if (!candidate.empty() && try_candidate(candidate)) {
+        stream = std::move(candidate);
+        removed_any = true;
+        // Keep `begin` where it is: the next chunk slid into place.
+      } else {
+        begin += chunk;
+      }
+    }
+    if (probes >= max_probes) break;
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    } else if (chunk > stream.size() / 2 && stream.size() > 1) {
+      chunk = stream.size() / 2;
+    }
+  }
+  return stream;
+}
+
+}  // namespace abenc::verify

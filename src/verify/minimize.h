@@ -1,0 +1,27 @@
+// Delta-debugging stream minimizer: shrink a failing address stream to a
+// (locally) minimal reproducer while the failure persists. Deterministic
+// — the shrink schedule depends only on the input stream and the
+// predicate's answers, so a minimized dump is stable across replays.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/stream_evaluator.h"
+
+namespace abenc::verify {
+
+/// Returns true when the candidate stream still triggers the failure
+/// under investigation.
+using FailingPredicate = std::function<bool(std::span<const BusAccess>)>;
+
+/// ddmin-style minimization: repeatedly try dropping chunks (halving the
+/// chunk size down to single accesses) while `still_fails` holds. The
+/// returned stream still fails. `max_probes` bounds the number of
+/// predicate evaluations so pathological predicates cannot hang a run.
+std::vector<BusAccess> MinimizeStream(std::vector<BusAccess> stream,
+                                      const FailingPredicate& still_fails,
+                                      std::size_t max_probes = 2000);
+
+}  // namespace abenc::verify

@@ -1,0 +1,203 @@
+#include "verify/properties.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/transition_counter.h"
+
+namespace abenc::verify {
+namespace {
+
+std::string HexWord(Word value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+}  // namespace
+
+CodecFactoryFn DefaultCodecFactory() {
+  return [](const std::string& name, const CodecOptions& options) {
+    return MakeCodec(name, options);
+  };
+}
+
+std::optional<PropertyFailure> CheckRoundTrip(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  const CodecPtr codec = factory(codec_name, options);
+  const Word mask = LowMask(codec->width());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const BusState state = codec->Encode(stream[i].address, stream[i].sel);
+    const Word decoded = codec->Decode(state, stream[i].sel);
+    const Word expected = stream[i].address & mask;
+    if (decoded != expected) {
+      return PropertyFailure{
+          i, codec_name + ": decode(encode(" + HexWord(expected) +
+                 ")) = " + HexWord(decoded) + " at access " +
+                 std::to_string(i)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyFailure> CheckLineWidth(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  const CodecPtr codec = factory(codec_name, options);
+  const unsigned width = codec->width();
+  const unsigned redundant = codec->redundant_lines();
+  if (codec->total_lines() != width + redundant) {
+    return PropertyFailure{stream.size(),
+                           codec_name + ": total_lines() != width + R"};
+  }
+  const Word line_mask = LowMask(width);
+  const Word redundant_mask = redundant == 0 ? 0 : LowMask(redundant);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const BusState state = codec->Encode(stream[i].address, stream[i].sel);
+    if ((state.lines & ~line_mask) != 0) {
+      return PropertyFailure{
+          i, codec_name + ": encoded lines " + HexWord(state.lines) +
+                 " exceed the " + std::to_string(width) +
+                 "-bit bus at access " + std::to_string(i)};
+    }
+    if ((state.redundant & ~redundant_mask) != 0) {
+      return PropertyFailure{
+          i, codec_name + ": redundant bits " + HexWord(state.redundant) +
+                 " exceed the advertised " + std::to_string(redundant) +
+                 " redundant line(s) at access " + std::to_string(i)};
+    }
+    if (codec->redundant_lines() != redundant) {
+      return PropertyFailure{
+          i, codec_name + ": redundant_lines() changed mid-stream at access " +
+                 std::to_string(i)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyFailure> CheckResetReplay(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  const CodecPtr first = factory(codec_name, options);
+  std::vector<BusState> reference;
+  reference.reserve(stream.size());
+  for (const BusAccess& access : stream) {
+    reference.push_back(first->Encode(access.address, access.sel));
+  }
+
+  first->Reset();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const BusState replay = first->Encode(stream[i].address, stream[i].sel);
+    if (replay != reference[i]) {
+      return PropertyFailure{
+          i, codec_name + ": Reset() did not restore the power-on state — "
+                 "replayed encoding diverges at access " +
+                 std::to_string(i)};
+    }
+  }
+
+  const CodecPtr second = factory(codec_name, options);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const BusState other = second->Encode(stream[i].address, stream[i].sel);
+    if (other != reference[i]) {
+      return PropertyFailure{
+          i, codec_name + ": two fresh instances disagree at access " +
+                 std::to_string(i) + " (hidden shared state?)"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyFailure> CheckTransitionAccounting(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  // Evaluate() with its own fresh codec, decode-verified exactly as the
+  // table benches run it.
+  const CodecPtr evaluated = factory(codec_name, options);
+  EvalResult result;
+  try {
+    result = Evaluate(*evaluated, stream, options.stride, true);
+  } catch (const std::logic_error& error) {
+    return PropertyFailure{stream.size(),
+                           codec_name +
+                               ": Evaluate(verify_decode) threw: " +
+                               error.what()};
+  }
+
+  // Independent recount from a second instance via TransitionsBetween.
+  const CodecPtr recounted = factory(codec_name, options);
+  const unsigned width = recounted->width();
+  const unsigned redundant = recounted->redundant_lines();
+  long long total = 0;
+  int peak = 0;
+  BusState previous{};  // power-on: all lines low
+  for (const BusAccess& access : stream) {
+    const BusState state = recounted->Encode(access.address, access.sel);
+    const int toggles = TransitionsBetween(previous, state, width, redundant);
+    total += toggles;
+    if (toggles > peak) peak = toggles;
+    previous = state;
+  }
+
+  if (result.transitions != total) {
+    return PropertyFailure{
+        stream.size(),
+        codec_name + ": Evaluate() counted " +
+            std::to_string(result.transitions) +
+            " transitions, TransitionsBetween recount gives " +
+            std::to_string(total)};
+  }
+  if (result.peak_transitions != peak) {
+    return PropertyFailure{
+        stream.size(), codec_name + ": peak mismatch: Evaluate() " +
+                           std::to_string(result.peak_transitions) +
+                           " vs recount " + std::to_string(peak)};
+  }
+  if (result.per_line.size() != width + redundant) {
+    return PropertyFailure{
+        stream.size(), codec_name + ": per_line has " +
+                           std::to_string(result.per_line.size()) +
+                           " entries, expected total_lines() = " +
+                           std::to_string(width + redundant)};
+  }
+  long long per_line_sum = 0;
+  for (long long line : result.per_line) per_line_sum += line;
+  if (per_line_sum != result.transitions) {
+    return PropertyFailure{
+        stream.size(), codec_name + ": per_line sums to " +
+                           std::to_string(per_line_sum) + ", total is " +
+                           std::to_string(result.transitions)};
+  }
+  if (result.stream_length != stream.size()) {
+    return PropertyFailure{stream.size(),
+                           codec_name + ": stream_length mismatch"};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> UniversalPropertyNames() {
+  return {"round-trip", "line-width", "reset-replay",
+          "transition-accounting"};
+}
+
+std::optional<PropertyFailure> CheckUniversalProperty(
+    const std::string& property, const std::string& codec_name,
+    const CodecOptions& options, std::span<const BusAccess> stream,
+    const CodecFactoryFn& factory) {
+  if (property == "round-trip") {
+    return CheckRoundTrip(codec_name, options, stream, factory);
+  }
+  if (property == "line-width") {
+    return CheckLineWidth(codec_name, options, stream, factory);
+  }
+  if (property == "reset-replay") {
+    return CheckResetReplay(codec_name, options, stream, factory);
+  }
+  if (property == "transition-accounting") {
+    return CheckTransitionAccounting(codec_name, options, stream, factory);
+  }
+  throw std::invalid_argument("unknown universal property: " + property);
+}
+
+}  // namespace abenc::verify

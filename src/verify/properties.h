@@ -1,0 +1,75 @@
+// The universal invariant suite: properties every Codec in the library
+// must satisfy on *any* address stream. Each check constructs fresh
+// codecs through an injectable factory hook, so the suite can be turned
+// against a deliberately broken codec (the test-suite does exactly that
+// to prove the harness catches injected bugs).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+
+namespace abenc::verify {
+
+/// How a property failed: the first stream index at which the invariant
+/// broke (stream.size() when the failure is not tied to one access) and
+/// a human-readable explanation.
+struct PropertyFailure {
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Constructs the codec under test. Defaults to MakeCodec; tests swap in
+/// wrappers that sabotage encode/decode to validate the harness itself.
+using CodecFactoryFn =
+    std::function<CodecPtr(const std::string&, const CodecOptions&)>;
+
+/// The default factory hook (forwards to MakeCodec).
+CodecFactoryFn DefaultCodecFactory();
+
+/// decode(encode(b)) == b & mask on every access, driving one codec's
+/// encoder and decoder ends in lockstep from reset.
+std::optional<PropertyFailure> CheckRoundTrip(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
+/// Every encoded BusState stays inside the advertised geometry: data
+/// lines within the width mask, redundant bits within redundant_lines()
+/// (exactly zero redundant bits for irredundant codes), and the
+/// geometry itself stable across the stream.
+std::optional<PropertyFailure> CheckLineWidth(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
+/// Reset()/instance contract: re-encoding the stream after Reset()
+/// reproduces the exact BusState sequence, and a second fresh instance
+/// produces the same sequence as the first (no hidden global state).
+std::optional<PropertyFailure> CheckResetReplay(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
+/// StreamEvaluator consistency: Evaluate()'s transition total, peak and
+/// per-line histogram agree with an independent recount of the encoded
+/// states via TransitionsBetween, and the per-line histogram sums to the
+/// total over exactly total_lines() entries.
+std::optional<PropertyFailure> CheckTransitionAccounting(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
+/// Names of the universal properties, in a stable order:
+/// "round-trip", "line-width", "reset-replay", "transition-accounting".
+std::vector<std::string> UniversalPropertyNames();
+
+/// Dispatch by property name; throws std::invalid_argument for unknown
+/// names.
+std::optional<PropertyFailure> CheckUniversalProperty(
+    const std::string& property, const std::string& codec_name,
+    const CodecOptions& options, std::span<const BusAccess> stream,
+    const CodecFactoryFn& factory);
+
+}  // namespace abenc::verify

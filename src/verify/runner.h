@@ -1,0 +1,67 @@
+// The property runner: enumerates every (property, codec, stream family)
+// instance reachable from codec_factory, fuzzes each with deterministic
+// derived seeds, and turns any failure into a one-line reproducer
+// (`verify_runner --seed N --property P`) plus a ddmin-minimized stream
+// dump. The ctest suite and the CI verify-smoke step both run through
+// this class, so a red property is always replayable from its printout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/minimize.h"
+#include "verify/oracles.h"
+#include "verify/properties.h"
+#include "verify/stream_gen.h"
+
+namespace abenc::verify {
+
+/// Fuzzing shape shared by every property instance.
+struct VerifyConfig {
+  std::uint64_t seed = 1;        // base seed; iteration i runs at seed + i
+  std::size_t iterations = 4;    // fuzz streams per property instance
+  std::size_t stream_length = 512;
+  unsigned width = 32;           // bus width for every codec under test
+  Word stride = 4;               // sequential step S
+  std::string property_filter;   // exact name or substring; empty = all
+  bool minimize = true;          // ddmin failing streams before reporting
+  CodecFactoryFn factory;        // empty = MakeCodec (tests inject bugs)
+};
+
+/// One caught failure, carrying everything needed to replay it.
+struct VerifyFailure {
+  std::string property;     // qualified name, e.g. "round-trip:t0:boundary"
+  std::uint64_t seed = 0;   // base seed that reproduces at iteration 0
+  std::size_t index = 0;    // stream index where the invariant broke
+  std::string message;      // human-readable diagnosis
+  std::vector<BusAccess> minimized;  // minimal stream still failing
+  std::string reproducer;   // the one-line `verify_runner ...` command
+};
+
+class VerifyRunner {
+ public:
+  explicit VerifyRunner(VerifyConfig config);
+
+  /// Qualified names of every property instance the config reaches
+  /// (after the filter): `<property>:<codec>:<family>` for the
+  /// universal suite, `gate:<codec>:<family>` and `markov:<codec>` for
+  /// the differential oracles, and `parallel-identity`.
+  std::vector<std::string> PropertyNames() const;
+
+  /// Run every matching instance for every iteration. Returns all
+  /// failures (one per instance at most — an instance stops at its
+  /// first failing seed).
+  std::vector<VerifyFailure> Run() const;
+
+  /// Human-readable report: the reproducer line plus the minimized
+  /// stream dump (at most `max_dump` accesses).
+  static std::string FormatFailure(const VerifyFailure& failure,
+                                   std::size_t max_dump = 32);
+
+ private:
+  VerifyConfig config_;
+};
+
+}  // namespace abenc::verify

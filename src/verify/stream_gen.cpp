@@ -1,0 +1,203 @@
+#include "verify/stream_gen.h"
+
+namespace abenc::verify {
+namespace {
+
+/// SplitMix64: tiny, well-mixed, and identical on every platform —
+/// unlike std::uniform_int_distribution, whose mapping is
+/// implementation-defined and would break cross-machine seed replay.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) by modulo — a tiny bias is irrelevant for
+  /// fuzzing and keeps the mapping platform-stable.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  bool Chance(unsigned percent) { return Below(100) < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<BusAccess> SequentialRuns(SplitMix64& rng, std::size_t length,
+                                      unsigned width, Word stride) {
+  std::vector<BusAccess> out;
+  out.reserve(length);
+  Word address = rng.Next();
+  while (out.size() < length) {
+    // Runs of 1..64 in-sequence steps, occasionally with a doubled or
+    // halved stride so the codec's +S predictor is wrong mid-run.
+    const std::size_t run = 1 + rng.Below(64);
+    Word step = stride;
+    if (rng.Chance(10)) step = stride * 2;
+    if (rng.Chance(10) && stride > 1) step = stride / 2;
+    for (std::size_t i = 0; i < run && out.size() < length; ++i) {
+      out.push_back(BusAccess{address & LowMask(width), true});
+      address += step;
+    }
+    if (rng.Chance(60)) address = rng.Next();  // otherwise fall through
+  }
+  return out;
+}
+
+std::vector<BusAccess> StrideSweep(SplitMix64& rng, std::size_t length,
+                                   unsigned width, Word /*stride*/) {
+  std::vector<BusAccess> out;
+  out.reserve(length);
+  Word address = rng.Next();
+  while (out.size() < length) {
+    // Sequential segments whose stride sweeps all powers of two below
+    // the width — most segments use a stride the codec was *not*
+    // configured for.
+    const Word step = Word{1} << rng.Below(width < 12 ? width : 12);
+    const std::size_t run = 4 + rng.Below(28);
+    for (std::size_t i = 0; i < run && out.size() < length; ++i) {
+      out.push_back(BusAccess{address & LowMask(width), true});
+      address += step;
+    }
+    if (rng.Chance(30)) address = rng.Next();
+  }
+  return out;
+}
+
+std::vector<BusAccess> BranchHeavy(SplitMix64& rng, std::size_t length,
+                                   unsigned width, Word stride) {
+  std::vector<BusAccess> out;
+  out.reserve(length);
+  const Word segment_mask = LowMask(width < 16 ? width : 16);
+  Word base = rng.Next() & ~segment_mask;
+  Word address = base | (rng.Next() & segment_mask);
+  while (out.size() < length) {
+    const std::size_t run = 1 + rng.Below(4);  // short basic blocks
+    for (std::size_t i = 0; i < run && out.size() < length; ++i) {
+      out.push_back(BusAccess{address & LowMask(width), true});
+      address += stride;
+    }
+    address = base | (rng.Next() & segment_mask & ~(stride - 1));
+    if (rng.Chance(5)) base = rng.Next() & ~segment_mask;  // far call
+  }
+  return out;
+}
+
+std::vector<BusAccess> Multiplexed(SplitMix64& rng, std::size_t length,
+                                   unsigned width, Word stride) {
+  std::vector<BusAccess> out;
+  out.reserve(length);
+  Word pc = rng.Next();
+  while (out.size() < length) {
+    out.push_back(BusAccess{pc & LowMask(width), true});
+    pc = rng.Chance(80) ? pc + stride : rng.Next();
+    // Data slots interleave with ~40 % density, sometimes in bursts
+    // (a spilled register save / block copy).
+    while (rng.Chance(40) && out.size() < length) {
+      out.push_back(BusAccess{rng.Next() & LowMask(width), false});
+      if (!rng.Chance(30)) break;
+    }
+  }
+  return out;
+}
+
+std::vector<BusAccess> Boundary(SplitMix64& rng, std::size_t length,
+                                unsigned width, Word stride) {
+  const Word mask = LowMask(width);
+  const Word alternating = 0xAAAAAAAAAAAAAAAAull & mask;
+  std::vector<BusAccess> out;
+  out.reserve(length);
+  Word previous = 0;
+  while (out.size() < length) {
+    Word address = 0;
+    switch (rng.Below(9)) {
+      case 0: address = 0; break;
+      case 1: address = mask; break;                    // all ones
+      case 2: address = alternating; break;             // 1010...
+      case 3: address = mask ^ alternating; break;      // 0101...
+      case 4: address = Word{1} << rng.Below(width); break;  // walking 1
+      case 5: address = mask ^ (Word{1} << rng.Below(width)); break;
+      case 6: address = previous; break;                // frozen bus
+      case 7:                                           // single-bit flip
+        address = previous ^ (Word{1} << rng.Below(width));
+        break;
+      default:                                          // wrap edge
+        address = (mask - stride * rng.Below(4) + 1) & mask;
+        break;
+    }
+    // SEL toggles in blocks so the dual codes see both phases hitting
+    // the same boundary patterns.
+    out.push_back(BusAccess{address, (out.size() / 7) % 2 == 0});
+    previous = address;
+  }
+  return out;
+}
+
+std::vector<BusAccess> UniformRandom(SplitMix64& rng, std::size_t length,
+                                     unsigned /*width*/, Word /*stride*/) {
+  std::vector<BusAccess> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    // Deliberately unmasked: addresses above the bus width must be
+    // masked by every codec, not trusted to be in range.
+    out.push_back(BusAccess{rng.Next(), rng.Chance(70)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<StreamFamily> AllStreamFamilies() {
+  return {StreamFamily::kSequentialRuns, StreamFamily::kStrideSweep,
+          StreamFamily::kBranchHeavy,    StreamFamily::kMultiplexed,
+          StreamFamily::kBoundary,       StreamFamily::kUniformRandom};
+}
+
+std::string FamilyName(StreamFamily family) {
+  switch (family) {
+    case StreamFamily::kSequentialRuns: return "sequential-runs";
+    case StreamFamily::kStrideSweep: return "stride-sweep";
+    case StreamFamily::kBranchHeavy: return "branch-heavy";
+    case StreamFamily::kMultiplexed: return "multiplexed";
+    case StreamFamily::kBoundary: return "boundary";
+    case StreamFamily::kUniformRandom: return "uniform-random";
+  }
+  return "unknown";
+}
+
+std::optional<StreamFamily> ParseFamily(std::string_view name) {
+  for (StreamFamily family : AllStreamFamilies()) {
+    if (FamilyName(family) == name) return family;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t MixSeed(std::uint64_t seed) {
+  return SplitMix64(seed).Next();
+}
+
+std::vector<BusAccess> GenerateStream(StreamFamily family,
+                                      std::uint64_t seed, std::size_t length,
+                                      unsigned width, Word stride) {
+  SplitMix64 rng(MixSeed(seed ^ (static_cast<std::uint64_t>(family) << 56)));
+  switch (family) {
+    case StreamFamily::kSequentialRuns:
+      return SequentialRuns(rng, length, width, stride);
+    case StreamFamily::kStrideSweep:
+      return StrideSweep(rng, length, width, stride);
+    case StreamFamily::kBranchHeavy:
+      return BranchHeavy(rng, length, width, stride);
+    case StreamFamily::kMultiplexed:
+      return Multiplexed(rng, length, width, stride);
+    case StreamFamily::kBoundary: return Boundary(rng, length, width, stride);
+    case StreamFamily::kUniformRandom:
+      return UniformRandom(rng, length, width, stride);
+  }
+  return {};
+}
+
+}  // namespace abenc::verify

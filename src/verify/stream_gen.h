@@ -1,0 +1,55 @@
+// Deterministic adversarial address-stream generators for the property
+// runner. Every generator is a pure function of (family, seed, shape):
+// no wall-clock, no global state, no std::random distributions (whose
+// output is implementation-defined) — streams are bit-identical across
+// platforms, which is what makes `verify_runner --seed N` a reproducer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/stream_evaluator.h"
+#include "core/types.h"
+
+namespace abenc::verify {
+
+/// The structured stream shapes the fuzzer draws from. Each family
+/// stresses a different codec mechanism: sequential runs (T0's frozen
+/// bus), stride sweeps (wrong-stride adversaries), branch-heavy jumps
+/// (working-zone / beach misses), multiplexed I/D interleavings (the
+/// dual codes' SEL path), boundary patterns (mask edges, alternating
+/// and walking bits), and plain uniform noise (including addresses
+/// above the bus width, which every code must mask).
+enum class StreamFamily {
+  kSequentialRuns,
+  kStrideSweep,
+  kBranchHeavy,
+  kMultiplexed,
+  kBoundary,
+  kUniformRandom,
+};
+
+/// All families, in a stable order.
+std::vector<StreamFamily> AllStreamFamilies();
+
+/// Machine name of a family, e.g. "boundary".
+std::string FamilyName(StreamFamily family);
+
+/// Inverse of FamilyName; std::nullopt for unknown names.
+std::optional<StreamFamily> ParseFamily(std::string_view name);
+
+/// Deterministic 64-bit mixer (SplitMix64). Exposed so the runner can
+/// derive per-case sub-seeds the same way on every platform.
+std::uint64_t MixSeed(std::uint64_t seed);
+
+/// Generate one adversarial stream. `width` is the bus width the codec
+/// under test uses; `stride` its configured sequential step. Addresses
+/// may exceed the width mask on purpose (codecs must mask).
+std::vector<BusAccess> GenerateStream(StreamFamily family,
+                                      std::uint64_t seed, std::size_t length,
+                                      unsigned width, Word stride);
+
+}  // namespace abenc::verify

@@ -1,0 +1,80 @@
+// Flag parsing of the shared bench driver. The benches are the CI
+// regression gate's data source, so a silently mis-parsed --json or
+// --parallelism flag would corrupt baselines rather than fail loudly.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace abenc::bench {
+namespace {
+
+/// Runs ParseBenchOptions over an argv built from `args` (argv[0] is
+/// the program name, as in a real invocation).
+BenchOptions Parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  std::string program = "bench_test";
+  argv.push_back(program.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return ParseBenchOptions(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchUtilTest, DefaultsWithNoArguments) {
+  const BenchOptions options = Parse({});
+  EXPECT_TRUE(options.json_path.empty());
+  EXPECT_EQ(options.parallelism, 0u);
+}
+
+TEST(BenchUtilTest, SeparateValueForm) {
+  const BenchOptions options =
+      Parse({"--json", "out.json", "--parallelism", "3"});
+  EXPECT_EQ(options.json_path, "out.json");
+  EXPECT_EQ(options.parallelism, 3u);
+}
+
+TEST(BenchUtilTest, EqualsValueForm) {
+  const BenchOptions options =
+      Parse({"--parallelism=8", "--json=/tmp/t2.json"});
+  EXPECT_EQ(options.json_path, "/tmp/t2.json");
+  EXPECT_EQ(options.parallelism, 8u);
+}
+
+TEST(BenchUtilTest, LastFlagWins) {
+  const BenchOptions options =
+      Parse({"--json=a.json", "--json", "b.json"});
+  EXPECT_EQ(options.json_path, "b.json");
+}
+
+TEST(BenchUtilTest, UnknownFlagsAreIgnored) {
+  // google-benchmark flags (and anything else a harness passes) must not
+  // derail a table bench.
+  const BenchOptions options =
+      Parse({"--benchmark_min_time=2", "-v", "--parallelism", "2", "extra"});
+  EXPECT_EQ(options.parallelism, 2u);
+}
+
+TEST(BenchUtilTest, MissingValueThrows) {
+  EXPECT_THROW(Parse({"--json"}), std::invalid_argument);
+  EXPECT_THROW(Parse({"--parallelism"}), std::invalid_argument);
+}
+
+TEST(BenchUtilTest, BadParallelismValuesThrow) {
+  EXPECT_THROW(Parse({"--parallelism", "abc"}), std::invalid_argument);
+  EXPECT_THROW(Parse({"--parallelism", "12abc"}), std::invalid_argument);
+  EXPECT_THROW(Parse({"--parallelism", "-1"}), std::invalid_argument);
+  EXPECT_THROW(Parse({"--parallelism="}), std::invalid_argument);
+  EXPECT_THROW(Parse({"--parallelism", "99999999999999999999"}),
+               std::invalid_argument);
+}
+
+TEST(BenchUtilTest, EmptyJsonValueIsAccepted) {
+  // `--json=` explicitly selects "no JSON output" — same as the default.
+  const BenchOptions options = Parse({"--json="});
+  EXPECT_TRUE(options.json_path.empty());
+}
+
+}  // namespace
+}  // namespace abenc::bench

@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <random>
 #include <sstream>
+#include <vector>
 
 #include "sim/assembler.h"
 #include "sim/cpu.h"
+#include "sim/disassembler.h"
 #include "sim/memory.h"
 #include "sim/program_library.h"
 
@@ -384,6 +386,200 @@ TEST(ExtendedProgramsTest, QsortActuallySorts) {
     ASSERT_GE(cur, prev) << "index " << i;
     prev = cur;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Assembler <-> disassembler round trip over random instruction words
+// ---------------------------------------------------------------------------
+
+/// Emits random *canonical* instruction words: every don't-care field is
+/// zeroed exactly as the assembler would emit it (sll's rs, jalr's
+/// rd=31, break/syscall all-zero, ...), and control-flow targets land
+/// inside [0, n] slots so the disassembler's synthetic labels resolve.
+class InstructionFuzzer {
+ public:
+  explicit InstructionFuzzer(std::uint64_t seed) : rng_(seed) {}
+
+  std::vector<std::uint32_t> Generate(std::size_t count) {
+    std::vector<std::uint32_t> words;
+    for (std::size_t i = 0; i < count; ++i) {
+      words.push_back(RandomWord(i, count));
+    }
+    return words;
+  }
+
+ private:
+  unsigned Reg() { return static_cast<unsigned>(rng_() % 32); }
+  std::uint16_t Imm() { return static_cast<std::uint16_t>(rng_()); }
+
+  /// Branch displacement from slot `i` to a random slot in [0, n]
+  /// (n = one past the last instruction, which also gets a label).
+  std::uint16_t BranchDisp(std::size_t i, std::size_t n) {
+    const auto slot = static_cast<std::int32_t>(rng_() % (n + 1));
+    const auto disp = slot - static_cast<std::int32_t>(i + 1);
+    return static_cast<std::uint16_t>(static_cast<std::int16_t>(disp));
+  }
+
+  std::uint32_t JumpField(std::size_t n) {
+    const auto slot = static_cast<std::uint32_t>(rng_() % (n + 1));
+    return (kTextBase >> 2) + slot;
+  }
+
+  std::uint32_t RandomWord(std::size_t i, std::size_t n) {
+    switch (rng_() % 24) {
+      case 0:
+        return EncodeR(Funct::kSll, Reg(), 0, Reg(),
+                       static_cast<unsigned>(rng_() % 32));
+      case 1:
+        return EncodeR(Funct::kSrl, Reg(), 0, Reg(),
+                       static_cast<unsigned>(rng_() % 32));
+      case 2:
+        return EncodeR(Funct::kSra, Reg(), 0, Reg(),
+                       static_cast<unsigned>(rng_() % 32));
+      case 3: return EncodeR(Funct::kSllv, Reg(), Reg(), Reg());
+      case 4: return EncodeR(Funct::kSrav, Reg(), Reg(), Reg());
+      case 5: return EncodeR(Funct::kJr, 0, Reg(), 0);
+      case 6: return EncodeR(Funct::kJalr, 31, Reg(), 0);
+      case 7: return EncodeR(Funct::kMfhi, Reg(), 0, 0);
+      case 8: return EncodeR(Funct::kMflo, Reg(), 0, 0);
+      case 9: return EncodeR(Funct::kMult, 0, Reg(), Reg());
+      case 10: return EncodeR(Funct::kDivu, 0, Reg(), Reg());
+      case 11:
+        return EncodeR(rng_() % 2 ? Funct::kBreak : Funct::kSyscall, 0, 0,
+                       0);
+      case 12: {
+        static constexpr Funct kThreeReg[] = {
+            Funct::kAdd, Funct::kAddu, Funct::kSub, Funct::kSubu,
+            Funct::kAnd, Funct::kOr,   Funct::kXor, Funct::kNor,
+            Funct::kSlt, Funct::kSltu};
+        return EncodeR(kThreeReg[rng_() % std::size(kThreeReg)], Reg(),
+                       Reg(), Reg());
+      }
+      case 13: {
+        static constexpr Opcode kImmediate[] = {
+            Opcode::kAddi, Opcode::kAddiu, Opcode::kSlti, Opcode::kSltiu,
+            Opcode::kAndi, Opcode::kOri,   Opcode::kXori};
+        return EncodeI(kImmediate[rng_() % std::size(kImmediate)], Reg(),
+                       Reg(), Imm());
+      }
+      case 14: return EncodeI(Opcode::kLui, Reg(), 0, Imm());
+      case 15: {
+        static constexpr Opcode kMemory[] = {
+            Opcode::kLb, Opcode::kLh,  Opcode::kLw, Opcode::kLbu,
+            Opcode::kLhu, Opcode::kSb, Opcode::kSh, Opcode::kSw};
+        return EncodeI(kMemory[rng_() % std::size(kMemory)], Reg(), Reg(),
+                       Imm());
+      }
+      case 16:
+        return EncodeI(Opcode::kBeq, Reg(), Reg(), BranchDisp(i, n));
+      case 17:
+        return EncodeI(Opcode::kBne, Reg(), Reg(), BranchDisp(i, n));
+      case 18:
+        return EncodeI(Opcode::kBlez, 0, Reg(), BranchDisp(i, n));
+      case 19:
+        return EncodeI(Opcode::kBgtz, 0, Reg(), BranchDisp(i, n));
+      case 20:  // bltz (rt=0) / bgez (rt=1)
+        return EncodeI(Opcode::kRegImm,
+                       static_cast<unsigned>(rng_() % 2), Reg(),
+                       BranchDisp(i, n));
+      case 21: return EncodeJ(Opcode::kJ, JumpField(n));
+      case 22: return EncodeJ(Opcode::kJal, JumpField(n));
+      default: return EncodeR(Funct::kSrlv, Reg(), Reg(), Reg());
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+class RoundTripFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripFuzzTest, DisassembleThenReassembleIsBitIdentical) {
+  InstructionFuzzer fuzzer(GetParam());
+  AssembledProgram original;
+  original.text = fuzzer.Generate(300);
+
+  const std::string source = DisassembleProgram(original);
+  const AssembledProgram reassembled = Assemble(source);
+
+  ASSERT_EQ(reassembled.text.size(), original.text.size())
+      << "seed " << GetParam();
+  for (std::size_t i = 0; i < original.text.size(); ++i) {
+    ASSERT_EQ(reassembled.text[i], original.text[i])
+        << "word " << i << " seed " << GetParam() << ": '"
+        << Disassemble(Instruction{original.text[i]},
+                       kTextBase + static_cast<std::uint32_t>(i * 4))
+        << "'";
+  }
+  EXPECT_TRUE(reassembled.data.empty());
+
+  // The round trip is idempotent: disassembling the reassembled program
+  // reproduces the same source (labels and all).
+  EXPECT_EQ(DisassembleProgram(reassembled), source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzzTest,
+                         ::testing::Values(1u, 7u, 42u, 1999u, 0xABCDu));
+
+TEST(RoundTripFuzzTest, EveryMnemonicRoundTrips) {
+  // One canonical word per mnemonic, deterministic: full ISA coverage
+  // independent of what the seeds above happen to draw.
+  AssembledProgram original;
+  original.text = {
+      EncodeR(Funct::kSll, 8, 0, 9, 4),
+      EncodeR(Funct::kSrl, 8, 0, 9, 31),
+      EncodeR(Funct::kSra, 8, 0, 9, 1),
+      EncodeR(Funct::kSllv, 8, 10, 9),
+      EncodeR(Funct::kSrlv, 8, 10, 9),
+      EncodeR(Funct::kSrav, 8, 10, 9),
+      EncodeR(Funct::kJr, 0, 31, 0),
+      EncodeR(Funct::kJalr, 31, 8, 0),
+      EncodeR(Funct::kSyscall, 0, 0, 0),
+      EncodeR(Funct::kMfhi, 8, 0, 0),
+      EncodeR(Funct::kMflo, 9, 0, 0),
+      EncodeR(Funct::kMult, 0, 8, 9),
+      EncodeR(Funct::kMultu, 0, 8, 9),
+      EncodeR(Funct::kDiv, 0, 8, 9),
+      EncodeR(Funct::kDivu, 0, 8, 9),
+      EncodeR(Funct::kAdd, 8, 9, 10),
+      EncodeR(Funct::kAddu, 8, 9, 10),
+      EncodeR(Funct::kSub, 8, 9, 10),
+      EncodeR(Funct::kSubu, 8, 9, 10),
+      EncodeR(Funct::kAnd, 8, 9, 10),
+      EncodeR(Funct::kOr, 8, 9, 10),
+      EncodeR(Funct::kXor, 8, 9, 10),
+      EncodeR(Funct::kNor, 8, 9, 10),
+      EncodeR(Funct::kSlt, 8, 9, 10),
+      EncodeR(Funct::kSltu, 8, 9, 10),
+      EncodeJ(Opcode::kJ, (kTextBase >> 2) + 0),
+      EncodeJ(Opcode::kJal, (kTextBase >> 2) + 40),
+      EncodeI(Opcode::kBeq, 8, 9, 12),
+      EncodeI(Opcode::kBne, 8, 9, static_cast<std::uint16_t>(-28)),
+      EncodeI(Opcode::kBlez, 0, 8, 10),
+      EncodeI(Opcode::kBgtz, 0, 8, 9),
+      EncodeI(Opcode::kRegImm, 0, 8, 8),   // bltz
+      EncodeI(Opcode::kRegImm, 1, 8, 7),   // bgez
+      EncodeI(Opcode::kAddi, 8, 9, static_cast<std::uint16_t>(-5)),
+      EncodeI(Opcode::kAddiu, 8, 9, 5),
+      EncodeI(Opcode::kSlti, 8, 9, 100),
+      EncodeI(Opcode::kSltiu, 8, 9, 100),
+      EncodeI(Opcode::kAndi, 8, 9, 0xFFFF),
+      EncodeI(Opcode::kOri, 8, 9, 0xBEEF),
+      EncodeI(Opcode::kXori, 8, 9, 0x0001),
+      EncodeI(Opcode::kLui, 8, 0, 0x1001),
+      EncodeI(Opcode::kLb, 8, 16, 0),
+      EncodeI(Opcode::kLh, 8, 16, 2),
+      EncodeI(Opcode::kLw, 8, 16, static_cast<std::uint16_t>(-4)),
+      EncodeI(Opcode::kLbu, 8, 16, 1),
+      EncodeI(Opcode::kLhu, 8, 16, 6),
+      EncodeI(Opcode::kSb, 8, 16, 3),
+      EncodeI(Opcode::kSh, 8, 16, 8),
+      EncodeI(Opcode::kSw, 8, 16, 12),
+      EncodeR(Funct::kBreak, 0, 0, 0),
+  };
+
+  const AssembledProgram reassembled =
+      Assemble(DisassembleProgram(original));
+  EXPECT_EQ(reassembled.text, original.text);
 }
 
 TEST(ExtendedProgramsTest, DhryListWalkVisitsEveryNode) {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Unit tests for the check_baselines.py tolerance logic.
+
+Run directly (`python3 tools/test_check_baselines.py`) or through ctest
+(registered as `check_baselines_py_test`). The tool is the arbiter of
+the CI bench-regression gate, so its comparison semantics — in
+particular behaviour exactly at the 1e-9 tolerance boundary — get their
+own tests: the gate must accept a delta of exactly the tolerance and
+reject anything strictly above it.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent / "check_baselines.py"
+
+
+def comparison_doc(savings, in_sequence=62.5):
+    return {
+        "schema": "abenc.comparison.v1",
+        "average_savings": [
+            {"codec": codec, "savings_percent": value}
+            for codec, value in savings
+        ],
+        "average_in_sequence_percent": in_sequence,
+    }
+
+
+def protection_doc(transitions):
+    return {
+        "schema": "abenc.protection.v1",
+        "outcomes": [
+            {
+                "codec": codec,
+                "protection": protection,
+                "transitions_per_cycle": value,
+                "savings_percent": value / 2.0,
+            }
+            for codec, protection, value in transitions
+        ],
+    }
+
+
+class CheckBaselinesTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baselines = root / "baselines"
+        self.results = root / "results"
+        self.baselines.mkdir()
+        self.results.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, directory, name, document):
+        (directory / name).write_text(json.dumps(document))
+
+    def run_tool(self, tolerance=None):
+        command = [
+            sys.executable,
+            str(TOOL),
+            "--baselines", str(self.baselines),
+            "--results", str(self.results),
+        ]
+        if tolerance is not None:
+            command += ["--tolerance", repr(tolerance)]
+        return subprocess.run(command, capture_output=True, text=True)
+
+    def test_identical_documents_pass(self):
+        doc = comparison_doc([("t0", 35.9), ("bus-invert", 12.5)])
+        self.write(self.baselines, "table2.json", doc)
+        self.write(self.results, "table2.json", doc)
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK: table2.json", proc.stdout)
+
+    def test_delta_exactly_at_tolerance_passes(self):
+        # The comparison is `abs(diff) > tolerance`: a delta of exactly
+        # 1e-9 is inside the gate, not a regression. Anchor at 0.0 so
+        # the delta is exactly representable in binary floating point.
+        self.write(self.baselines, "t.json", comparison_doc([("t0", 0.0)]))
+        self.write(self.results, "t.json", comparison_doc([("t0", 1e-9)]))
+        proc = self.run_tool(tolerance=1e-9)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_delta_just_above_tolerance_fails(self):
+        self.write(self.baselines, "t.json", comparison_doc([("t0", 0.0)]))
+        self.write(self.results, "t.json", comparison_doc([("t0", 2e-9)]))
+        proc = self.run_tool(tolerance=1e-9)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("average savings for 't0' deviates", proc.stderr)
+
+    def test_in_sequence_percent_is_gated_too(self):
+        self.write(self.baselines, "t.json",
+                   comparison_doc([("t0", 35.0)], in_sequence=60.0))
+        self.write(self.results, "t.json",
+                   comparison_doc([("t0", 35.0)], in_sequence=60.1))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("in-sequence percent deviates", proc.stderr)
+
+    def test_missing_result_file_fails(self):
+        self.write(self.baselines, "t.json", comparison_doc([("t0", 35.0)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no result file", proc.stderr)
+
+    def test_codec_list_change_fails(self):
+        self.write(self.baselines, "t.json",
+                   comparison_doc([("t0", 35.0), ("gray", 10.0)]))
+        self.write(self.results, "t.json", comparison_doc([("t0", 35.0)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("codec list", proc.stderr)
+
+    def test_schema_mismatch_fails(self):
+        self.write(self.baselines, "t.json", comparison_doc([("t0", 35.0)]))
+        result = comparison_doc([("t0", 35.0)])
+        result["schema"] = "abenc.comparison.v2"
+        self.write(self.results, "t.json", result)
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("schema", proc.stderr)
+
+    def test_protection_schema_boundary(self):
+        base = protection_doc([("t0", "parity", 0.0)])
+        self.write(self.baselines, "p.json", base)
+        self.write(self.results, "p.json",
+                   protection_doc([("t0", "parity", 1e-9)]))
+        self.assertEqual(self.run_tool(tolerance=1e-9).returncode, 0)
+        self.write(self.results, "p.json",
+                   protection_doc([("t0", "parity", 2e-9)]))
+        proc = self.run_tool(tolerance=1e-9)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("transitions_per_cycle", proc.stderr)
+
+    def test_protection_grid_change_fails(self):
+        self.write(self.baselines, "p.json",
+                   protection_doc([("t0", "parity", 8.0)]))
+        self.write(self.results, "p.json",
+                   protection_doc([("t0", "hamming", 8.0)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("outcome grid changed", proc.stderr)
+
+    def test_empty_baseline_directory_is_a_usage_error(self):
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no baselines found", proc.stderr)
+
+    def test_one_failure_does_not_mask_other_documents(self):
+        good = comparison_doc([("t0", 35.0)])
+        self.write(self.baselines, "a.json", good)
+        self.write(self.results, "a.json", good)
+        self.write(self.baselines, "b.json", comparison_doc([("t0", 1.0)]))
+        self.write(self.results, "b.json", comparison_doc([("t0", 2.0)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("OK: a.json", proc.stdout)
+        self.assertIn("b.json", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
