@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
 
   const bench::BenchOptions bench_options =
       bench::ParseBenchOptions(argc, argv);
+  // Installed before any BusChannel is built so the channels' counters
+  // (fault injections, SECDED repairs, recovery dwell) resolve and record.
+  bench::MetricsSession metrics(bench_options.metrics_path);
 
   const sim::ProgramTraces traces =
       sim::RunBenchmark(sim::FindBenchmarkProgram("gzip"));
@@ -176,5 +179,6 @@ int main(int argc, char** argv) {
                "keeps the full code savings minus a verbatim cycle every\n"
                "64, and in exchange caps the history codes' worst-case\n"
                "smear at the beacon period.\n";
+  metrics.WriteIfEnabled();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "analysis/analytical.h"
+#include "bench/bench_util.h"
 #include "core/codec_factory.h"
 #include "core/stream_evaluator.h"
 #include "report/table.h"
@@ -31,7 +32,11 @@ double MonteCarlo(const std::string& codec_name, bool sequential,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions bench_options =
+      bench::ParseBenchOptions(argc, argv);
+  bench::MetricsSession metrics(bench_options.metrics_path);
+
   constexpr unsigned kWidth = 32;
   constexpr Word kStride = 4;
 
@@ -67,5 +72,6 @@ int main() {
                 FormatFixed(e / (n / 2.0), 4)});
   }
   std::cout << eta.ToString();
+  metrics.WriteIfEnabled();
   return 0;
 }

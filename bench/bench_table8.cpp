@@ -3,14 +3,18 @@
 // driven by the benchmark-derived reference switching activities.
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "bench/power_util.h"
 #include "gate/power.h"
 #include "gate/timing.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abenc;
   using namespace abenc::bench;
+
+  const BenchOptions bench_options = ParseBenchOptions(argc, argv);
+  MetricsSession metrics(bench_options.metrics_path);
 
   const auto stream = ReferenceStream(6000);
   auto codecs = SimulateSection4Codecs(stream, 0.1);
@@ -72,5 +76,6 @@ int main() {
                        .critical_path_ns,
                    2)
             << " ns\n";
+  metrics.WriteIfEnabled();
   return 0;
 }

@@ -7,13 +7,17 @@
 #include <iostream>
 
 #include "analysis/analytical.h"
+#include "bench/bench_util.h"
 #include "bench/power_util.h"
 #include "gate/power.h"
 #include "report/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abenc;
   using namespace abenc::bench;
+
+  const BenchOptions bench_options = ParseBenchOptions(argc, argv);
+  MetricsSession metrics(bench_options.metrics_path);
 
   const auto stream = ReferenceStream(6000);
   auto codecs =
@@ -77,5 +81,6 @@ int main() {
   std::cout << "Paper's qualitative result: a low-load region where the\n"
                "plain code wins, a middle region where T0 is convenient,\n"
                "and dual T0_BI best for large off-chip loads.\n";
+  metrics.WriteIfEnabled();
   return 0;
 }

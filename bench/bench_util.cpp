@@ -7,6 +7,7 @@
 
 #include "core/codec_factory.h"
 #include "core/experiment.h"
+#include "obs/metrics_json.h"
 #include "report/json_writer.h"
 #include "report/table.h"
 
@@ -59,10 +60,26 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.json_path = value;
     } else if (MatchFlag("parallelism", argc, argv, i, value)) {
       options.parallelism = ParseUnsigned("parallelism", value);
+    } else if (MatchFlag("metrics", argc, argv, i, value)) {
+      options.metrics_path = value;
     }
     // Anything else (google-benchmark flags, etc.) is ignored.
   }
   return options;
+}
+
+MetricsSession::MetricsSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  install_.emplace(registry_.get());
+}
+
+MetricsSession::~MetricsSession() = default;
+
+void MetricsSession::WriteIfEnabled() {
+  if (!enabled()) return;
+  obs::WriteMetricsFile(path_, *registry_);
+  std::cout << "metrics written to " << path_ << "\n";
 }
 
 const AddressTrace& SelectStream(const sim::ProgramTraces& traces,
@@ -79,6 +96,10 @@ void PrintExperimentalTable(const std::string& title, StreamKind kind,
                             const std::vector<std::string>& codec_names,
                             const BenchOptions& bench_options) {
   const CodecOptions options;  // 32-bit bus, stride 4: the MIPS setup
+
+  // Installed before the ISS runs so the whole pipeline — benchmark
+  // execution, stream capture, experiment engine — records into it.
+  MetricsSession metrics(bench_options.metrics_path);
 
   std::vector<NamedStream> streams;
   for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
@@ -131,6 +152,7 @@ void PrintExperimentalTable(const std::string& title, StreamKind kind,
                   ComparisonToJson(comparison, title));
     std::cout << "JSON written to " << bench_options.json_path << "\n";
   }
+  metrics.WriteIfEnabled();
 }
 
 }  // namespace abenc::bench

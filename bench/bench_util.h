@@ -3,9 +3,12 @@
 // prints the paper-shaped table.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/program_library.h"
 
 namespace abenc::bench {
@@ -22,14 +25,47 @@ struct BenchOptions {
   /// Worker threads for the experiment engine; 0 = one per hardware
   /// thread, 1 = the sequential path. Results are identical either way.
   unsigned parallelism = 0;
+  /// Write an `abenc.metrics.v1` document of everything the run's
+  /// instrumentation recorded here (empty: observability stays off and
+  /// costs nothing). Metrics never feed back into results: a --metrics
+  /// run produces bit-identical tables and --json documents.
+  std::string metrics_path;
 };
 
-/// Parse `--json <path>` / `--json=<path>` and `--parallelism <n>` /
-/// `--parallelism=<n>`. Unknown arguments are ignored so the benches
-/// stay runnable under generic harnesses (e.g. the CI smoke loop passes
-/// google-benchmark flags to every binary). Throws
-/// std::invalid_argument when a recognized flag is missing its value.
+/// Parse `--json <path>` / `--json=<path>`, `--parallelism <n>` /
+/// `--parallelism=<n>` and `--metrics <path>` / `--metrics=<path>`.
+/// Unknown arguments are ignored so the benches stay runnable under
+/// generic harnesses (e.g. the CI smoke loop passes google-benchmark
+/// flags to every binary). Throws std::invalid_argument when a
+/// recognized flag is missing its value.
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Owns the bench's MetricsRegistry: when `path` is nonempty the
+/// registry is installed process-wide for the session's lifetime (so
+/// every instrumented layer records into it) and WriteIfEnabled()
+/// exports the `abenc.metrics.v1` document. With an empty path the
+/// session is inert and the instrumentation stays on its zero-cost
+/// disabled path.
+class MetricsSession {
+ public:
+  explicit MetricsSession(std::string path);
+  ~MetricsSession();
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  bool enabled() const { return registry_ != nullptr; }
+  obs::MetricsRegistry* registry() { return registry_.get(); }
+
+  /// Write the snapshot to the session path and print a note; no-op when
+  /// disabled.
+  void WriteIfEnabled();
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::optional<obs::ScopedInstall> install_;
+};
 
 /// Print one experimental table: a row per benchmark with stream length,
 /// in-sequence percentage, binary transition count, and per-code

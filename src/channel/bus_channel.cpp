@@ -16,9 +16,39 @@ std::string ProtectionName(Protection protection) {
   return "?";
 }
 
+namespace {
+
+// "upset(cycle=100, line=5)" -> "upset": the fault type is everything
+// before the parameter list, which keys the per-type injection counter.
+std::string FaultTypeName(const std::string& description) {
+  const std::size_t paren = description.find('(');
+  return paren == std::string::npos ? description
+                                    : description.substr(0, paren);
+}
+
+}  // namespace
+
 BusChannel::BusChannel(ChannelConfig config) : config_(std::move(config)) {
   codec_ = MakeCodec(config_.codec_name, config_.codec_options);
   fallback_ = MakeCodec("binary", config_.codec_options);
+
+  if (obs::MetricsRegistry* registry = obs::Installed()) {
+    metrics_.cycles = &registry->GetCounter("channel.cycles");
+    metrics_.detected_errors =
+        &registry->GetCounter("channel.detected_errors");
+    metrics_.corrected_errors =
+        &registry->GetCounter("channel.secded.corrected_errors");
+    metrics_.uncorrectable_errors =
+        &registry->GetCounter("channel.uncorrectable_errors");
+    metrics_.resync_beacons = &registry->GetCounter("channel.resync_beacons");
+    metrics_.fallbacks = &registry->GetCounter("channel.recovery.fallbacks");
+    metrics_.repromotions =
+        &registry->GetCounter("channel.recovery.repromotions");
+    metrics_.cycles_active =
+        &registry->GetCounter("channel.recovery.cycles_active");
+    metrics_.cycles_fallback =
+        &registry->GetCounter("channel.recovery.cycles_fallback");
+  }
 
   geometry_.data_lines = codec_->width();
   geometry_.redundant_lines = codec_->redundant_lines();
@@ -49,6 +79,11 @@ BusChannel::BusChannel(ChannelConfig config) : config_(std::move(config)) {
 }
 
 void BusChannel::AddFault(FaultModelPtr fault) {
+  obs::MetricsRegistry* registry = obs::Installed();
+  fault_injections_.push_back(
+      registry ? &registry->GetCounter("channel.fault_injections." +
+                                       FaultTypeName(fault->describe()))
+               : nullptr);
   faults_.push_back(std::move(fault));
 }
 
@@ -62,6 +97,7 @@ Word BusChannel::Transfer(Word address, bool sel) {
     codec_->Reset();
     fallback_->Reset();
     ++counters_.resync_beacons;
+    if (metrics_.resync_beacons) metrics_.resync_beacons->Increment();
   }
 
   // Transmitter: encode with whichever code the recovery machine has
@@ -86,8 +122,17 @@ Word BusChannel::Transfer(Word address, bool sel) {
 
   // The wire: faults corrupt the frame in flight. Power is charged for
   // what the lines physically do, corruption and check lines included.
-  for (FaultModelPtr& fault : faults_) {
-    fault->Apply(frame, cycle, geometry_);
+  // When instrumented, an injection is counted only when the model
+  // actually changed the frame this cycle (models fire every cycle but
+  // mostly leave the frame alone).
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    if (fault_injections_[f] == nullptr) {
+      faults_[f]->Apply(frame, cycle, geometry_);
+      continue;
+    }
+    const ChannelFrame before = frame;
+    faults_[f]->Apply(frame, cycle, geometry_);
+    if (!(frame == before)) fault_injections_[f]->Increment();
   }
   wire_transitions_ += FrameTransitions(prev_frame_, frame, geometry_);
   prev_frame_ = frame;
@@ -102,6 +147,9 @@ Word BusChannel::Transfer(Word address, bool sel) {
                         geometry_.redundant_lines) != frame.check) {
         detected = true;
         ++counters_.uncorrectable_errors;
+        if (metrics_.uncorrectable_errors) {
+          metrics_.uncorrectable_errors->Increment();
+        }
       }
       break;
     case Protection::kSecded:
@@ -112,16 +160,30 @@ Word BusChannel::Transfer(Word address, bool sel) {
         case SecdedOutcome::kCorrectedCheck:
           detected = true;
           ++counters_.corrected_errors;
+          if (metrics_.corrected_errors) {
+            metrics_.corrected_errors->Increment();
+          }
           break;
         case SecdedOutcome::kDoubleError:
           detected = true;
           ++counters_.uncorrectable_errors;
+          if (metrics_.uncorrectable_errors) {
+            metrics_.uncorrectable_errors->Increment();
+          }
           break;
       }
       break;
   }
   if (detected) ++counters_.detected_errors;
   last_flagged_ = detected;
+  if (metrics_.cycles) {
+    metrics_.cycles->Increment();
+    if (detected) metrics_.detected_errors->Increment();
+    // State dwell: which mode this cycle was decoded in.
+    (mode_ == ChannelMode::kActive ? metrics_.cycles_active
+                                   : metrics_.cycles_fallback)
+        ->Increment();
+  }
 
   const Word decoded = DecodeFrame(frame.coded, sel);
 
@@ -156,6 +218,7 @@ void BusChannel::StepRecovery(bool detected) {
       // upsets cost one address each instead of a history smear.
       mode_ = ChannelMode::kFallback;
       ++counters_.fallbacks;
+      if (metrics_.fallbacks) metrics_.fallbacks->Increment();
       fallback_->Reset();
       recent_detections_.clear();
     }
@@ -167,6 +230,7 @@ void BusChannel::StepRecovery(bool detected) {
       // first promoted frame travels verbatim and the ends are in sync.
       mode_ = ChannelMode::kActive;
       ++counters_.repromotions;
+      if (metrics_.repromotions) metrics_.repromotions->Increment();
       codec_->Reset();
       clean_run_ = 0;
       recent_detections_.clear();

@@ -37,6 +37,7 @@
 #include "channel/fault_model.h"
 #include "channel/secded.h"
 #include "core/codec_factory.h"
+#include "obs/metrics.h"
 
 namespace abenc {
 
@@ -119,12 +120,34 @@ class BusChannel {
   Word DecodeFrame(const BusState& coded, bool sel);
   void StepRecovery(bool detected);
 
+  /// Registry handles resolved once at construction (channel.* metrics);
+  /// all null when no registry was installed, making every
+  /// instrumentation site a pointer test. Unlike ChannelCounters these
+  /// are monotonic for the registry's lifetime — Reset() does not rewind
+  /// them (they observe the process, not one run).
+  struct Metrics {
+    obs::Counter* cycles = nullptr;
+    obs::Counter* detected_errors = nullptr;
+    obs::Counter* corrected_errors = nullptr;
+    obs::Counter* uncorrectable_errors = nullptr;
+    obs::Counter* resync_beacons = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* repromotions = nullptr;
+    obs::Counter* cycles_active = nullptr;    // recovery-FSM state dwell
+    obs::Counter* cycles_fallback = nullptr;
+  };
+
   ChannelConfig config_;
   ChannelGeometry geometry_;
   CodecPtr codec_;     // the configured code, both ends
   CodecPtr fallback_;  // plain binary, both ends
   std::optional<SecdedCode> secded_;
   std::vector<FaultModelPtr> faults_;
+
+  Metrics metrics_;
+  /// Per attached fault model, the `channel.fault_injections.<type>`
+  /// counter (parallel to faults_); null entries when uninstrumented.
+  std::vector<obs::Counter*> fault_injections_;
 
   ChannelMode mode_ = ChannelMode::kActive;
   ChannelCounters counters_;

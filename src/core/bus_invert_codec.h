@@ -20,6 +20,20 @@ namespace abenc {
 /// The multi-partition variant (also due to Stan/Burleson) splits the bus
 /// into equal slices, each with a private INV line and an independent
 /// majority decision; it is exercised by the extension benches.
+///
+/// On the suspected off-by-one in the majority threshold (refuted): with
+/// h = H(t) as above, keeping polarity costs h transitions this cycle
+/// while inverting costs (N - (h - INV(t-1))) + (1 - INV(t-1)) =
+/// N + 1 - h, so inverting is *strictly* cheaper only when 2h > N + 1.
+/// The code inverts when 2h > N — Eq. 1 verbatim. For even N (every
+/// configuration in the paper, and every power-of-two slice) the two
+/// predicates are identical because 2h is even and cannot equal N + 1;
+/// an exact h == N/2 tie keeps polarity, matching Eq. 1's "<= N/2"
+/// branch. For odd slice widths 2h == N + 1 is an equal-cost tie that
+/// Eq. 1 — and therefore this code — resolves toward inverting. Either
+/// resolution costs the same; the choice is pinned by regression tests
+/// (BusInvertCodecTest.*Tie*) and cross-checked against the gate-level
+/// netlist oracle in the verify suite.
 class BusInvertCodec final : public Codec {
  public:
   explicit BusInvertCodec(unsigned width, unsigned partitions = 1)

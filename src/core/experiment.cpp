@@ -6,9 +6,30 @@
 #include <utility>
 
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace abenc {
 namespace {
+
+// Publishes one evaluated cell into the installed registry: wall time
+// (overall and per codec), words and the codec's transition total.
+// Purely observational — call only when a registry is installed.
+void RecordCellMetrics(obs::MetricsRegistry& registry,
+                       const std::string& codec_name,
+                       const EvalResult& result, double elapsed_seconds) {
+  registry.GetHistogram("experiment.cell_seconds", obs::DefaultLatencyBuckets())
+      .Observe(elapsed_seconds);
+  registry
+      .GetHistogram("experiment.codec." + codec_name + ".cell_seconds",
+                    obs::DefaultLatencyBuckets())
+      .Observe(elapsed_seconds);
+  registry.GetCounter("experiment.cells").Increment();
+  registry.GetCounter("experiment.words").Increment(result.stream_length);
+  registry.GetCounter("experiment.codec." + codec_name + ".words")
+      .Increment(result.stream_length);
+  registry.GetCounter("experiment.codec." + codec_name + ".transitions")
+      .Increment(static_cast<std::uint64_t>(result.transitions));
+}
 
 // One (stream, codec) cell from codec reset, decode-verified. Shared by
 // the sequential and parallel paths so both compute bit-identical cells.
@@ -20,16 +41,29 @@ ComparisonCell EvaluateCell(
   if (configure) configure(codec_name, codec_options);
   auto codec = MakeCodec(codec_name, codec_options);
   ComparisonCell cell;
+  obs::MetricsRegistry* registry = obs::Installed();
+  const double start = registry ? obs::MonotonicSeconds() : 0.0;
   cell.result = Evaluate(*codec, stream.accesses, options.stride,
                          /*verify_decode=*/true);
+  if (registry) {
+    RecordCellMetrics(*registry, codec_name, cell.result,
+                      obs::MonotonicSeconds() - start);
+  }
   return cell;
 }
 
 EvalResult EvaluateBinaryReference(const NamedStream& stream,
                                    const CodecOptions& options) {
   auto binary = MakeCodec("binary", options);
-  return Evaluate(*binary, stream.accesses, options.stride,
-                  /*verify_decode=*/true);
+  obs::MetricsRegistry* registry = obs::Installed();
+  const double start = registry ? obs::MonotonicSeconds() : 0.0;
+  EvalResult result = Evaluate(*binary, stream.accesses, options.stride,
+                               /*verify_decode=*/true);
+  if (registry) {
+    RecordCellMetrics(*registry, "binary", result,
+                      obs::MonotonicSeconds() - start);
+  }
+  return result;
 }
 
 Comparison RunComparisonSequential(
@@ -67,6 +101,20 @@ Comparison RunComparisonParallel(
   // reference then cells, stream-major — and reduced in that same
   // order below, so the first failure in grid order wins no matter
   // which worker hit it first.
+  // Queue wait (submit-to-start latency per cell) is only measured when
+  // a registry is installed; the histogram pointer doubles as the flag
+  // so the disabled path takes no clock reads inside the workers.
+  obs::MetricsRegistry* registry = obs::Installed();
+  obs::Histogram* queue_wait =
+      registry ? &registry->GetHistogram("experiment.queue_wait_seconds",
+                                         obs::DefaultLatencyBuckets())
+               : nullptr;
+  auto observe_wait = [queue_wait](double submitted) {
+    if (queue_wait) {
+      queue_wait->Observe(obs::MonotonicSeconds() - submitted);
+    }
+  };
+
   std::vector<std::future<EvalResult>> binary_futures;
   std::vector<std::future<ComparisonCell>> cell_futures;
   binary_futures.reserve(streams.size());
@@ -75,13 +123,20 @@ Comparison RunComparisonParallel(
     ThreadPool pool(parallelism);
     for (std::size_t s = 0; s < streams.size(); ++s) {
       const NamedStream* stream = &streams[s];
-      binary_futures.push_back(pool.Submit([stream, &options]() {
-        return EvaluateBinaryReference(*stream, options);
-      }));
+      const double submitted = queue_wait ? obs::MonotonicSeconds() : 0.0;
+      binary_futures.push_back(
+          pool.Submit([stream, &options, observe_wait, submitted]() {
+            observe_wait(submitted);
+            return EvaluateBinaryReference(*stream, options);
+          }));
       for (std::size_t c = 0; c < codec_names.size(); ++c) {
         const std::string* name = &codec_names[c];
+        const double cell_submitted =
+            queue_wait ? obs::MonotonicSeconds() : 0.0;
         cell_futures.push_back(
-            pool.Submit([name, stream, &options, &configure]() {
+            pool.Submit([name, stream, &options, &configure, observe_wait,
+                         cell_submitted]() {
+              observe_wait(cell_submitted);
               return EvaluateCell(*name, *stream, options, configure);
             }));
       }
@@ -147,11 +202,27 @@ Comparison RunComparison(
   const unsigned parallelism =
       run.parallelism == 0 ? ThreadPool::DefaultParallelism()
                            : run.parallelism;
-  if (parallelism <= 1 || streams.empty()) {
-    return RunComparisonSequential(codec_names, streams, options, configure);
+  obs::MetricsRegistry* registry = obs::Installed();
+  const double start = registry ? obs::MonotonicSeconds() : 0.0;
+  Comparison comparison =
+      (parallelism <= 1 || streams.empty())
+          ? RunComparisonSequential(codec_names, streams, options, configure)
+          : RunComparisonParallel(codec_names, streams, options, configure,
+                                  parallelism);
+  if (registry) {
+    const double elapsed = obs::MonotonicSeconds() - start;
+    std::size_t words = 0;  // every evaluated access, reference included
+    for (const NamedStream& stream : streams) {
+      words += stream.accesses.size() * (codec_names.size() + 1);
+    }
+    registry->GetCounter("experiment.runs").Increment();
+    registry->GetGauge("experiment.run_seconds").Add(elapsed);
+    if (elapsed > 0.0) {
+      registry->GetGauge("experiment.words_per_second")
+          .Set(static_cast<double>(words) / elapsed);
+    }
   }
-  return RunComparisonParallel(codec_names, streams, options, configure,
-                               parallelism);
+  return comparison;
 }
 
 }  // namespace abenc

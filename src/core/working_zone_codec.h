@@ -21,6 +21,18 @@ namespace abenc {
 /// (the original transmits one-hot offsets); the zone-register and LRU
 /// update rules are driven purely by information visible on the bus, so
 /// encoder and decoder stay in lock-step by construction.
+///
+/// On the suspected wrap-around bug at the address-space edges (refuted):
+/// FindZone's hit test and BiasedOffset both evaluate addr - zone + bias
+/// modulo 2^width, and Decode computes zone + offset - bias under the
+/// same modulus, so the bias addition and subtraction cancel exactly
+/// even when the window straddles 0 or 2^width - 1 (e.g. zone at
+/// 0xFFFFFFFC covering small positive addresses, or zone 0x2 reaching
+/// back to 0xFFFFFFF0). Round-trip is exact by modular arithmetic, and
+/// treating the address space as a ring is the intended behaviour — a
+/// stack zone near the top of memory keeps hitting across the wrap
+/// instead of paying a full-width re-seed. Pinned by
+/// WorkingZoneCodecTest.*Wrap* regression tests.
 class WorkingZoneCodec final : public Codec {
  public:
   WorkingZoneCodec(unsigned width, unsigned zones = 4, unsigned offset_bits = 8)

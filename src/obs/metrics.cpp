@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abenc::obs {
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  if (bounds_.empty()) {
+    throw std::logic_error(
+        "histogram needs at least one finite bucket edge");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("histogram bucket edges must be ascending");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::span<const double> DefaultLatencyBuckets() {
+  static const double kBuckets[] = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0};
+  return kBuckets;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.find(name) != gauges_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.find(name) != counters_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    std::string_view name, std::span<const double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.find(name) != counters_.end() ||
+      gauges_.find(name) != gauges_.end()) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  } else if (!std::equal(upper_bounds.begin(), upper_bounds.end(),
+                         it->second->upper_bounds().begin(),
+                         it->second->upper_bounds().end())) {
+    throw std::logic_error("histogram '" + std::string(name) +
+                           "' re-requested with different bucket edges");
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back(CounterSample{name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back(GaugeSample{name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.upper_bounds = histogram->upper_bounds();
+    sample.buckets.reserve(histogram->bucket_count());
+    for (std::size_t i = 0; i < histogram->bucket_count(); ++i) {
+      sample.buckets.push_back(histogram->bucket(i));
+    }
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+MetricsRegistry* Installed() {
+  return g_registry.load(std::memory_order_relaxed);
+}
+
+void Install(MetricsRegistry* registry) {
+  g_registry.store(registry, std::memory_order_relaxed);
+}
+
+}  // namespace abenc::obs

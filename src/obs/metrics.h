@@ -1,0 +1,209 @@
+// Lightweight, thread-safe observability: a process-wide MetricsRegistry
+// of named counters, gauges and fixed-bucket histograms.
+//
+// Design constraints, in order:
+//  - zero overhead when no registry is installed: every instrumentation
+//    site guards on Installed(), a single relaxed atomic load, and takes
+//    no clock reads and no locks on the disabled path;
+//  - lock-free on the hot path: Increment/Set/Observe are relaxed
+//    atomics; the registry mutex is taken only to *resolve* a name to a
+//    metric, so per-cycle sites resolve once and cache the pointer;
+//  - observability never perturbs results: metrics only read state, and
+//    the CI smoke gate asserts instrumented and uninstrumented bench
+//    runs produce bit-identical tables.
+//
+// Naming convention (docs/ARCHITECTURE.md "Observability"): metric names
+// are lowercase dot-separated paths, `<layer>.<component>.<event>`, with
+// dynamic labels (codec names, fault types) as interior segments and a
+// unit suffix on durations (`*_seconds`). Counters are monotonic for the
+// registry's lifetime — a component Reset() does not rewind them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abenc::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written floating-point metric, with an atomic accumulate for
+/// sites that sum durations across calls.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the ascending inclusive
+/// bucket edges; one implicit +inf bucket catches everything above the
+/// last edge. Observations land in the first bucket whose edge is >= the
+/// value, so a value exactly on an edge counts in that edge's bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// bounds.size() + 1: the trailing entry is the +inf bucket.
+  std::size_t bucket_count() const { return bounds_.size() + 1; }
+  std::uint64_t bucket(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default duration buckets for `*_seconds` histograms: a 1-2-5 decade
+/// sweep from 1us to 10s.
+std::span<const double> DefaultLatencyBuckets();
+
+/// Named metrics with stable addresses: a returned reference stays valid
+/// for the registry's lifetime, so hot paths resolve once and keep the
+/// pointer. Resolution takes a mutex; the metrics themselves are
+/// lock-free. Re-requesting an existing name with a different metric
+/// kind (or a histogram with different bounds) throws std::logic_error.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> upper_bounds);
+
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> buckets;  // bucket_count() entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Consistent-enough copy for export: each metric is read atomically,
+  /// sorted by name (the registry map order).
+  struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+  };
+  Snapshot Snap() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The installed process-wide registry, or nullptr when observability is
+/// off (the default). One relaxed atomic load.
+MetricsRegistry* Installed();
+
+/// Install (or with nullptr uninstall) the process-wide registry. The
+/// caller keeps ownership and must keep the registry alive while
+/// installed.
+void Install(MetricsRegistry* registry);
+
+/// Installs `registry` for the current scope, restoring the previously
+/// installed one on destruction.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(MetricsRegistry* registry)
+      : previous_(Installed()) {
+    Install(registry);
+  }
+  ~ScopedInstall() { Install(previous_); }
+
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Null-safe one-shot increment: no-op without an installed registry.
+/// Resolves the name each call — fine per run/per batch, not per cycle.
+inline void Count(std::string_view name, std::uint64_t delta = 1) {
+  if (MetricsRegistry* registry = Installed()) {
+    registry->GetCounter(name).Increment(delta);
+  }
+}
+
+/// Monotonic wall clock in seconds (steady_clock).
+inline double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII wall-clock timer: records the scope's duration in seconds into a
+/// histogram on destruction. A null histogram makes it a complete no-op
+/// (no clock read), so the disabled-registry path costs nothing.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_(histogram ? MonotonicSeconds() : 0.0) {}
+  ~ScopedTimer() {
+    if (histogram_) histogram_->Observe(MonotonicSeconds() - start_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  double start_;
+};
+
+}  // namespace abenc::obs

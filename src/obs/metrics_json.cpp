@@ -1,0 +1,57 @@
+#include "obs/metrics_json.h"
+
+namespace abenc::obs {
+
+JsonValue MetricsToJson(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.Snap();
+
+  JsonValue document = JsonValue::MakeObject();
+  document.Set("schema", "abenc.metrics.v1");
+
+  JsonValue counters = JsonValue::MakeArray();
+  for (const auto& sample : snapshot.counters) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", sample.name);
+    entry.Set("value", static_cast<double>(sample.value));
+    counters.Append(std::move(entry));
+  }
+  document.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::MakeArray();
+  for (const auto& sample : snapshot.gauges) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", sample.name);
+    entry.Set("value", sample.value);
+    gauges.Append(std::move(entry));
+  }
+  document.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::MakeArray();
+  for (const auto& sample : snapshot.histograms) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", sample.name);
+    entry.Set("count", static_cast<double>(sample.count));
+    entry.Set("sum", sample.sum);
+    JsonValue buckets = JsonValue::MakeArray();
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      JsonValue bucket = JsonValue::MakeObject();
+      // The trailing bucket has no finite edge: le is null for +inf.
+      bucket.Set("le", i < sample.upper_bounds.size()
+                           ? JsonValue(sample.upper_bounds[i])
+                           : JsonValue());
+      bucket.Set("count", static_cast<double>(sample.buckets[i]));
+      buckets.Append(std::move(bucket));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histograms.Append(std::move(entry));
+  }
+  document.Set("histograms", std::move(histograms));
+  return document;
+}
+
+void WriteMetricsFile(const std::string& path,
+                      const MetricsRegistry& registry) {
+  WriteJsonFile(path, MetricsToJson(registry));
+}
+
+}  // namespace abenc::obs

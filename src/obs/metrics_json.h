@@ -1,0 +1,38 @@
+// JSON export of a MetricsRegistry snapshot — schema `abenc.metrics.v1`.
+//
+//   {
+//     "schema": "abenc.metrics.v1",
+//     "counters":   [ { "name": n, "value": v }, ... ],
+//     "gauges":     [ { "name": n, "value": v }, ... ],
+//     "histograms": [
+//       { "name": n, "count": c, "sum": s,
+//         "buckets": [ { "le": edge, "count": k }, ...,
+//                      { "le": null, "count": k } ] }, ...   // null = +inf
+//     ]
+//   }
+//
+// Entries are sorted by name; counter values are exact up to 2^53. As
+// with the other schemas in report/json_writer.h, new fields may be
+// added but existing fields never change meaning, and consumers must
+// ignore unknown keys (tools/metrics_summary.py does).
+//
+// This lives in its own library (abenc_obs_json) so the metrics core
+// (abenc_obs) stays below abenc_core in the layering while the exporter
+// can sit above abenc_report.
+#pragma once
+
+#include "obs/metrics.h"
+#include "report/json_writer.h"
+
+namespace abenc::obs {
+
+/// Serialize a snapshot of `registry` under schema `abenc.metrics.v1`.
+JsonValue MetricsToJson(const MetricsRegistry& registry);
+
+/// Snapshot `registry` and write the document to `path` (pretty-printed,
+/// trailing newline). Throws std::runtime_error when the file cannot be
+/// written.
+void WriteMetricsFile(const std::string& path,
+                      const MetricsRegistry& registry);
+
+}  // namespace abenc::obs

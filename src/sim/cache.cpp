@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace abenc::sim {
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
@@ -57,6 +59,14 @@ void Cache::Reset() {
   ways_.assign(ways_.size(), Way{});
   clock_ = 0;
   stats_ = CacheStats{};
+}
+
+void Cache::PublishMetrics(const std::string& label) const {
+  if (obs::Installed() == nullptr) return;
+  const std::string prefix = "sim.cache." + label + ".";
+  obs::Count(prefix + "hits", stats_.accesses - stats_.misses);
+  obs::Count(prefix + "misses", stats_.misses);
+  obs::Count(prefix + "writebacks", stats_.writebacks);
 }
 
 CacheFilteredMonitor::CacheFilteredMonitor(const CacheConfig& icache_config,

@@ -68,6 +68,12 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void Reset();
 
+  /// Flush this cache's accumulated stats into the installed metrics
+  /// registry as `sim.cache.<label>.{hits,misses,writebacks}` counter
+  /// increments (no-op without a registry). Call once per run — the
+  /// whole CacheStats is added, so repeated calls double-count.
+  void PublishMetrics(const std::string& label) const;
+
  private:
   struct Way {
     bool valid = false;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace abenc::sim {
 namespace {
 
@@ -34,10 +36,18 @@ void Cpu::LoadProgram(const AssembledProgram& program) {
 }
 
 StopReason Cpu::Run(std::uint64_t max_steps) {
+  // Retired instructions are flushed to the registry once per Run(), so
+  // the per-instruction loop carries no instrumentation cost.
+  const std::uint64_t retired_before = retired_;
+  StopReason reason = StopReason::kStepLimit;
   for (std::uint64_t i = 0; i < max_steps; ++i) {
-    if (!Step()) return StopReason::kBreak;
+    if (!Step()) {
+      reason = StopReason::kBreak;
+      break;
+    }
   }
-  return StopReason::kStepLimit;
+  obs::Count("sim.cpu.instructions_retired", retired_ - retired_before);
+  return reason;
 }
 
 std::uint32_t Cpu::FetchWord(std::uint32_t address) {

@@ -1,5 +1,7 @@
 #include "sim/dram.h"
 
+#include "obs/metrics.h"
+
 namespace abenc::sim {
 
 AddressTrace ToDramBusTrace(const AddressTrace& accesses,
@@ -24,6 +26,14 @@ AddressTrace ToDramBusTrace(const AddressTrace& accesses,
     ++local.column_cycles;
   }
   if (stats != nullptr) *stats = local;
+  // Row-buffer behaviour for the installed registry: a page hit is an
+  // access that reused the open row (no RAS cycle needed).
+  if (obs::Installed() != nullptr) {
+    obs::Count("sim.dram.accesses", local.accesses);
+    obs::Count("sim.dram.row_cycles", local.row_cycles);
+    obs::Count("sim.dram.column_cycles", local.column_cycles);
+    obs::Count("sim.dram.page_hits", local.accesses - local.row_cycles);
+  }
   return bus;
 }
 

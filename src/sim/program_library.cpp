@@ -2,10 +2,24 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "sim/cache.h"
 #include "sim/programs.h"
 
 namespace abenc::sim {
+namespace {
+
+// Per-bus-type address counts of one captured run (no-op when no
+// registry is installed).
+void PublishTraceMetrics(const ProgramTraces& traces) {
+  if (obs::Installed() == nullptr) return;
+  obs::Count("sim.bus.instruction_addresses", traces.instruction.size());
+  obs::Count("sim.bus.data_addresses", traces.data.size());
+  obs::Count("sim.bus.multiplexed_addresses", traces.multiplexed.size());
+  obs::Count("sim.benchmarks_run");
+}
+
+}  // namespace
 
 const std::vector<BenchmarkProgram>& BenchmarkPrograms() {
   static const std::vector<BenchmarkProgram> kPrograms = {
@@ -71,6 +85,7 @@ ProgramTraces RunBenchmark(const BenchmarkProgram& program) {
   traces.multiplexed = monitor.multiplexed_trace();
   traces.retired_instructions = cpu.retired_instructions();
   traces.mix = cpu.instruction_mix();
+  PublishTraceMetrics(traces);
   return traces;
 }
 
@@ -95,6 +110,9 @@ CachedProgramTraces RunBenchmarkWithCaches(const BenchmarkProgram& program,
   result.external.mix = cpu.instruction_mix();
   result.icache_miss_rate = monitor.icache().stats().miss_rate();
   result.dcache_miss_rate = monitor.dcache().stats().miss_rate();
+  PublishTraceMetrics(result.external);
+  monitor.icache().PublishMetrics("icache");
+  monitor.dcache().PublishMetrics("dcache");
   return result;
 }
 

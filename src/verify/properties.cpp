@@ -176,9 +176,31 @@ std::optional<PropertyFailure> CheckTransitionAccounting(
   return std::nullopt;
 }
 
+std::optional<PropertyFailure> CheckDecoderLockstep(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  const CodecPtr encoder = factory(codec_name, options);
+  const CodecPtr decoder = factory(codec_name, options);
+  const Word mask = LowMask(encoder->width());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const BusState state = encoder->Encode(stream[i].address, stream[i].sel);
+    const Word split = decoder->Decode(state, stream[i].sel);
+    const Word expected = stream[i].address & mask;
+    if (split != expected) {
+      return PropertyFailure{
+          i, codec_name + ": split decoder (driven only through Decode) "
+                 "recovered " +
+                 HexWord(split) + ", expected " + HexWord(expected) +
+                 " at access " + std::to_string(i) +
+                 " — decoder state no longer mirrors the encoder"};
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> UniversalPropertyNames() {
   return {"round-trip", "line-width", "reset-replay",
-          "transition-accounting"};
+          "transition-accounting", "decoder-lockstep"};
 }
 
 std::optional<PropertyFailure> CheckUniversalProperty(
@@ -196,6 +218,9 @@ std::optional<PropertyFailure> CheckUniversalProperty(
   }
   if (property == "transition-accounting") {
     return CheckTransitionAccounting(codec_name, options, stream, factory);
+  }
+  if (property == "decoder-lockstep") {
+    return CheckDecoderLockstep(codec_name, options, stream, factory);
   }
   throw std::invalid_argument("unknown universal property: " + property);
 }

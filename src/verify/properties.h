@@ -61,8 +61,20 @@ std::optional<PropertyFailure> CheckTransitionAccounting(
     const std::string& codec_name, const CodecOptions& options,
     std::span<const BusAccess> stream, const CodecFactoryFn& factory);
 
+/// Split encoder/decoder lockstep: a second instance that is only ever
+/// driven through Decode() must reproduce every address the first
+/// instance encodes. Round-trip decodes on the *same* object, so a
+/// decoder that peeks at encoder-side state (updated by Encode) passes
+/// it; here the two ends live in different objects, exactly like the
+/// two ends of a real bus, so their codebooks must stay equal using
+/// nothing but the wire states.
+std::optional<PropertyFailure> CheckDecoderLockstep(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
 /// Names of the universal properties, in a stable order:
-/// "round-trip", "line-width", "reset-replay", "transition-accounting".
+/// "round-trip", "line-width", "reset-replay", "transition-accounting",
+/// "decoder-lockstep".
 std::vector<std::string> UniversalPropertyNames();
 
 /// Dispatch by property name; throws std::invalid_argument for unknown

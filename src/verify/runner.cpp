@@ -3,6 +3,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace abenc::verify {
 namespace {
 
@@ -103,8 +105,15 @@ std::vector<VerifyFailure> VerifyRunner::Run() const {
   options.width = config_.width;
   options.stride = config_.stride;
 
+  // Per-instance wall time lands in the installed registry: one gauge
+  // per qualified instance name (total across iterations, minimization
+  // excluded) plus one overall histogram — what `verify_runner
+  // --metrics` exports so slow property families are visible.
+  obs::MetricsRegistry* registry = obs::Installed();
+
   std::vector<VerifyFailure> failures;
   for (const Instance& instance : EnumerateInstances(config_)) {
+    double instance_seconds = 0.0;
     for (std::size_t iteration = 0; iteration < config_.iterations;
          ++iteration) {
       const std::uint64_t seed = config_.seed + iteration;
@@ -162,7 +171,11 @@ std::vector<VerifyFailure> VerifyRunner::Run() const {
           break;
       }
 
+      const double check_start = registry ? obs::MonotonicSeconds() : 0.0;
       const std::optional<PropertyFailure> failure = check(stream);
+      if (registry) {
+        instance_seconds += obs::MonotonicSeconds() - check_start;
+      }
       if (!failure.has_value()) continue;
 
       VerifyFailure report;
@@ -186,7 +199,17 @@ std::vector<VerifyFailure> VerifyRunner::Run() const {
                  << " --property " << instance.name;
       report.reproducer = reproducer.str();
       failures.push_back(std::move(report));
+      if (registry) registry->GetCounter("verify.failures").Increment();
       break;  // next instance; one failure per instance is enough
+    }
+    if (registry) {
+      registry->GetCounter("verify.instances_checked").Increment();
+      registry
+          ->GetHistogram("verify.instance_seconds",
+                         obs::DefaultLatencyBuckets())
+          .Observe(instance_seconds);
+      registry->GetGauge("verify.seconds." + instance.name)
+          .Set(instance_seconds);
     }
   }
   return failures;

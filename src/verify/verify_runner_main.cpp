@@ -10,9 +10,12 @@
 // Exit status: 0 all properties hold, 1 any property failed, 2 usage.
 #include <charconv>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 #include "verify/runner.h"
 
 namespace {
@@ -25,7 +28,8 @@ using abenc::verify::VerifyRunner;
   std::cerr << "verify_runner: " << error << "\n"
             << "usage: verify_runner [--list] [--smoke] [--seed N]\n"
             << "         [--iterations K] [--length L] [--width W]\n"
-            << "         [--stride S] [--property P] [--no-minimize]\n";
+            << "         [--stride S] [--property P] [--no-minimize]\n"
+            << "         [--metrics OUT.json]\n";
   std::exit(2);
 }
 
@@ -45,6 +49,7 @@ std::uint64_t ParseNumber(const std::string& flag, const std::string& text) {
 int main(int argc, char** argv) {
   VerifyConfig config;
   bool list_only = false;
+  std::string metrics_path;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       config.property_filter = value();
     } else if (arg == "--no-minimize") {
       config.minimize = false;
+    } else if (arg == "--metrics") {
+      metrics_path = value();
     } else {
       Usage("unknown argument '" + arg + "'");
     }
@@ -90,6 +97,12 @@ int main(int argc, char** argv) {
     Usage("no property matches filter '" + config.property_filter + "'");
   }
 
+  // With --metrics, per-property timing accumulates in this registry
+  // while Run() executes and is exported after (pass or fail alike).
+  abenc::obs::MetricsRegistry registry;
+  std::optional<abenc::obs::ScopedInstall> install;
+  if (!metrics_path.empty()) install.emplace(&registry);
+
   std::vector<VerifyFailure> failures;
   try {
     failures = runner.Run();
@@ -100,6 +113,10 @@ int main(int argc, char** argv) {
     std::cerr << "verify_runner: configuration error: " << error.what()
               << "\n";
     return 2;
+  }
+  if (!metrics_path.empty()) {
+    abenc::obs::WriteMetricsFile(metrics_path, registry);
+    std::cerr << "metrics written to " << metrics_path << "\n";
   }
   for (const VerifyFailure& failure : failures) {
     std::cerr << VerifyRunner::FormatFailure(failure);

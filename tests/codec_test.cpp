@@ -92,6 +92,58 @@ TEST(BusInvertCodecTest, CountsInvLineInHammingDistance) {
   EXPECT_EQ(s.redundant, 0u);
 }
 
+// Regression pins for the suspected (and refuted) majority-threshold
+// off-by-one: the code implements Eq. 1's "invert iff H > N/2" verbatim,
+// which is transition-optimal for even slice widths and resolves the
+// equal-cost tie 2H == N + 1 (odd slices only) toward inverting. See
+// the threshold analysis in bus_invert_codec.h.
+
+TEST(BusInvertCodecTest, ExactHalfTieKeepsPolarityInEveryPartition) {
+  BusInvertCodec codec(32, 4);
+  // Each byte-wide slice sees exactly H = 4 == N/2 from the all-zero
+  // bus: Eq. 1's "<= N/2" branch keeps true polarity everywhere.
+  const BusState s = codec.Encode(0x0F0F0F0F, true);
+  EXPECT_EQ(s.lines, 0x0F0F0F0Fu);
+  EXPECT_EQ(s.redundant, 0u);
+}
+
+TEST(BusInvertCodecTest, MixedTieAndMajorityPartitionsDecideIndependently) {
+  BusInvertCodec codec(32, 4);
+  // Byte slices from the all-zero bus: 0xF0, 0x0F, 0x0F tie at H = 4
+  // (keep); 0xFF has H = 8 > 4 (invert). One INV line per slice.
+  const BusState s = codec.Encode(0xFF0F0FF0, true);
+  EXPECT_EQ(s.redundant, 0b1000u);
+  EXPECT_EQ(s.lines, 0x000F0FF0u);
+  EXPECT_EQ(codec.Decode(s, true), 0xFF0F0FF0u);
+}
+
+TEST(BusInvertCodecTest, OddSliceTieInvertsAtEqualCost) {
+  // 9 lines in three 3-bit slices: the only geometry where 2H == N + 1
+  // can happen. Candidate 0b011 per slice has H = 2, 2H = 4 > 3, so
+  // every slice inverts — and the test proves the tie is genuinely
+  // equal-cost, so the pinned choice cannot lose power.
+  BusInvertCodec codec(9, 3);
+  const Word address = 0b011011011;
+  const BusState s = codec.Encode(address, true);
+  EXPECT_EQ(s.lines, 0b100100100u);
+  EXPECT_EQ(s.redundant, 0b111u);
+  EXPECT_EQ(codec.Decode(s, true), address);
+  // Inverted cost: 3 data-line toggles + 3 INV toggles from power-on.
+  const int inverted_cost = TransitionsBetween(BusState{}, s, 9, 3);
+  const int keep_cost = PopCount(address);  // what not inverting pays
+  EXPECT_EQ(inverted_cost, keep_cost);
+}
+
+TEST(BusInvertCodecTest, TieAfterInversionCountsThePriorInvLine) {
+  BusInvertCodec codec(32, 4);
+  ASSERT_EQ(codec.Encode(0xFFFFFFFF, true).redundant, 0xFu);  // all invert
+  // Bus now all-zero with every INV high. Candidate 0x07 per slice:
+  // H = popcount(0x07) + INV(t-1) = 3 + 1 = 4 == N/2, keep everywhere.
+  const BusState s = codec.Encode(0x07070707, true);
+  EXPECT_EQ(s.lines, 0x07070707u);
+  EXPECT_EQ(s.redundant, 0u);
+}
+
 TEST(BusInvertCodecTest, NeverExceedsHalfPlusOneTransitions) {
   BusInvertCodec codec(16);
   std::mt19937_64 rng(7);

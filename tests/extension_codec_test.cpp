@@ -113,6 +113,48 @@ TEST(WorkingZoneCodecTest, RejectsBadGeometry) {
   EXPECT_THROW(WorkingZoneCodec(32, 4, 0), CodecConfigError);
 }
 
+// Regression pins for the suspected (and refuted) wrap-around bug: the
+// biased-offset window is computed mod 2^width on both ends, so zones
+// straddling the 0 / 2^width - 1 seam keep hitting and round-tripping.
+// See the class comment in working_zone_codec.h for the arithmetic.
+
+TEST(WorkingZoneCodecTest, WrapZoneNearTopHitsAddressesPastZero) {
+  WorkingZoneCodec codec(32, 4, 8);
+  // Seed a zone 16 bytes below the top of the address space...
+  const BusState seed = codec.Encode(0xFFFFFFF0, true);
+  ASSERT_EQ(codec.Decode(seed, true), 0xFFFFFFF0u);
+  // ...then reference past the wrap: 0xC - 0xFFFFFFF0 = +0x1C mod 2^32,
+  // well inside the signed 2^7 window, so this must be a zone hit.
+  const BusState hit = codec.Encode(0x0000000C, true);
+  EXPECT_EQ(hit.redundant & 1, 1u) << "wrap access missed the zone";
+  EXPECT_EQ(codec.Decode(hit, true), 0x0000000Cu);
+}
+
+TEST(WorkingZoneCodecTest, WrapZoneNearZeroHitsAddressesBelowIt) {
+  WorkingZoneCodec codec(32, 4, 8);
+  const BusState seed = codec.Encode(0x00000004, true);
+  ASSERT_EQ(codec.Decode(seed, true), 0x00000004u);
+  // A negative delta that wraps: 0xFFFFFFF0 - 0x4 = -0x14 mod 2^32.
+  const BusState hit = codec.Encode(0xFFFFFFF0, true);
+  EXPECT_EQ(hit.redundant & 1, 1u) << "wrap access missed the zone";
+  EXPECT_EQ(codec.Decode(hit, true), 0xFFFFFFF0u);
+}
+
+TEST(WorkingZoneCodecTest, WrapStreamRoundTripsUnderLockStep) {
+  // A stack-like zone oscillating across the seam, interleaved with a
+  // far-away code zone: every access must decode exactly, hit or miss.
+  WorkingZoneCodec codec(32, 4, 8);
+  std::vector<BusAccess> stream;
+  for (int i = 0; i < 400; ++i) {
+    const Word near_seam =
+        (i % 2 == 0) ? Word{0xFFFFFFC0} + static_cast<Word>(i % 32) * 4
+                     : Word{0x00000000} + static_cast<Word>(i % 16) * 4;
+    stream.push_back({near_seam, true});
+    stream.push_back({0x40000000 + static_cast<Word>(i % 8) * 4, false});
+  }
+  EXPECT_NO_THROW(Evaluate(codec, stream, 4, /*verify_decode=*/true));
+}
+
 // ---------------------------------------------------------------------------
 // Beach
 // ---------------------------------------------------------------------------

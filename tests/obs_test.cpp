@@ -1,0 +1,282 @@
+// Tests of the src/obs observability library: exact counting under
+// concurrency, histogram bucket-edge semantics, the disabled-registry
+// fast path, the abenc.metrics.v1 export schema (golden document), and
+// — the property the whole subsystem is allowed to exist under — that
+// installing a registry never changes experiment results.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
+#include "report/json_writer.h"
+#include "trace/synthetic.h"
+
+namespace abenc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters, gauges and registry resolution
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  constexpr unsigned kWorkers = 8;
+  constexpr int kTasks = 64;
+  constexpr std::uint64_t kPerTask = 10000;
+  {
+    ThreadPool pool(kWorkers);
+    std::vector<std::future<void>> done;
+    for (int t = 0; t < kTasks; ++t) {
+      done.push_back(pool.Submit([&registry] {
+        // Resolve by name each task (exercising the registry mutex),
+        // then hammer the cached reference like a hot path would.
+        Counter& counter = registry.GetCounter("test.hits");
+        for (std::uint64_t i = 0; i < kPerTask; ++i) counter.Increment();
+      }));
+    }
+    for (auto& future : done) future.get();
+  }
+  EXPECT_EQ(registry.GetCounter("test.hits").value(), kTasks * kPerTask);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramObservationsAllLand) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram& histogram = registry.GetHistogram("test.latency", bounds);
+  constexpr int kTasks = 32;
+  constexpr int kPerTask = 5000;
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> done;
+    for (int t = 0; t < kTasks; ++t) {
+      done.push_back(pool.Submit([&histogram] {
+        for (int i = 0; i < kPerTask; ++i) {
+          histogram.Observe(0.5);  // always the first bucket
+        }
+      }));
+    }
+    for (auto& future : done) future.get();
+  }
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(histogram.bucket(0),
+            static_cast<std::uint64_t>(kTasks) * kPerTask);
+  EXPECT_DOUBLE_EQ(histogram.sum(), kTasks * kPerTask * 0.5);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsTheSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("one");
+  Counter& b = registry.GetCounter("one");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("name");
+  EXPECT_THROW(registry.GetGauge("name"), std::logic_error);
+  const std::vector<double> bounds = {1.0};
+  EXPECT_THROW(registry.GetHistogram("name", bounds), std::logic_error);
+  registry.GetHistogram("histo", bounds);
+  const std::vector<double> other_bounds = {1.0, 2.0};
+  EXPECT_THROW(registry.GetHistogram("histo", other_bounds),
+               std::logic_error);
+  EXPECT_NO_THROW(registry.GetHistogram("histo", bounds));
+}
+
+TEST(GaugeTest, SetOverwritesAndAddAccumulates) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(1.25);
+  gauge.Add(1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EdgeValuesCountInTheEdgesBucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 5.0};
+  Histogram histogram(bounds);
+  histogram.Observe(-3.0);    // below everything: first bucket
+  histogram.Observe(1.0);     // exactly on an edge: that edge's bucket
+  histogram.Observe(1.0001);  // just over: next bucket
+  histogram.Observe(5.0);     // last finite edge
+  histogram.Observe(5.1);     // above the last edge: +inf bucket
+  ASSERT_EQ(histogram.bucket_count(), 4u);
+  EXPECT_EQ(histogram.bucket(0), 2u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(2), 1u);
+  EXPECT_EQ(histogram.bucket(3), 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), -3.0 + 1.0 + 1.0001 + 5.0 + 5.1);
+}
+
+TEST(HistogramTest, RejectsUnsortedBounds) {
+  const std::vector<double> unsorted = {2.0, 1.0};
+  EXPECT_THROW(Histogram histogram(unsorted), std::logic_error);
+  const std::vector<double> empty;
+  EXPECT_THROW(Histogram histogram(empty), std::logic_error);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreSane) {
+  const auto bounds = DefaultLatencyBuckets();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-6);
+  EXPECT_GE(bounds.back(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Install points and the disabled fast path
+// ---------------------------------------------------------------------------
+
+TEST(InstallTest, ScopedInstallRestoresThePreviousRegistry) {
+  ScopedInstall off(nullptr);  // known baseline whatever ran before
+  EXPECT_EQ(Installed(), nullptr);
+  MetricsRegistry outer;
+  {
+    ScopedInstall install_outer(&outer);
+    EXPECT_EQ(Installed(), &outer);
+    MetricsRegistry inner;
+    {
+      ScopedInstall install_inner(&inner);
+      EXPECT_EQ(Installed(), &inner);
+    }
+    EXPECT_EQ(Installed(), &outer);
+  }
+  EXPECT_EQ(Installed(), nullptr);
+}
+
+TEST(InstallTest, DisabledPathRecordsNothingAnywhere) {
+  ScopedInstall off(nullptr);
+  MetricsRegistry bystander;  // exists but is not installed
+  Count("test.ignored", 5);
+  { ScopedTimer timer(nullptr); }
+  const MetricsRegistry::Snapshot snapshot = bystander.Snap();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(InstallTest, CountHelperFeedsTheInstalledRegistry) {
+  MetricsRegistry registry;
+  ScopedInstall install(&registry);
+  Count("test.counted");
+  Count("test.counted", 2);
+  EXPECT_EQ(registry.GetCounter("test.counted").value(), 3u);
+}
+
+TEST(ScopedTimerTest, RecordsANonNegativeDuration) {
+  const std::vector<double> bounds = {10.0};
+  Histogram histogram(bounds);
+  { ScopedTimer timer(&histogram); }
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GE(histogram.sum(), 0.0);
+  EXPECT_LT(histogram.sum(), 10.0);  // a scope exit is not ten seconds
+}
+
+// ---------------------------------------------------------------------------
+// abenc.metrics.v1 export (golden document)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsJsonTest, GoldenDocumentMatchesTheSchema) {
+  MetricsRegistry registry;
+  registry.GetCounter("channel.cycles").Increment(3);
+  registry.GetGauge("experiment.words_per_second").Set(1.5);
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram& histogram = registry.GetHistogram("verify.seconds", bounds);
+  histogram.Observe(0.5);
+  histogram.Observe(1.0);
+  histogram.Observe(1.5);
+  histogram.Observe(5.0);
+
+  const std::string golden = R"({
+    "schema": "abenc.metrics.v1",
+    "counters": [{"name": "channel.cycles", "value": 3}],
+    "gauges": [{"name": "experiment.words_per_second", "value": 1.5}],
+    "histograms": [{
+      "name": "verify.seconds",
+      "count": 4,
+      "sum": 8,
+      "buckets": [{"le": 1, "count": 2},
+                  {"le": 2, "count": 1},
+                  {"le": null, "count": 1}]
+    }]
+  })";
+  // Compare through the document model so the pin is on content and
+  // key order, not on whitespace.
+  EXPECT_EQ(MetricsToJson(registry).Dump(0),
+            JsonValue::Parse(golden).Dump(0));
+}
+
+TEST(MetricsJsonTest, SnapshotsSortByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const MetricsRegistry::Snapshot snapshot = registry.Snap();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "mid");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta");
+}
+
+// ---------------------------------------------------------------------------
+// Observability never perturbs results
+// ---------------------------------------------------------------------------
+
+TEST(BitIdentityTest, InstrumentedComparisonIsBitIdentical) {
+  SyntheticGenerator gen(1234);
+  std::vector<NamedStream> streams;
+  streams.push_back(
+      {"synthetic", gen.MultiplexedLike(3000, 0.35, 4, 32).ToBusAccesses()});
+  const std::vector<std::string> codecs = {"t0", "bus-invert",
+                                           "working-zone"};
+  const CodecOptions options;
+
+  ScopedInstall off(nullptr);
+  const Comparison plain = RunComparison(codecs, streams, options);
+
+  MetricsRegistry registry;
+  Comparison instrumented;
+  {
+    ScopedInstall install(&registry);
+    instrumented = RunComparison(codecs, streams, options);
+  }
+
+  // Same JSON document byte for byte: metrics observed the run without
+  // touching it...
+  EXPECT_EQ(ComparisonToJson(plain, "t").Dump(),
+            ComparisonToJson(instrumented, "t").Dump());
+  // ...and actually observed it: per-codec words and transitions match
+  // the results exactly.
+  const MetricsRegistry::Snapshot snapshot = registry.Snap();
+  EXPECT_FALSE(snapshot.counters.empty());
+  EXPECT_FALSE(snapshot.histograms.empty());
+  EXPECT_EQ(registry.GetCounter("experiment.words").value(),
+            streams[0].accesses.size() * (codecs.size() + 1));
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    EXPECT_EQ(
+        registry.GetCounter("experiment.codec." + codecs[i] + ".transitions")
+            .value(),
+        static_cast<std::uint64_t>(
+            instrumented.rows[0].cells[i].result.transitions))
+        << codecs[i];
+  }
+}
+
+}  // namespace
+}  // namespace abenc::obs

@@ -186,7 +186,7 @@ TEST(RunnerTest, EnumeratesTheFullPropertyMatrix) {
   VerifyConfig config;
   const VerifyRunner runner(config);
   const auto names = runner.PropertyNames();
-  // 4 universal properties x |codecs| x 6 families, gate oracles x 6
+  // 5 universal properties x |codecs| x 6 families, gate oracles x 6
   // families, one markov oracle per modelled code, parallel-identity.
   const std::size_t expected =
       UniversalPropertyNames().size() * AllCodecNames().size() * 6 +
@@ -336,6 +336,58 @@ TEST(InjectedBugTest, GateOracleCatchesABehaviouralDrift) {
       "t0", options, stream, SabotagingFactory("t0", 30));
   ASSERT_TRUE(failure.has_value());
   EXPECT_EQ(failure->index, 30u);
+}
+
+TEST(InjectedBugTest, DecoderLockstepCatchesEncoderStatePeeking) {
+  // A decoder that answers from state its own Encode() side wrote is
+  // invisible to round-trip (encoder and decoder share the object
+  // there) but breaks the moment the two ends live apart, as they do
+  // on a real bus. Only decoder-lockstep separates the ends.
+  class PeekingDecoderCodec final : public Codec {
+   public:
+    explicit PeekingDecoderCodec(CodecPtr inner)
+        : Codec(inner->width()), inner_(std::move(inner)) {}
+    std::string name() const override { return inner_->name(); }
+    std::string display_name() const override {
+      return inner_->display_name();
+    }
+    unsigned redundant_lines() const override {
+      return inner_->redundant_lines();
+    }
+    BusState Encode(Word address, bool sel) override {
+      last_encoded_ = address & LowMask(width());  // the leak
+      return inner_->Encode(address, sel);
+    }
+    Word Decode(const BusState&, bool) override { return last_encoded_; }
+    void Reset() override {
+      inner_->Reset();
+      last_encoded_ = 0;
+    }
+
+   private:
+    CodecPtr inner_;
+    Word last_encoded_ = 0;
+  };
+
+  const CodecFactoryFn factory = [](const std::string& name,
+                                    const CodecOptions& options) -> CodecPtr {
+    CodecPtr real = MakeCodec(name, options);
+    if (name == "t0") {
+      return std::make_unique<PeekingDecoderCodec>(std::move(real));
+    }
+    return real;
+  };
+  const auto stream =
+      GenerateStream(StreamFamily::kSequentialRuns, 5, 100, 32, 4);
+
+  // Round-trip is blind to the bug...
+  EXPECT_FALSE(
+      CheckRoundTrip("t0", CodecOptions{}, stream, factory).has_value());
+  // ...decoder-lockstep is not.
+  const auto failure =
+      CheckDecoderLockstep("t0", CodecOptions{}, stream, factory);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->message.find("split decoder"), std::string::npos);
 }
 
 TEST(RunnerTest, TransitionAccountingCatchesMiscountedEvaluator) {

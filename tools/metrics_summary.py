@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Pretty-print (or validate) an abenc.metrics.v1 document.
+
+The table benches and verify_runner write these documents via their
+--metrics flag. Default mode renders a human-readable summary: counters
+and gauges as aligned name/value columns, histograms with count, sum,
+mean and a coarse quantile read off the cumulative buckets.
+
+--check mode validates the schema instead (exit 1 on violation) and
+asserts the document is live — at least one counter with a non-zero
+value — which is what the CI smoke gate runs against bench_table2.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"metrics_summary: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read {path}: {error}")
+    if not isinstance(document, dict):
+        fail(f"{path}: top level is not an object")
+    return document
+
+
+def check_schema(document: dict, path: str) -> None:
+    if document.get("schema") != "abenc.metrics.v1":
+        fail(f"{path}: schema is {document.get('schema')!r}, "
+             "expected 'abenc.metrics.v1'")
+    for section in ("counters", "gauges", "histograms"):
+        entries = document.get(section)
+        if not isinstance(entries, list):
+            fail(f"{path}: missing or non-array section {section!r}")
+        for entry in entries:
+            if not isinstance(entry, dict) or "name" not in entry:
+                fail(f"{path}: {section} entry without a name: {entry!r}")
+    for entry in document["counters"]:
+        value = entry.get("value")
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(f"{path}: counter {entry['name']!r} has bad value "
+                 f"{entry.get('value')!r}")
+    for entry in document["gauges"]:
+        if not isinstance(entry.get("value"), (int, float)):
+            fail(f"{path}: gauge {entry['name']!r} has bad value "
+                 f"{entry.get('value')!r}")
+    for entry in document["histograms"]:
+        buckets = entry.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            fail(f"{path}: histogram {entry['name']!r} without buckets")
+        if buckets[-1].get("le") is not None:
+            fail(f"{path}: histogram {entry['name']!r} lacks the trailing "
+                 "+inf bucket (le: null)")
+        in_buckets = sum(bucket.get("count", 0) for bucket in buckets)
+        if in_buckets != entry.get("count"):
+            fail(f"{path}: histogram {entry['name']!r} buckets sum to "
+                 f"{in_buckets}, count says {entry.get('count')}")
+
+
+def quantile(entry: dict, q: float) -> str:
+    """Upper bucket edge at cumulative fraction q, as a string."""
+    total = entry["count"]
+    if total == 0:
+        return "-"
+    running = 0
+    for bucket in entry["buckets"]:
+        running += bucket["count"]
+        if running >= q * total:
+            edge = bucket["le"]
+            return "+inf" if edge is None else f"{edge:g}"
+    return "+inf"
+
+
+def print_summary(document: dict) -> None:
+    counters = document["counters"]
+    gauges = document["gauges"]
+    histograms = document["histograms"]
+    width = max(
+        (len(entry["name"])
+         for entry in counters + gauges + histograms), default=0)
+
+    if counters:
+        print("counters:")
+        for entry in counters:
+            print(f"  {entry['name']:<{width}}  {entry['value']:,.0f}")
+    if gauges:
+        print("gauges:")
+        for entry in gauges:
+            print(f"  {entry['name']:<{width}}  {entry['value']:g}")
+    if histograms:
+        print("histograms:  (count / sum / mean / ~p50 / ~p99 edges)")
+        for entry in histograms:
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            print(f"  {entry['name']:<{width}}  {count:,}"
+                  f" / {entry['sum']:g} / {mean:g}"
+                  f" / <={quantile(entry, 0.50)}"
+                  f" / <={quantile(entry, 0.99)}")
+    if not (counters or gauges or histograms):
+        print("(empty document: nothing was recorded)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Summarize an abenc.metrics.v1 document")
+    parser.add_argument("path", help="metrics JSON file (from --metrics)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the schema and require at least one non-zero "
+             "counter instead of printing the summary")
+    args = parser.parse_args()
+
+    document = load(args.path)
+    check_schema(document, args.path)
+    if args.check:
+        live = any(entry["value"] > 0 for entry in document["counters"])
+        if not live:
+            fail(f"{args.path}: no counter recorded a non-zero value")
+        print(f"{args.path}: schema-valid, "
+              f"{len(document['counters'])} counters, "
+              f"{len(document['gauges'])} gauges, "
+              f"{len(document['histograms'])} histograms")
+        return
+    print_summary(document)
+
+
+if __name__ == "__main__":
+    main()
