@@ -10,6 +10,7 @@
 #include "obs/metrics_json.h"
 #include "report/json_writer.h"
 #include "report/table.h"
+#include "trace/trace_source.h"
 
 namespace abenc::bench {
 namespace {
@@ -60,6 +61,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.json_path = value;
     } else if (MatchFlag("parallelism", argc, argv, i, value)) {
       options.parallelism = ParseUnsigned("parallelism", value);
+    } else if (MatchFlag("chunk-size", argc, argv, i, value)) {
+      options.chunk_size = ParseUnsigned("chunk-size", value);
+    } else if (std::string_view(argv[i]) == "--per-word") {
+      options.per_word = true;
     } else if (MatchFlag("metrics", argc, argv, i, value)) {
       options.metrics_path = value;
     }
@@ -101,15 +106,20 @@ void PrintExperimentalTable(const std::string& title, StreamKind kind,
   // execution, stream capture, experiment engine — records into it.
   MetricsSession metrics(bench_options.metrics_path);
 
+  // Streams are handed to the engine as TraceSources: the engine reads
+  // fixed-size chunks straight out of the captured trace instead of
+  // materializing a second full-size BusAccess copy per stream.
   std::vector<NamedStream> streams;
   for (const sim::BenchmarkProgram& program : sim::BenchmarkPrograms()) {
-    const sim::ProgramTraces traces = sim::RunBenchmark(program);
-    streams.push_back(
-        NamedStream{program.name, SelectStream(traces, kind).ToBusAccesses()});
+    sim::ProgramTraces traces = sim::RunBenchmark(program);
+    streams.push_back(NamedStream{
+        program.name, {}, MakeTraceSource(SelectStream(traces, kind))});
   }
 
   RunOptions run;
   run.parallelism = bench_options.parallelism;
+  run.chunk_size = bench_options.chunk_size;
+  run.per_word = bench_options.per_word;
   const Comparison comparison =
       RunComparison(codec_names, streams, options, nullptr, run);
 

@@ -18,6 +18,16 @@ class BinaryCodec final : public Codec {
   BusState Encode(Word address, bool /*sel*/) override {
     return BusState{Mask(address), 0};
   }
+
+  // Devirtualized kernel: one masked store per access, no per-word
+  // dispatch. Stateless, so chunk boundaries cannot matter.
+  void EncodeBlock(std::span<const BusAccess> in,
+                   std::span<BusState> out) override {
+    const Word mask = LowMask(width());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = BusState{in[i].address & mask, 0};
+    }
+  }
   Word Decode(const BusState& bus, bool /*sel*/) override {
     return Mask(bus.lines);
   }

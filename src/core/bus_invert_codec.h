@@ -74,6 +74,35 @@ class BusInvertCodec final : public Codec {
     return out;
   }
 
+  // Devirtualized kernel. The common single-partition configuration —
+  // every row of the paper's tables — gets a dedicated branch with the
+  // majority decision inlined; multi-partition slices reuse the
+  // per-word member logic without the per-word virtual dispatch.
+  void EncodeBlock(std::span<const BusAccess> in,
+                   std::span<BusState> out) override {
+    if (partitions_ != 1) {
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = Encode(in[i].address, in[i].sel);
+      }
+      return;
+    }
+    const Word mask = LowMask(width());
+    const int threshold = static_cast<int>(width());
+    BusState prev = prev_;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Word cand = in[i].address & mask;
+      const int h = PopCount(prev.lines ^ cand) +
+                    static_cast<int>(prev.redundant & 1);
+      if (2 * h > threshold) {
+        prev = BusState{~cand & mask, 1};
+      } else {
+        prev = BusState{cand, 0};
+      }
+      out[i] = prev;
+    }
+    prev_ = prev;
+  }
+
   Word Decode(const BusState& bus, bool /*sel*/) override {
     Word b = 0;
     for (unsigned p = 0; p < partitions_; ++p) {

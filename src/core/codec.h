@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/types.h"
@@ -47,6 +48,27 @@ class Codec {
 
   /// Encode the next address of the stream. Addresses are masked to N bits.
   virtual BusState Encode(Word address, bool sel) = 0;
+
+  /// Encode a block of consecutive stream accesses into `out` — the
+  /// batched hot path of the stream evaluator. `out.size()` must be at
+  /// least `in.size()`; entries [0, in.size()) are written.
+  ///
+  /// Contract (the "bit-identity guarantee", enforced for every factory
+  /// codec by the `batched-identity` verify property and
+  /// tests/stream_evaluator_test): EncodeBlock(in, out) produces
+  /// exactly the BusState sequence that `in.size()` successive Encode()
+  /// calls would, and leaves the encoder-side state identical, so any
+  /// chunking of a stream — including mixing EncodeBlock and Encode —
+  /// yields the same bus trajectory. The base implementation loops the
+  /// virtual Encode; the high-traffic codes (binary, Gray, offset, T0,
+  /// INC-XOR, bus-invert) override it with devirtualized kernels that
+  /// pay one virtual dispatch per block instead of per word.
+  virtual void EncodeBlock(std::span<const BusAccess> in,
+                           std::span<BusState> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = Encode(in[i].address, in[i].sel);
+    }
+  }
 
   /// Decode the next bus state of the stream. SEL must match the value the
   /// encoder saw in the same cycle (it travels on the bus, per the paper).

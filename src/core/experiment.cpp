@@ -31,20 +31,48 @@ void RecordCellMetrics(obs::MetricsRegistry& registry,
       .Increment(static_cast<std::uint64_t>(result.transitions));
 }
 
+// Runs one codec over one stream, decode-verified, honouring the
+// engine's path selection: the batched chunked path by default, the
+// legacy per-word loop under RunOptions::per_word. Both are
+// bit-identical by the EncodeBlock contract.
+EvalResult EvaluateStream(Codec& codec, const NamedStream& stream,
+                          const CodecOptions& options,
+                          const RunOptions& run) {
+  if (run.per_word) {
+    if (stream.source) {
+      // The legacy loop wants a contiguous stream; materialize one
+      // copy locally (this is exactly the allocation the batched path
+      // exists to avoid).
+      std::vector<BusAccess> accesses(stream.source->size());
+      stream.source->Read(0, accesses);
+      return Evaluate(codec, accesses, options.stride,
+                      /*verify_decode=*/true);
+    }
+    return Evaluate(codec, stream.accesses, options.stride,
+                    /*verify_decode=*/true);
+  }
+  if (stream.source) {
+    return EvaluateBatched(codec, *stream.source, options.stride,
+                           /*verify_decode=*/true, run.chunk_size);
+  }
+  return EvaluateBatched(codec, stream.accesses, options.stride,
+                         /*verify_decode=*/true, run.chunk_size);
+}
+
 // One (stream, codec) cell from codec reset, decode-verified. Shared by
 // the sequential and parallel paths so both compute bit-identical cells.
 ComparisonCell EvaluateCell(
     const std::string& codec_name, const NamedStream& stream,
     const CodecOptions& options,
-    const std::function<void(const std::string&, CodecOptions&)>& configure) {
+    const std::function<void(const std::string&, CodecOptions&)>& configure,
+    const RunOptions& run) {
   CodecOptions codec_options = options;
   if (configure) configure(codec_name, codec_options);
   auto codec = MakeCodec(codec_name, codec_options);
   ComparisonCell cell;
   obs::MetricsRegistry* registry = obs::Installed();
   const double start = registry ? obs::MonotonicSeconds() : 0.0;
-  cell.result = Evaluate(*codec, stream.accesses, options.stride,
-                         /*verify_decode=*/true);
+  cell.result = EvaluateStream(*codec, stream, options, run);
   if (registry) {
     RecordCellMetrics(*registry, codec_name, cell.result,
                       obs::MonotonicSeconds() - start);
@@ -53,12 +81,12 @@ ComparisonCell EvaluateCell(
 }
 
 EvalResult EvaluateBinaryReference(const NamedStream& stream,
-                                   const CodecOptions& options) {
+                                   const CodecOptions& options,
+                                   const RunOptions& run) {
   auto binary = MakeCodec("binary", options);
   obs::MetricsRegistry* registry = obs::Installed();
   const double start = registry ? obs::MonotonicSeconds() : 0.0;
-  EvalResult result = Evaluate(*binary, stream.accesses, options.stride,
-                               /*verify_decode=*/true);
+  EvalResult result = EvaluateStream(*binary, stream, options, run);
   if (registry) {
     RecordCellMetrics(*registry, "binary", result,
                       obs::MonotonicSeconds() - start);
@@ -69,16 +97,18 @@ EvalResult EvaluateBinaryReference(const NamedStream& stream,
 Comparison RunComparisonSequential(
     const std::vector<std::string>& codec_names,
     const std::vector<NamedStream>& streams, const CodecOptions& options,
-    const std::function<void(const std::string&, CodecOptions&)>& configure) {
+    const std::function<void(const std::string&, CodecOptions&)>& configure,
+    const RunOptions& run) {
   Comparison comparison;
   comparison.codec_names = codec_names;
   comparison.rows.reserve(streams.size());
   for (const NamedStream& stream : streams) {
     ComparisonRow row;
     row.stream_name = stream.name;
-    row.binary = EvaluateBinaryReference(stream, options);
+    row.binary = EvaluateBinaryReference(stream, options, run);
     for (const std::string& name : codec_names) {
-      ComparisonCell cell = EvaluateCell(name, stream, options, configure);
+      ComparisonCell cell =
+          EvaluateCell(name, stream, options, configure, run);
       cell.savings_percent =
           SavingsPercent(cell.result.transitions, row.binary.transitions);
       row.cells.push_back(std::move(cell));
@@ -92,7 +122,7 @@ Comparison RunComparisonParallel(
     const std::vector<std::string>& codec_names,
     const std::vector<NamedStream>& streams, const CodecOptions& options,
     const std::function<void(const std::string&, CodecOptions&)>& configure,
-    unsigned parallelism) {
+    const RunOptions& run, unsigned parallelism) {
   Comparison comparison;
   comparison.codec_names = codec_names;
   comparison.rows.resize(streams.size());
@@ -125,19 +155,19 @@ Comparison RunComparisonParallel(
       const NamedStream* stream = &streams[s];
       const double submitted = queue_wait ? obs::MonotonicSeconds() : 0.0;
       binary_futures.push_back(
-          pool.Submit([stream, &options, observe_wait, submitted]() {
+          pool.Submit([stream, &options, &run, observe_wait, submitted]() {
             observe_wait(submitted);
-            return EvaluateBinaryReference(*stream, options);
+            return EvaluateBinaryReference(*stream, options, run);
           }));
       for (std::size_t c = 0; c < codec_names.size(); ++c) {
         const std::string* name = &codec_names[c];
         const double cell_submitted =
             queue_wait ? obs::MonotonicSeconds() : 0.0;
         cell_futures.push_back(
-            pool.Submit([name, stream, &options, &configure, observe_wait,
-                         cell_submitted]() {
+            pool.Submit([name, stream, &options, &configure, &run,
+                         observe_wait, cell_submitted]() {
               observe_wait(cell_submitted);
-              return EvaluateCell(*name, *stream, options, configure);
+              return EvaluateCell(*name, *stream, options, configure, run);
             }));
       }
     }
@@ -206,14 +236,15 @@ Comparison RunComparison(
   const double start = registry ? obs::MonotonicSeconds() : 0.0;
   Comparison comparison =
       (parallelism <= 1 || streams.empty())
-          ? RunComparisonSequential(codec_names, streams, options, configure)
+          ? RunComparisonSequential(codec_names, streams, options, configure,
+                                    run)
           : RunComparisonParallel(codec_names, streams, options, configure,
-                                  parallelism);
+                                  run, parallelism);
   if (registry) {
     const double elapsed = obs::MonotonicSeconds() - start;
     std::size_t words = 0;  // every evaluated access, reference included
     for (const NamedStream& stream : streams) {
-      words += stream.accesses.size() * (codec_names.size() + 1);
+      words += stream.size() * (codec_names.size() + 1);
     }
     registry->GetCounter("experiment.runs").Increment();
     registry->GetGauge("experiment.run_seconds").Add(elapsed);

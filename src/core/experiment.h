@@ -4,19 +4,38 @@
 // bookkeeping.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/codec_factory.h"
 #include "core/stream_evaluator.h"
+#include "core/trace_source.h"
 
 namespace abenc {
 
-/// One stream under study.
+/// One stream under study. Either a materialized access vector or a
+/// chunked TraceSource (e.g. an AddressTraceSource wrapping a captured
+/// trace, see trace/trace_source.h); when `source` is set it wins and
+/// `accesses` may stay empty, so producers never have to materialize a
+/// BusAccess copy just to enter the engine.
 struct NamedStream {
-  std::string name;               // e.g. the benchmark name
+  NamedStream() = default;
+  NamedStream(std::string stream_name, std::vector<BusAccess> stream_accesses,
+              std::shared_ptr<const TraceSource> stream_source = nullptr)
+      : name(std::move(stream_name)),
+        accesses(std::move(stream_accesses)),
+        source(std::move(stream_source)) {}
+
+  std::string name;  // e.g. the benchmark name
   std::vector<BusAccess> accesses;
+  std::shared_ptr<const TraceSource> source;
+
+  std::size_t size() const {
+    return source ? source->size() : accesses.size();
+  }
 };
 
 /// The matrix cell for (stream, code).
@@ -53,6 +72,19 @@ struct RunOptions {
   /// matrix is reduced in (stream, codec) order regardless of which
   /// worker finished first.
   unsigned parallelism = 1;
+
+  /// Chunk length of the batched evaluation path; `0` picks
+  /// kDefaultChunkSize. Results are bit-identical at every chunk size
+  /// (the EncodeBlock contract), so this knob trades working-set size
+  /// against per-chunk overhead only.
+  std::size_t chunk_size = 0;
+
+  /// Evaluate cells through the legacy per-word Evaluate() loop
+  /// instead of EvaluateBatched(). Both paths produce identical
+  /// results — the CI bench-regression job byte-diffs their --json
+  /// documents — so this exists for A/B timing and as the fallback of
+  /// last resort.
+  bool per_word = false;
 };
 
 /// Run every named code over every stream (from codec reset each time,

@@ -33,6 +33,25 @@ class GrayCodec final : public Codec {
     return BusState{Mask((BinaryToGray(word_part) << shift_) | low), 0};
   }
 
+  // Devirtualized kernel. The masks are hoisted into locals (a member
+  // read per iteration would keep the loop from vectorizing — the
+  // compiler cannot prove the output span does not alias *this), and
+  // the shift pair is folded away: with b pre-masked,
+  //   (BinaryToGray(b >> s) << s) | (b & low)  ==
+  //   (BinaryToGray(b) & ~low) | (b & low)
+  // because (b >> s) ^ (b >> (s+1)) re-shifted left by s is just
+  // b ^ (b >> 1) with the low s bits cleared. Stateless, like Encode.
+  void EncodeBlock(std::span<const BusAccess> in,
+                   std::span<BusState> out) override {
+    const Word mask = LowMask(width());
+    const Word low_mask = LowMask(shift_);
+    const Word high_mask = mask & ~low_mask;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Word b = in[i].address & mask;
+      out[i] = BusState{(BinaryToGray(b) & high_mask) | (b & low_mask), 0};
+    }
+  }
+
   Word Decode(const BusState& bus, bool /*sel*/) override {
     const Word g = Mask(bus.lines);
     const Word low = g & LowMask(shift_ == 0 ? 0 : shift_);

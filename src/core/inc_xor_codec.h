@@ -37,6 +37,25 @@ class IncXorCodec final : public Codec {
     return BusState{enc_prev_bus_, 0};
   }
 
+  // Devirtualized kernel: the transition-signalling recurrence with the
+  // encoder registers held in locals for the whole block.
+  void EncodeBlock(std::span<const BusAccess> in,
+                   std::span<BusState> out) override {
+    const Word mask = LowMask(width());
+    const Word stride = stride_;
+    Word prev_addr = enc_prev_addr_;
+    Word prev_bus = enc_prev_bus_;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Word b = in[i].address & mask;
+      const Word prediction = (prev_addr + stride) & mask;
+      prev_bus = (prev_bus ^ (b ^ prediction)) & mask;
+      prev_addr = b;
+      out[i] = BusState{prev_bus, 0};
+    }
+    enc_prev_addr_ = prev_addr;
+    enc_prev_bus_ = prev_bus;
+  }
+
   Word Decode(const BusState& bus, bool /*sel*/) override {
     const Word prediction = Mask(dec_prev_addr_ + stride_);
     const Word b = Mask((Mask(bus.lines) ^ dec_prev_bus_) ^ prediction);

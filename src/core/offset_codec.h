@@ -27,6 +27,21 @@ class OffsetCodec final : public Codec {
     return BusState{delta, 0};
   }
 
+  // Devirtualized kernel: encoder-side b(t-1) carried in a register
+  // across the loop and written back once, so chunked encoding chains
+  // bit-identically with the per-word path.
+  void EncodeBlock(std::span<const BusAccess> in,
+                   std::span<BusState> out) override {
+    const Word mask = LowMask(width());
+    Word prev = enc_prev_;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Word b = in[i].address & mask;
+      out[i] = BusState{(b - prev) & mask, 0};
+      prev = b;
+    }
+    enc_prev_ = prev;
+  }
+
   Word Decode(const BusState& bus, bool /*sel*/) override {
     dec_prev_ = Mask(dec_prev_ + bus.lines);
     return dec_prev_;

@@ -10,14 +10,11 @@
 
 namespace abenc {
 
-/// One bus reference: an address plus the instruction/data select signal
-/// (true for instruction slots; constant for dedicated buses).
-struct BusAccess {
-  Word address = 0;
-  bool sel = true;
+class TraceSource;  // core/trace_source.h
 
-  friend bool operator==(const BusAccess&, const BusAccess&) = default;
-};
+// BusAccess (one address plus the SEL signal) lives in core/types.h so
+// the Codec block interface can speak it; it is re-exported here for
+// the many stream-level includers.
 
 /// Metrics of one codec over one stream — the columns of Tables 2-7.
 struct EvalResult {
@@ -37,6 +34,13 @@ struct EvalResult {
 
 /// Percentage of transitions saved relative to a reference (binary) count,
 /// as reported in the paper's "Savings" columns.
+///
+/// A zero reference with a nonzero codec count has no meaningful
+/// percentage — reporting 0.0 there would disguise a strictly *worse*
+/// code as parity — so that case returns quiet NaN. Renderers spell it
+/// out: FormatPercent (report/table.h) prints "n/a" and the JSON writer
+/// emits null (JSON has no NaN). Zero-vs-zero is genuine parity and
+/// stays 0.0.
 double SavingsPercent(long long transitions, long long binary_transitions);
 
 /// Fraction (in percent) of accesses whose address equals the previous
@@ -53,6 +57,35 @@ double InSequencePercent(std::span<const BusAccess> stream, Word stride,
 /// self-check by the benches).
 EvalResult Evaluate(Codec& codec, std::span<const BusAccess> stream,
                     Word stride_for_stats = 4, bool verify_decode = false);
+
+/// The batched hot path: run `codec` over the stream in fixed-size
+/// chunks — Codec::EncodeBlock per chunk (one virtual dispatch per
+/// chunk; the high-traffic codes install devirtualized kernels), then a
+/// word-parallel XOR+popcount transition sweep over the encoded block
+/// (core/codec_kernel.h).
+///
+/// Bit-identity guarantee: for every chunk size the returned EvalResult
+/// is *identical* to Evaluate() on the same stream — transitions, peak,
+/// per-line histogram, in-sequence percentage and the decode-verify
+/// throw behaviour all match. The contract is enforced for all factory
+/// codecs by the `batched-identity` universal verify property and
+/// tests/stream_evaluator_test, which is what lets the experiment
+/// engine and the committed bench baselines switch onto this path with
+/// byte-identical outputs.
+///
+/// `chunk_size == 0` selects kDefaultChunkSize (core/codec_kernel.h).
+/// When a MetricsRegistry is installed, records chunk/word counters and
+/// an `evaluator.batched.words_per_second` gauge.
+EvalResult EvaluateBatched(Codec& codec, const TraceSource& source,
+                           Word stride_for_stats = 4,
+                           bool verify_decode = false,
+                           std::size_t chunk_size = 0);
+
+/// Convenience overload over a materialized stream.
+EvalResult EvaluateBatched(Codec& codec, std::span<const BusAccess> stream,
+                           Word stride_for_stats = 4,
+                           bool verify_decode = false,
+                           std::size_t chunk_size = 0);
 
 /// Convenience: wrap a pure address sequence (dedicated bus) as BusAccesses.
 std::vector<BusAccess> ToAccesses(std::span<const Word> addresses,

@@ -44,6 +44,33 @@ class T0Codec final : public Codec {
     return out;
   }
 
+  // Devirtualized kernel: the encoder-side registers (previous address,
+  // frozen bus value, first-word flag) live in locals across the loop
+  // and are stored back once, so any chunking reproduces the per-word
+  // trajectory exactly — including the verbatim first word after Reset.
+  void EncodeBlock(std::span<const BusAccess> in,
+                   std::span<BusState> out) override {
+    const Word mask = LowMask(width());
+    const Word stride = stride_;
+    Word prev_addr = enc_prev_addr_;
+    BusState prev_bus = enc_prev_bus_;
+    bool has_prev = enc_has_prev_;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Word b = in[i].address & mask;
+      if (has_prev && b == ((prev_addr + stride) & mask)) {
+        out[i] = BusState{prev_bus.lines, 1};
+      } else {
+        out[i] = BusState{b, 0};
+      }
+      prev_addr = b;
+      prev_bus = out[i];
+      has_prev = true;
+    }
+    enc_prev_addr_ = prev_addr;
+    enc_prev_bus_ = prev_bus;
+    enc_has_prev_ = has_prev;
+  }
+
   Word Decode(const BusState& bus, bool /*sel*/) override {
     const Word b = (bus.redundant & 1) ? Mask(dec_prev_addr_ + stride_)
                                        : Mask(bus.lines);

@@ -1,0 +1,62 @@
+// Chunked access to an address stream: the feeding side of the batched
+// evaluation hot path.
+//
+// Evaluate() consumes a fully materialized std::vector<BusAccess>; on a
+// comparison grid that either copies the stream per cell or pins one
+// big allocation for the whole run. A TraceSource instead hands the
+// evaluator fixed-size chunks on demand, so producers can keep their
+// natural representation (an AddressTrace, a memory-mapped file, a
+// generator) and the engine's working set stays one chunk per worker.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/types.h"
+
+namespace abenc {
+
+/// Random-access chunk reader over an address stream.
+///
+/// Implementations must be stateless with respect to reads: Read() at
+/// the same offset always yields the same accesses, and concurrent
+/// Read() calls from different threads are safe (the parallel
+/// experiment engine shares one source across every cell of a row).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Total number of accesses in the stream.
+  virtual std::size_t size() const = 0;
+
+  /// Copy accesses [offset, offset + out.size()) into `out`, clamped to
+  /// the end of the stream. Returns the number of accesses written.
+  virtual std::size_t Read(std::size_t offset,
+                           std::span<BusAccess> out) const = 0;
+};
+
+/// Non-owning TraceSource over a contiguous BusAccess sequence — the
+/// adapter for every caller that already holds a materialized stream.
+/// The viewed storage must outlive the source.
+class SpanTraceSource final : public TraceSource {
+ public:
+  explicit SpanTraceSource(std::span<const BusAccess> accesses)
+      : accesses_(accesses) {}
+
+  std::size_t size() const override { return accesses_.size(); }
+
+  std::size_t Read(std::size_t offset,
+                   std::span<BusAccess> out) const override {
+    if (offset >= accesses_.size()) return 0;
+    const std::size_t n = out.size() < accesses_.size() - offset
+                              ? out.size()
+                              : accesses_.size() - offset;
+    for (std::size_t i = 0; i < n; ++i) out[i] = accesses_[offset + i];
+    return n;
+  }
+
+ private:
+  std::span<const BusAccess> accesses_;
+};
+
+}  // namespace abenc

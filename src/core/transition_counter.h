@@ -11,11 +11,22 @@ namespace abenc {
 /// Accumulates line toggles over a sequence of bus states, counting the N
 /// data lines and the R redundant lines exactly as the paper does.
 ///
-/// First-cycle convention: the bus powers on with every line low, so the
-/// first pattern is charged popcount(pattern) toggles. Every code in this
-/// library emits the first address verbatim with all redundant lines low,
-/// so the charge is identical across codes and savings comparisons are
-/// unaffected; pass skip_first = true to drop it entirely.
+/// First-cycle convention (audited in PR 5, pinned by
+/// TransitionCounterTest.*FirstSample* / *PostReset*): the bus powers on
+/// with every line low, so the first Observe() after construction or
+/// Reset() is charged popcount(pattern) toggles against that implicit
+/// all-zero state. The first encoded pattern is *code-dependent* —
+/// binary and T0 send the address verbatim, but Gray sends its Gray
+/// image, INC-XOR sends b(0) XOR stride, and bus-invert may assert INV
+/// and invert a high-popcount first word — so the first-cycle charge is
+/// not identical across codes. The bias is bounded by total_lines()
+/// toggles per stream (one cycle's worth); on the paper-scale streams
+/// (10^5..10^6 references) it is far below the reported precision, and
+/// the steady-state convention of the paper is recovered by passing
+/// skip_first = true, which drops the power-on cycle entirely and
+/// counts from the first observed state instead. Changing the default
+/// would shift every committed baseline, so the convention is kept and
+/// pinned rather than "fixed".
 class TransitionCounter {
  public:
   TransitionCounter(unsigned width, unsigned redundant_lines,

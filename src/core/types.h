@@ -9,9 +9,15 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+
+// Debug-only precondition check for the bit-twiddling primitives below.
+// They are constexpr and sit on per-word hot paths, so release builds
+// (NDEBUG) compile the checks out entirely.
+#define ABENC_ASSERT(condition) assert(condition)
 
 namespace abenc {
 
@@ -19,8 +25,11 @@ namespace abenc {
 using Word = std::uint64_t;
 
 /// Bit mask covering the low `width` bits of a Word.
-/// Precondition: 1 <= width <= 64.
+/// Precondition: width <= 64. `LowMask(0)` is the empty mask (0), used
+/// by callers with no redundant lines or a zero shift; widths above 64
+/// are a caller bug (asserted in debug builds, saturated in release).
 constexpr Word LowMask(unsigned width) {
+  ABENC_ASSERT(width <= 64 && "LowMask: width exceeds the 64-bit Word");
   return width >= 64 ? ~Word{0} : ((Word{1} << width) - 1);
 }
 
@@ -46,7 +55,12 @@ constexpr Word GrayToBinary(Word g) {
 constexpr bool IsPowerOfTwo(Word w) { return w != 0 && (w & (w - 1)) == 0; }
 
 /// log2 of a power of two.
+/// Precondition: `w` is a nonzero power of two. `Log2(0)` would quietly
+/// return 64 (countr_zero of zero), which no caller can mean; asserted
+/// in debug builds. Factory paths reject the width-0 configurations
+/// that could reach here with CodecConfigError before any bit math.
 constexpr unsigned Log2(Word w) {
+  ABENC_ASSERT(IsPowerOfTwo(w) && "Log2: argument must be a power of two");
   return static_cast<unsigned>(std::countr_zero(w));
 }
 
@@ -57,6 +71,15 @@ struct BusState {
   Word redundant = 0;
 
   friend bool operator==(const BusState&, const BusState&) = default;
+};
+
+/// One bus reference: an address plus the instruction/data select signal
+/// (true for instruction slots; constant for dedicated buses).
+struct BusAccess {
+  Word address = 0;
+  bool sel = true;
+
+  friend bool operator==(const BusAccess&, const BusAccess&) = default;
 };
 
 /// Transitions (line toggles) between two consecutive bus states, counting

@@ -1,6 +1,7 @@
 #include "report/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -69,7 +70,13 @@ std::string FormatFixed(double value, int decimals) {
   return out.str();
 }
 
-std::string FormatPercent(double value) { return FormatFixed(value, 2) + "%"; }
+std::string FormatPercent(double value) {
+  // NaN is the signalled "no meaningful percentage" sentinel (e.g.
+  // SavingsPercent against a zero reference); print it as such rather
+  // than the locale-dependent "nan%".
+  if (std::isnan(value)) return "n/a";
+  return FormatFixed(value, 2) + "%";
+}
 
 std::string FormatCount(long long value) { return std::to_string(value); }
 

@@ -39,6 +39,7 @@ class TextTable {
 std::string FormatFixed(double value, int decimals);
 
 /// Percentage with two decimals and a trailing '%', the paper's style.
+/// NaN (the SavingsPercent zero-reference sentinel) renders as "n/a".
 std::string FormatPercent(double value);
 
 /// Integer with thousands separators removed (plain digits), for the

@@ -1,0 +1,24 @@
+#include "trace/trace_source.h"
+
+namespace abenc {
+
+std::size_t AddressTraceSource::Read(std::size_t offset,
+                                     std::span<BusAccess> out) const {
+  const std::vector<TraceEntry>& entries = trace_.entries();
+  if (offset >= entries.size()) return 0;
+  const std::size_t n = out.size() < entries.size() - offset
+                            ? out.size()
+                            : entries.size() - offset;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEntry& entry = entries[offset + i];
+    out[i] =
+        BusAccess{entry.address, entry.kind == AccessKind::kInstruction};
+  }
+  return n;
+}
+
+std::shared_ptr<const TraceSource> MakeTraceSource(AddressTrace trace) {
+  return std::make_shared<AddressTraceSource>(std::move(trace));
+}
+
+}  // namespace abenc

@@ -1,0 +1,37 @@
+// TraceSource adapters over AddressTrace: feed the batched evaluation
+// path straight from a captured trace, without materializing the
+// intermediate std::vector<BusAccess> that ToBusAccesses() builds.
+#pragma once
+
+#include <memory>
+
+#include "core/trace_source.h"
+#include "trace/trace.h"
+
+namespace abenc {
+
+/// Owning TraceSource over an AddressTrace. Entries are converted to
+/// BusAccess per chunk on demand (SEL asserted for instruction
+/// references, as on the MIPS bus), so the trace stays the only full
+/// copy of the stream no matter how many experiment cells read it.
+class AddressTraceSource final : public TraceSource {
+ public:
+  explicit AddressTraceSource(AddressTrace trace) : trace_(std::move(trace)) {}
+
+  std::size_t size() const override { return trace_.size(); }
+
+  std::size_t Read(std::size_t offset,
+                   std::span<BusAccess> out) const override;
+
+  const AddressTrace& trace() const { return trace_; }
+
+ private:
+  AddressTrace trace_;
+};
+
+/// Wrap a trace as a shareable source for NamedStream::source — the
+/// hand-off the table benches use to feed the experiment engine in
+/// chunks.
+std::shared_ptr<const TraceSource> MakeTraceSource(AddressTrace trace);
+
+}  // namespace abenc

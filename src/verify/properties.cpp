@@ -198,9 +198,78 @@ std::optional<PropertyFailure> CheckDecoderLockstep(
   return std::nullopt;
 }
 
+std::optional<PropertyFailure> CheckBatchedIdentity(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  // The per-word reference, decode-verified exactly as the benches run.
+  const CodecPtr reference_codec = factory(codec_name, options);
+  EvalResult reference;
+  try {
+    reference = Evaluate(*reference_codec, stream, options.stride, true);
+  } catch (const std::logic_error& error) {
+    return PropertyFailure{stream.size(),
+                           codec_name + ": per-word Evaluate threw: " +
+                               error.what()};
+  }
+
+  const std::size_t chunk_sizes[] = {1, 7, 64, stream.size() + 1};
+  for (const std::size_t chunk : chunk_sizes) {
+    const CodecPtr batched_codec = factory(codec_name, options);
+    EvalResult batched;
+    try {
+      batched = EvaluateBatched(*batched_codec, stream, options.stride,
+                                true, chunk);
+    } catch (const std::logic_error& error) {
+      return PropertyFailure{
+          stream.size(), codec_name + ": EvaluateBatched(chunk=" +
+                             std::to_string(chunk) + ") threw where the "
+                             "per-word path did not: " + error.what()};
+    }
+    const auto mismatch = [&](const std::string& what, auto per_word_value,
+                              auto batched_value) {
+      std::ostringstream out;
+      out << codec_name << ": batched path diverges at chunk size " << chunk
+          << " — " << what << ": per-word " << per_word_value
+          << ", batched " << batched_value;
+      return PropertyFailure{stream.size(), out.str()};
+    };
+    if (batched.transitions != reference.transitions) {
+      return mismatch("transitions", reference.transitions,
+                      batched.transitions);
+    }
+    if (batched.peak_transitions != reference.peak_transitions) {
+      return mismatch("peak", reference.peak_transitions,
+                      batched.peak_transitions);
+    }
+    if (batched.stream_length != reference.stream_length) {
+      return mismatch("stream_length", reference.stream_length,
+                      batched.stream_length);
+    }
+    // Exact double equality on purpose: both paths must execute the
+    // same arithmetic, not merely land close.
+    if (batched.in_sequence_percent != reference.in_sequence_percent) {
+      return mismatch("in_sequence_percent", reference.in_sequence_percent,
+                      batched.in_sequence_percent);
+    }
+    if (batched.per_line != reference.per_line) {
+      for (std::size_t line = 0; line < reference.per_line.size(); ++line) {
+        if (line < batched.per_line.size() &&
+            batched.per_line[line] != reference.per_line[line]) {
+          return mismatch("per_line[" + std::to_string(line) + "]",
+                          reference.per_line[line], batched.per_line[line]);
+        }
+      }
+      return mismatch("per_line size", reference.per_line.size(),
+                      batched.per_line.size());
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> UniversalPropertyNames() {
-  return {"round-trip", "line-width", "reset-replay",
-          "transition-accounting", "decoder-lockstep"};
+  return {"round-trip",            "line-width",
+          "reset-replay",          "transition-accounting",
+          "decoder-lockstep",      "batched-identity"};
 }
 
 std::optional<PropertyFailure> CheckUniversalProperty(
@@ -221,6 +290,9 @@ std::optional<PropertyFailure> CheckUniversalProperty(
   }
   if (property == "decoder-lockstep") {
     return CheckDecoderLockstep(codec_name, options, stream, factory);
+  }
+  if (property == "batched-identity") {
+    return CheckBatchedIdentity(codec_name, options, stream, factory);
   }
   throw std::invalid_argument("unknown universal property: " + property);
 }

@@ -72,9 +72,21 @@ std::optional<PropertyFailure> CheckDecoderLockstep(
     const std::string& codec_name, const CodecOptions& options,
     std::span<const BusAccess> stream, const CodecFactoryFn& factory);
 
+/// Batched/per-word lockstep: EvaluateBatched() must reproduce
+/// Evaluate()'s EvalResult *exactly* — transitions, peak, per-line
+/// histogram, stream length and in-sequence percentage — at every
+/// chunk size, including degenerate (1), prime (7), sub-block (64) and
+/// overlong (length + 1) chunkings. This is the bit-identity guarantee
+/// that lets the experiment engine and the table benches run on the
+/// devirtualized EncodeBlock kernels while the committed baselines stay
+/// byte-identical.
+std::optional<PropertyFailure> CheckBatchedIdentity(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
 /// Names of the universal properties, in a stable order:
 /// "round-trip", "line-width", "reset-replay", "transition-accounting",
-/// "decoder-lockstep".
+/// "decoder-lockstep", "batched-identity".
 std::vector<std::string> UniversalPropertyNames();
 
 /// Dispatch by property name; throws std::invalid_argument for unknown

@@ -479,6 +479,27 @@ TEST(CodecFactoryTest, RejectsUnknownName) {
   EXPECT_THROW(MakeCodec("no-such-code"), CodecConfigError);
 }
 
+TEST(CodecFactoryTest, RejectsZeroWidthForEveryCodec) {
+  // A 0-bit bus must be rejected as configuration, up front with
+  // CodecConfigError — never reach the bit math (where LowMask/Log2
+  // would only catch it as a debug assertion).
+  CodecOptions options;
+  options.width = 0;
+  for (const std::string& name : AllCodecNames()) {
+    EXPECT_THROW(MakeCodec(name, options), CodecConfigError)
+        << name << " accepted width 0";
+  }
+}
+
+TEST(CodecFactoryTest, RejectsOverwideBusForEveryCodec) {
+  CodecOptions options;
+  options.width = 65;  // beyond the 64-bit Word
+  for (const std::string& name : AllCodecNames()) {
+    EXPECT_THROW(MakeCodec(name, options), CodecConfigError)
+        << name << " accepted width 65";
+  }
+}
+
 TEST(CodecFactoryTest, PaperCodecListsAreStable) {
   EXPECT_EQ(ExistingCodecNames(),
             (std::vector<std::string>{"binary", "t0", "bus-invert"}));

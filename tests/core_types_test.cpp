@@ -13,7 +13,24 @@ TEST(LowMaskTest, CoversRequestedBits) {
   EXPECT_EQ(LowMask(64), ~Word{0});
 }
 
-TEST(LowMaskTest, ZeroWidthIsEmpty) { EXPECT_EQ(LowMask(0), 0u); }
+TEST(LowMaskTest, ZeroWidthIsEmpty) {
+  // LowMask(0) == 0 is part of the contract (redundant-line masks and
+  // the Gray codec's low-part mask rely on it), not an accident.
+  EXPECT_EQ(LowMask(0), 0u);
+}
+
+// The preconditions assert in debug builds only (ABENC_ASSERT compiles
+// out under NDEBUG, keeping the constexpr hot paths free).
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+TEST(LowMaskDeathTest, RejectsWidthBeyondTheWord) {
+  EXPECT_DEATH((void)LowMask(65), "width exceeds the 64-bit Word");
+}
+
+TEST(Log2DeathTest, RejectsNonPowersOfTwo) {
+  EXPECT_DEATH((void)Log2(0), "power of two");
+  EXPECT_DEATH((void)Log2(6), "power of two");
+}
+#endif
 
 TEST(HammingDistanceTest, CountsDifferingBitsWithinWidth) {
   EXPECT_EQ(HammingDistance(0b1010, 0b0101, 4), 4);

@@ -39,6 +39,68 @@ TEST(TransitionCounterTest, SkipFirstSuppressesPowerOnCharge) {
   EXPECT_EQ(counter.total(), 4);
 }
 
+// Pins the audited first-cycle convention (see transition_counter.h):
+// the first sample is charged against the implicit all-zero power-on
+// bus, and the charged pattern is whatever the *code* emits first —
+// which is code-dependent, not the raw address.
+TEST(TransitionCounterTest, FirstSampleChargeIsCodeDependent) {
+  CodecOptions options;
+  options.width = 8;
+
+  // Binary emits the first address verbatim: popcount(0xFF) = 8.
+  auto binary = MakeCodec("binary", options);
+  const std::vector<BusAccess> ones = {{0xFF, true}};
+  EXPECT_EQ(Evaluate(*binary, ones, 4, true).transitions, 8);
+
+  // Bus-invert inverts the high-popcount first word: the wire carries
+  // 0x00 with INV asserted, so only the INV line toggles.
+  auto bus_invert = MakeCodec("bus-invert", options);
+  EXPECT_EQ(Evaluate(*bus_invert, ones, 4, true).transitions, 1);
+
+  // INC-XOR transmits b XOR prediction; from reset the prediction is
+  // the stride (4), so address 0 still toggles exactly one line.
+  auto inc_xor = MakeCodec("inc-xor", options);
+  const std::vector<BusAccess> zero = {{0x00, true}};
+  EXPECT_EQ(Evaluate(*inc_xor, zero, 4, true).transitions, 1);
+}
+
+// Short streams are where the first-sample charge is visible: it is
+// bounded by total_lines() once per stream, never compounding.
+TEST(TransitionCounterTest, FirstSampleBiasBoundedOnShortStreams) {
+  TransitionCounter counter(8, 0);
+  counter.Observe({0xF0, 0});  // power-on charge: 4
+  counter.Observe({0xF0, 0});  // steady state: 0
+  counter.Observe({0xF0, 0});
+  EXPECT_EQ(counter.total(), 4);
+
+  TransitionCounter steady(8, 0, /*skip_first=*/true);
+  steady.Observe({0xF0, 0});  // dropped: counting starts here
+  steady.Observe({0xF0, 0});
+  steady.Observe({0xF0, 0});
+  EXPECT_EQ(steady.total(), 0);
+}
+
+// Reset() restores the power-on reference, so the next sample is
+// charged from all-zero again — in both conventions.
+TEST(TransitionCounterTest, PostResetChargesFromPowerOnAgain) {
+  TransitionCounter counter(8, 1);
+  counter.Observe({0x0F, 1});  // 4 data + 1 redundant
+  counter.Observe({0xFF, 0});  // 4 data + 1 redundant
+  counter.Reset();
+  counter.Observe({0x03, 0});
+  EXPECT_EQ(counter.total(), 2);  // vs all-zero, not vs 0xFF
+  EXPECT_EQ(counter.cycles(), 1u);
+  EXPECT_EQ(counter.peak(), 2);
+
+  TransitionCounter skipping(8, 0, /*skip_first=*/true);
+  skipping.Observe({0xFF, 0});  // dropped
+  skipping.Observe({0x0F, 0});  // 4
+  EXPECT_EQ(skipping.total(), 4);
+  skipping.Reset();
+  skipping.Observe({0xFF, 0});  // dropped again after Reset()
+  EXPECT_EQ(skipping.total(), 0);
+}
+
 TEST(TransitionCounterTest, ResetClearsEverything) {
   TransitionCounter counter(8, 1);
   counter.Observe({0xFF, 1});

@@ -1,6 +1,11 @@
 // Tests for the table renderer used by every bench.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "core/stream_evaluator.h"
+#include "report/json_writer.h"
 #include "report/table.h"
 
 namespace abenc {
@@ -48,6 +53,38 @@ TEST(FormattersTest, FixedAndPercent) {
   EXPECT_EQ(FormatPercent(-1.005), "-1.00%");
   EXPECT_EQ(FormatCount(1234567), "1234567");
   EXPECT_EQ(FormatCount(-5), "-5");
+}
+
+TEST(FormattersTest, NaNSavingsRenderAsNotAvailable) {
+  // SavingsPercent's zero-reference sentinel: the tables print "n/a"
+  // instead of the locale-dependent "nan%".
+  EXPECT_EQ(FormatPercent(std::numeric_limits<double>::quiet_NaN()), "n/a");
+}
+
+TEST(JsonWriterTest, NaNSavingsSerializeAsNull) {
+  // The JSON side of the same regression: the savings_percent of a cell
+  // with a zero-transition binary reference must come out as null, and
+  // the document must still parse.
+  Comparison comparison;
+  comparison.codec_names = {"inc-xor"};
+  ComparisonRow row;
+  row.stream_name = "constant";
+  row.binary.transitions = 0;
+  row.binary.stream_length = 16;
+  ComparisonCell cell;
+  cell.result.transitions = 1;
+  cell.result.stream_length = 16;
+  cell.savings_percent = SavingsPercent(1, 0);
+  ASSERT_TRUE(std::isnan(cell.savings_percent));
+  row.cells.push_back(cell);
+  comparison.rows.push_back(row);
+
+  const std::string text = ComparisonToJson(comparison, "regression").Dump();
+  const JsonValue parsed = JsonValue::Parse(text);
+  const JsonValue& json_cell =
+      parsed.At("rows").as_array()[0].At("cells").as_array()[0];
+  EXPECT_TRUE(json_cell.At("savings_percent").is_null());
+  EXPECT_NE(text.find("null"), std::string::npos);
 }
 
 }  // namespace
