@@ -193,6 +193,23 @@ Word BusChannel::Transfer(Word address, bool sel) {
   return decoded;
 }
 
+void BusChannel::ForceResync() {
+  codec_->Reset();
+  fallback_->Reset();
+  ++counters_.resync_beacons;
+  if (metrics_.resync_beacons) metrics_.resync_beacons->Increment();
+}
+
+void BusChannel::ForceFallback() {
+  if (mode_ == ChannelMode::kFallback) return;
+  mode_ = ChannelMode::kFallback;
+  ++counters_.fallbacks;
+  if (metrics_.fallbacks) metrics_.fallbacks->Increment();
+  fallback_->Reset();
+  clean_run_ = 0;
+  recent_detections_.clear();
+}
+
 Word BusChannel::DecodeFrame(const BusState& coded, bool sel) {
   return mode_ == ChannelMode::kActive ? codec_->Decode(coded, sel)
                                        : fallback_->Decode(coded, sel);

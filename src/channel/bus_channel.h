@@ -99,6 +99,22 @@ class BusChannel {
   /// One full bus cycle; returns the receiver's decoded address.
   Word Transfer(Word address, bool sel = true);
 
+  /// Out-of-band resync: both ends drop their codec history immediately,
+  /// exactly as a periodic beacon cycle does, so the next frame travels
+  /// verbatim and any divergence between the two ends dies here. This is
+  /// the recovery primitive a layer above the channel (e.g. the encoding
+  /// service's retry ladder) pulls when it observes a failed delivery.
+  /// Counted with the beacons; counters and fault models are untouched.
+  void ForceResync();
+
+  /// Out-of-band demotion to the binary fallback — graceful degradation
+  /// driven from outside the channel's own recovery machine, e.g. by the
+  /// service layer when a session's codec FSM desynchronizes beyond what
+  /// retries repair. No-op when already in fallback. With
+  /// `enable_recovery` a sustained clean window can still promote the
+  /// channel back; without it the demotion is sticky until Reset().
+  void ForceFallback();
+
   /// Both ends, fault models and counters back to power-on.
   void Reset();
 

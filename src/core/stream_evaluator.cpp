@@ -73,6 +73,50 @@ EvalResult Evaluate(Codec& codec, std::span<const BusAccess> stream,
   return result;
 }
 
+EvalResult EvaluateWithResets(Codec& codec, std::span<const BusAccess> stream,
+                              std::span<const std::size_t> reset_points,
+                              Word stride_for_stats, bool verify_decode) {
+  codec.Reset();
+  TransitionCounter counter(codec.width(), codec.redundant_lines());
+  EvalResult result;
+  result.codec_name = codec.name();
+  result.stream_length = stream.size();
+  result.per_line.assign(codec.width() + codec.redundant_lines(), 0);
+
+  auto fold_segment = [&]() {
+    result.transitions += counter.total();
+    result.peak_transitions =
+        std::max(result.peak_transitions, counter.peak());
+    for (std::size_t line = 0; line < result.per_line.size(); ++line) {
+      result.per_line[line] += counter.per_line()[line];
+    }
+  };
+
+  std::size_t next_reset = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    while (next_reset < reset_points.size() &&
+           reset_points[next_reset] <= i) {
+      if (reset_points[next_reset] == i && i != 0) {
+        fold_segment();
+        codec.Reset();
+        counter.Reset();
+      }
+      ++next_reset;
+    }
+    const BusState state = codec.Encode(stream[i].address, stream[i].sel);
+    counter.Observe(state);
+    if (verify_decode) {
+      const Word decoded = codec.Decode(state, stream[i].sel);
+      const Word expected = stream[i].address & LowMask(codec.width());
+      if (decoded != expected) ThrowDecodeMismatch(codec, decoded, expected);
+    }
+  }
+  fold_segment();
+  result.in_sequence_percent =
+      InSequencePercent(stream, stride_for_stats, codec.width());
+  return result;
+}
+
 EvalResult EvaluateBatched(Codec& codec, const TraceSource& source,
                            Word stride_for_stats, bool verify_decode,
                            std::size_t chunk_size) {

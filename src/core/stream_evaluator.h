@@ -87,6 +87,26 @@ EvalResult EvaluateBatched(Codec& codec, std::span<const BusAccess> stream,
                            bool verify_decode = false,
                            std::size_t chunk_size = 0);
 
+/// Serial reference for accounting across codec-state teardowns: exactly
+/// Evaluate(), except the codec and the power-on transition baseline are
+/// returned to the reset state immediately before each stream index in
+/// `reset_points` (ascending; out-of-range and duplicate points are
+/// no-ops). Segments are therefore independent Evaluate() runs whose
+/// transition totals, per-line histograms and stream lengths sum and
+/// whose peaks max; the in-sequence percentage remains a property of the
+/// whole stream, as in Evaluate().
+///
+/// This is the contract an encoding-service session honours when it is
+/// evicted at index k and later re-admitted (src/service/session.h): by
+/// the reset-replay property (src/verify/properties.h) a freshly
+/// constructed codec encodes identically to a Reset() one, so the
+/// session's lifetime accounting must equal
+/// EvaluateWithResets(stream, {k}).
+EvalResult EvaluateWithResets(Codec& codec, std::span<const BusAccess> stream,
+                              std::span<const std::size_t> reset_points,
+                              Word stride_for_stats = 4,
+                              bool verify_decode = false);
+
 /// Convenience: wrap a pure address sequence (dedicated bus) as BusAccesses.
 std::vector<BusAccess> ToAccesses(std::span<const Word> addresses,
                                   bool sel = true);

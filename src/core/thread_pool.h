@@ -1,4 +1,5 @@
-// Minimal fixed-size worker pool behind the parallel experiment engine.
+// Minimal fixed-size worker pool behind the parallel experiment engine
+// and the encoding service's shard drivers.
 //
 // Deliberately small: a FIFO task queue, `Submit` returning a
 // `std::future` (so exceptions thrown inside a task surface at
@@ -8,8 +9,15 @@
 // submitted task runs exactly once on some worker; callers that need
 // reproducible output write results into pre-allocated slots keyed by
 // submission index (see `RunComparison` in core/experiment.h).
+//
+// For long-running services the drain-on-destruct contract has a failure
+// mode: one hung task blocks destruction forever. `Shutdown(deadline)`
+// bounds that — it drains with a timeout and, on expiry, abandons the
+// stuck workers (detaching them) and discards the unstarted backlog so
+// the destructor can return.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -23,6 +31,12 @@
 
 namespace abenc {
 
+/// Outcome of ThreadPool::Shutdown().
+enum class ShutdownResult : unsigned char {
+  kDrained,   // every task ran; all workers exited within the deadline
+  kTimedOut,  // stuck workers were abandoned; queued tasks were discarded
+};
+
 /// Fixed set of worker threads consuming a FIFO task queue.
 class ThreadPool {
  public:
@@ -30,7 +44,9 @@ class ThreadPool {
   explicit ThreadPool(unsigned workers);
 
   /// Joins after draining the queue: every task submitted before
-  /// destruction runs to completion.
+  /// destruction runs to completion. After a timed-out Shutdown() the
+  /// abandoned workers are already detached and the destructor returns
+  /// immediately.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -52,18 +68,41 @@ class ThreadPool {
     return future;
   }
 
+  /// Timed drain. Stops intake (Submit afterwards throws
+  /// std::logic_error), lets the workers finish the backlog, and waits up
+  /// to `deadline` for all of them to exit.
+  ///
+  /// On kDrained the pool is cleanly stopped and destruction is free. On
+  /// kTimedOut every task still queued is discarded — its future reports
+  /// std::future_error(broken_promise) — and the workers (at least one of
+  /// which is wedged inside a task) are detached, so destruction cannot
+  /// block; the abandoned task keeps running on its detached thread and
+  /// must not touch caller state that dies with the pool's owner — the
+  /// same hazard any deadline-abandonment scheme carries. Pool-internal
+  /// state is shared-owned by the workers and stays valid. Idempotent:
+  /// repeat calls re-wait for still-alive workers.
+  ShutdownResult Shutdown(std::chrono::milliseconds deadline);
+
   /// `std::thread::hardware_concurrency()`, never reported as 0.
   static unsigned DefaultParallelism();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  /// Queue state shared with the workers, so threads abandoned by a
+  /// timed-out Shutdown() can finish their loop after the pool is gone.
+  struct State {
+    std::mutex mutex;
+    std::condition_variable work_available;
+    std::condition_variable worker_exited;
+    std::queue<std::function<void()>> tasks;
+    bool stopping = false;
+    unsigned alive = 0;
+  };
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::queue<std::function<void()>> tasks_;
+  void Enqueue(std::function<void()> task);
+  static void WorkerLoop(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
 };
 
 }  // namespace abenc

@@ -57,6 +57,16 @@ class Gauge {
                                          std::memory_order_relaxed)) {
     }
   }
+  /// High-watermark update: raises the gauge to `value` iff it is above
+  /// the current reading (lock-free CAS). For depth/backlog watermarks
+  /// written from many threads, e.g. `service.queue.high_watermark`.
+  void UpdateMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

@@ -1,0 +1,239 @@
+#include "service/service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abenc::service {
+
+EncodingService::EncodingService(ServiceConfig config)
+    : config_(std::move(config)), metrics_(ServiceMetrics::Resolve()) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("EncodingService: shards must be nonzero");
+  }
+  const Shard::Policy policy{config_.drain_batch, config_.idle_evict_steps};
+  shards_.reserve(config_.shards);
+  for (unsigned i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, policy, &metrics_));
+  }
+  if (config_.start_drivers) {
+    const unsigned workers = config_.parallelism != 0
+                                 ? config_.parallelism
+                                 : ThreadPool::DefaultParallelism();
+    pool_ = std::make_unique<ThreadPool>(workers);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      pool_->Submit([this, i]() { DriveShard(i); });
+    }
+    if (config_.enable_watchdog) {
+      watchdog_ = std::thread([this]() { WatchdogLoop(); });
+    }
+  }
+}
+
+EncodingService::~EncodingService() { Stop(); }
+
+std::uint64_t EncodingService::OpenSession() {
+  return OpenSession(config_.session);
+}
+
+std::uint64_t EncodingService::OpenSession(
+    const SessionConfig& session_config) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const std::uint64_t id = next_session_id_++;
+  auto session = std::make_shared<Session>(id, session_config, &metrics_);
+  // Round-robin placement over live shards; a dead shard never gets new
+  // sessions.
+  for (std::size_t probe = 0; probe < shards_.size(); ++probe) {
+    Shard& shard = *shards_[next_shard_++ % shards_.size()];
+    if (!shard.dead()) {
+      shard.Add(session);
+      sessions_.emplace(id, std::move(session));
+      Bump(metrics_.sessions_opened);
+      return id;
+    }
+  }
+  throw std::runtime_error("EncodingService: every shard has failed");
+}
+
+namespace {
+
+std::shared_ptr<Session> FindSession(
+    const std::map<std::uint64_t, std::shared_ptr<Session>>& sessions,
+    std::uint64_t id, std::mutex& mutex) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = sessions.find(id);
+  if (it == sessions.end()) {
+    throw std::out_of_range("EncodingService: unknown session id " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Admission EncodingService::Submit(std::uint64_t session_id,
+                                  std::span<const BusAccess> batch) {
+  return FindSession(sessions_, session_id, sessions_mutex_)->Submit(batch);
+}
+
+void EncodingService::CloseSession(std::uint64_t session_id) {
+  FindSession(sessions_, session_id, sessions_mutex_)->CloseInput();
+}
+
+bool EncodingService::EvictSession(std::uint64_t session_id) {
+  return FindSession(sessions_, session_id, sessions_mutex_)->Evict();
+}
+
+SessionReport EncodingService::Report(std::uint64_t session_id) const {
+  return FindSession(sessions_, session_id, sessions_mutex_)->Report();
+}
+
+std::vector<SessionReport> EncodingService::ReportAll() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  std::vector<SessionReport> reports;
+  reports.reserve(sessions.size());
+  for (const std::shared_ptr<Session>& session : sessions) {
+    reports.push_back(session->Report());
+  }
+  return reports;
+}
+
+std::size_t EncodingService::total_queued() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  std::size_t total = 0;
+  for (const std::shared_ptr<Session>& session : sessions) {
+    total += session->queued();
+  }
+  return total;
+}
+
+bool EncodingService::Drain(std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    if (total_queued() == 0) return true;
+    if (std::chrono::steady_clock::now() >= until) {
+      return total_queued() == 0;
+    }
+    if (!config_.start_drivers) {
+      StepAll();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+ShutdownResult EncodingService::Stop(std::chrono::milliseconds deadline) {
+  if (stopped_) return ShutdownResult::kDrained;
+  stopping_.store(true, std::memory_order_release);
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  ShutdownResult result = ShutdownResult::kDrained;
+  if (pool_) {
+    result = pool_->Shutdown(deadline);
+    if (result == ShutdownResult::kDrained) pool_.reset();
+    // On kTimedOut the pool object is kept alive (its workers were
+    // detached and share its internal state); destroying the service is
+    // then safe, but the wedged task itself must not touch the service
+    // after that — the caller unwedges or leaks it, as with any
+    // deadline-abandonment scheme.
+  }
+  stopped_ = true;
+  return result;
+}
+
+void EncodingService::StepAll() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->dead()) shard->Step();
+  }
+}
+
+void EncodingService::DriveShard(std::size_t index) {
+  Shard& shard = *shards_[index];
+  if (stopping_.load(std::memory_order_acquire) || shard.dead()) return;
+  bool worked = false;
+  try {
+    worked = shard.Step();
+  } catch (...) {
+    // A shard pass must never take the pool down; count and carry on.
+    Bump(metrics_.shard_errors);
+  }
+  if (stopping_.load(std::memory_order_acquire) || shard.dead()) return;
+  if (!worked) std::this_thread::sleep_for(config_.idle_backoff);
+  try {
+    pool_->Submit([this, index]() { DriveShard(index); });
+  } catch (const std::logic_error&) {
+    // Shutdown began between the check above and the re-submit; done.
+  }
+}
+
+void EncodingService::WatchdogLoop() {
+  std::vector<std::uint64_t> last_beat(shards_.size(), 0);
+  std::vector<unsigned> strikes(shards_.size(), 0);
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_interval, [this]() {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) return;
+    Bump(metrics_.watchdog_checks);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      if (shard.dead()) continue;
+      const std::uint64_t beat = shard.heartbeat();
+      if (beat != last_beat[i]) {
+        last_beat[i] = beat;
+        strikes[i] = 0;
+        continue;
+      }
+      if (shard.pending() == 0) {
+        strikes[i] = 0;  // frozen but idle: nothing to miss
+        continue;
+      }
+      if (++strikes[i] >= config_.watchdog_stuck_strikes) {
+        // Never fail over the last live shard: a starved-but-alive
+        // shard will eventually drain, whereas killing it would strand
+        // every session on a dead shard and deadlock Drain().
+        unsigned live = 0;
+        for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+          if (!shard_ptr->dead()) ++live;
+        }
+        if (live > 1) FailOver(i);
+        strikes[i] = 0;
+      }
+    }
+  }
+}
+
+void EncodingService::FailOver(std::size_t index) {
+  Shard& stuck = *shards_[index];
+  stuck.MarkDead();  // fence: a resuming zombie Step() exits untouched
+  std::vector<std::shared_ptr<Session>> orphans = stuck.TakeAll();
+  // Migrate to the surviving shards, round-robin. With no survivor the
+  // sessions are parked back on the dead shard: nothing will drain them,
+  // but Report()/Submit() still work and Stop() stays bounded.
+  std::vector<Shard*> alive;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->dead()) alive.push_back(shard.get());
+  }
+  std::size_t target = 0;
+  for (std::shared_ptr<Session>& orphan : orphans) {
+    if (alive.empty()) {
+      stuck.Add(std::move(orphan));
+    } else {
+      alive[target++ % alive.size()]->Add(std::move(orphan));
+    }
+  }
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  Bump(metrics_.watchdog_failovers);
+}
+
+}  // namespace abenc::service

@@ -1,0 +1,284 @@
+#include "service/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace abenc::service {
+
+std::string AdmissionName(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kSlowDown: return "slow-down";
+    case Admission::kRejected: return "rejected";
+    case Admission::kClosed:   return "closed";
+  }
+  return "?";
+}
+
+std::string SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kActive:  return "active";
+    case SessionState::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+ServiceMetrics ServiceMetrics::Resolve() {
+  ServiceMetrics m;
+  obs::MetricsRegistry* registry = obs::Installed();
+  if (registry == nullptr) return m;
+  m.sessions_opened = &registry->GetCounter("service.sessions.opened");
+  m.sessions_closed = &registry->GetCounter("service.sessions.closed");
+  m.sessions_evicted = &registry->GetCounter("service.sessions.evicted");
+  m.sessions_readmitted =
+      &registry->GetCounter("service.sessions.readmitted");
+  m.sessions_degraded = &registry->GetCounter("service.sessions.degraded");
+  m.submitted_accesses =
+      &registry->GetCounter("service.submit.accepted_accesses");
+  m.slowdown_batches =
+      &registry->GetCounter("service.submit.slowdown_batches");
+  m.rejected_batches =
+      &registry->GetCounter("service.submit.rejected_batches");
+  m.processed_accesses = &registry->GetCounter("service.processed_accesses");
+  m.transfers_clean = &registry->GetCounter("service.transfers.clean");
+  m.transfers_corrected =
+      &registry->GetCounter("service.transfers.corrected");
+  m.transfers_recovered =
+      &registry->GetCounter("service.transfers.recovered");
+  m.transfers_degraded = &registry->GetCounter("service.transfers.degraded");
+  m.retries = &registry->GetCounter("service.recovery.retries");
+  m.forced_resyncs = &registry->GetCounter("service.recovery.forced_resyncs");
+  m.shard_steps = &registry->GetCounter("service.shard.steps");
+  m.shard_errors = &registry->GetCounter("service.shard.errors");
+  m.watchdog_checks = &registry->GetCounter("service.watchdog.checks");
+  m.watchdog_failovers = &registry->GetCounter("service.watchdog.failovers");
+  m.queue_high_watermark =
+      &registry->GetGauge("service.queue.high_watermark");
+  return m;
+}
+
+Session::Session(std::uint64_t id, SessionConfig config,
+                 const ServiceMetrics* metrics)
+    : id_(id),
+      config_(std::move(config)),
+      metrics_(metrics),
+      mask_(LowMask(config_.codec_options.width)) {
+  acc_codec_ = MakeCodec(config_.codec_name, config_.codec_options);
+  counter_.emplace(acc_codec_->width(), acc_codec_->redundant_lines());
+  folded_.codec_name = acc_codec_->name();
+  folded_.per_line.assign(
+      acc_codec_->width() + acc_codec_->redundant_lines(), 0);
+  BuildTransport();
+}
+
+void Session::BuildTransport() {
+  ChannelConfig channel_config;
+  channel_config.codec_name = config_.codec_name;
+  channel_config.codec_options = config_.codec_options;
+  channel_config.protection = config_.protection;
+  channel_config.resync_period = config_.resync_period;
+  channel_config.enable_recovery = config_.channel_recovery;
+  channel_ = std::make_unique<BusChannel>(channel_config);
+  if (config_.fault_installer) config_.fault_installer(*channel_);
+  degraded_ = false;
+}
+
+Admission Session::Submit(std::span<const BusAccess> batch) {
+  if (batch.empty()) return Admission::kAccepted;
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (input_closed_) return Admission::kClosed;
+  if (queue_.size() + batch.size() > config_.queue_capacity) {
+    ++rejected_batches_;
+    Bump(metrics_->rejected_batches);
+    return Admission::kRejected;
+  }
+  queue_.insert(queue_.end(), batch.begin(), batch.end());
+  queued_.fetch_add(batch.size(), std::memory_order_release);
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  Bump(metrics_->submitted_accesses, batch.size());
+  if (metrics_->queue_high_watermark) {
+    metrics_->queue_high_watermark->UpdateMax(
+        static_cast<double>(queue_.size()));
+  }
+  if (queue_.size() > config_.slowdown_watermark) {
+    Bump(metrics_->slowdown_batches);
+    return Admission::kSlowDown;
+  }
+  return Admission::kAccepted;
+}
+
+void Session::CloseInput() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (!input_closed_) {
+    input_closed_ = true;
+    Bump(metrics_->sessions_closed);
+  }
+}
+
+std::size_t Session::DrainStep(std::size_t max_accesses) {
+  std::lock_guard<std::mutex> drain(drain_mutex_);
+  scratch_.clear();
+  {
+    std::lock_guard<std::mutex> queue(queue_mutex_);
+    if (queue_.empty()) {
+      idle_steps_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    const std::size_t n = std::min(max_accesses, queue_.size());
+    scratch_.assign(queue_.begin(),
+                    queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  idle_steps_.store(0, std::memory_order_relaxed);
+  if (state_ == SessionState::kEvicted) Readmit();
+  for (const BusAccess& access : scratch_) ProcessOne(access);
+  Bump(metrics_->processed_accesses, scratch_.size());
+  queued_.fetch_sub(scratch_.size(), std::memory_order_release);
+  return scratch_.size();
+}
+
+void Session::ProcessOne(const BusAccess& access) {
+  // Accounting: the transmitter-side FSM, exactly as Evaluate() runs it.
+  const BusState state = acc_codec_->Encode(access.address, access.sel);
+  counter_->Observe(state);
+  if (has_prev_ &&
+      (access.address & mask_) ==
+          ((prev_address_ + config_.stride_for_stats) & mask_)) {
+    ++in_seq_;
+  }
+  prev_address_ = access.address;
+  has_prev_ = true;
+  processed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Delivery over the faultable transport, then the recovery ladder.
+  const Word expected = access.address & mask_;
+  Word got = channel_->Transfer(access.address, access.sel);
+  const bool flagged = channel_->last_cycle_flagged();
+  ++transport_.transfers;
+  if (got == expected) {
+    if (flagged) {
+      ++transport_.corrected;
+      Bump(metrics_->transfers_corrected);
+    } else {
+      ++transport_.clean;
+      Bump(metrics_->transfers_clean);
+    }
+    return;
+  }
+  if (!degraded_) {
+    for (unsigned attempt = 0; attempt < config_.max_retries; ++attempt) {
+      ++transport_.retries;
+      Bump(metrics_->retries);
+      if (attempt > 0) {
+        // Attempt-scaled backoff: a real deployment would pace resends
+        // to let a transient disturbance die out.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(1u << std::min(attempt, 6u)));
+      }
+      channel_->ForceResync();
+      ++transport_.forced_resyncs;
+      Bump(metrics_->forced_resyncs);
+      got = channel_->Transfer(access.address, access.sel);
+      if (got == expected) {
+        ++transport_.recovered;
+        Bump(metrics_->transfers_recovered);
+        return;
+      }
+    }
+    // Retries cannot heal this channel (a hard fault): degrade the
+    // transport to stateless binary so each further fault costs one
+    // address instead of a history smear.
+    degraded_ = true;
+    ever_degraded_ = true;
+    channel_->ForceFallback();
+    Bump(metrics_->sessions_degraded);
+  }
+  ++transport_.degraded_deliveries;
+  Bump(metrics_->transfers_degraded);
+}
+
+bool Session::Evict() {
+  std::lock_guard<std::mutex> drain(drain_mutex_);
+  std::lock_guard<std::mutex> queue(queue_mutex_);
+  if (state_ != SessionState::kActive || !queue_.empty()) return false;
+  FoldSegment();
+  reset_points_.push_back(
+      static_cast<std::size_t>(processed_.load(std::memory_order_relaxed)));
+  acc_codec_.reset();
+  channel_.reset();
+  state_ = SessionState::kEvicted;
+  Bump(metrics_->sessions_evicted);
+  return true;
+}
+
+void Session::Readmit() {
+  // drain_mutex_ held. A fresh FSM encodes exactly like a Reset() one
+  // (the reset-replay property), so accounting from here on is the next
+  // EvaluateWithResets() segment.
+  acc_codec_ = MakeCodec(config_.codec_name, config_.codec_options);
+  counter_->Reset();
+  BuildTransport();
+  {
+    std::lock_guard<std::mutex> queue(queue_mutex_);
+    state_ = SessionState::kActive;
+  }
+  ++readmissions_;
+  Bump(metrics_->sessions_readmitted);
+}
+
+void Session::FoldSegment() {
+  folded_.transitions += counter_->total();
+  folded_.peak_transitions =
+      std::max(folded_.peak_transitions, counter_->peak());
+  const std::vector<long long>& segment = counter_->per_line();
+  for (std::size_t line = 0; line < folded_.per_line.size(); ++line) {
+    folded_.per_line[line] += segment[line];
+  }
+  counter_->Reset();
+}
+
+SessionState Session::state() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return state_;
+}
+
+SessionReport Session::Report() const {
+  std::lock_guard<std::mutex> drain(drain_mutex_);
+  std::lock_guard<std::mutex> queue(queue_mutex_);
+  SessionReport report;
+  report.id = id_;
+  report.codec_name = folded_.codec_name;
+  report.state = state_;
+  report.input_closed = input_closed_;
+  report.degraded = ever_degraded_;
+  report.transport = transport_;
+  report.reset_points = reset_points_;
+  report.readmissions = readmissions_;
+  report.rejected_batches = rejected_batches_;
+  report.peak_queue_depth = peak_queue_depth_;
+
+  EvalResult result = folded_;
+  if (counter_) {
+    result.transitions += counter_->total();
+    result.peak_transitions =
+        std::max(result.peak_transitions, counter_->peak());
+    const std::vector<long long>& segment = counter_->per_line();
+    for (std::size_t line = 0; line < result.per_line.size(); ++line) {
+      result.per_line[line] += segment[line];
+    }
+  }
+  const std::uint64_t processed =
+      processed_.load(std::memory_order_relaxed);
+  result.stream_length = static_cast<std::size_t>(processed);
+  result.in_sequence_percent =
+      processed < 2 ? 0.0
+                    : 100.0 * static_cast<double>(in_seq_) /
+                          static_cast<double>(processed - 1);
+  report.result = std::move(result);
+  return report;
+}
+
+}  // namespace abenc::service

@@ -116,6 +116,26 @@ AddressTrace ReadBinaryTrace(std::istream& in, std::string name) {
     trace.Append(address, kind == 0 ? AccessKind::kInstruction
                                     : AccessKind::kData);
   }
+  // A well-formed file ends exactly after the declared entries. Bytes
+  // past that point are a truncated final record — a writer that died
+  // mid-append after stamping a stale count — or trailing garbage;
+  // either way silently dropping them would hide real corruption, so
+  // probe for one extra entry's worth and reject.
+  std::array<char, kEntryBytes> tail{};
+  in.read(tail.data(), tail.size());
+  const std::streamsize extra = in.gcount();
+  if (extra > 0) {
+    const std::uint64_t end_offset = 16 + count * kEntryBytes;
+    if (extra < static_cast<std::streamsize>(kEntryBytes) && in.eof()) {
+      Fail("truncated final record: " + std::to_string(extra) +
+           " stray byte(s) after the " + std::to_string(count) +
+           " declared entries (byte offset " + std::to_string(end_offset) +
+           ")");
+    }
+    Fail("trailing data after the " + std::to_string(count) +
+         " declared entries (byte offset " + std::to_string(end_offset) +
+         ")");
+  }
   return trace;
 }
 

@@ -21,7 +21,9 @@ AddressTrace ReadTextTrace(std::istream& in, std::string name = "");
 
 /// Binary format: 8-byte magic "ABENCTR1", uint64 count, then per entry a
 /// uint64 address and a uint8 kind. Little-endian, host-order (the format
-/// is a cache, not an interchange standard).
+/// is a cache, not an interchange standard). The reader rejects files
+/// with bytes beyond the declared entries — a truncated final record or
+/// trailing garbage — with a byte-offset error rather than dropping them.
 void WriteBinaryTrace(std::ostream& out, const AddressTrace& trace);
 AddressTrace ReadBinaryTrace(std::istream& in, std::string name = "");
 

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -168,6 +172,61 @@ TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
 
 TEST(ThreadPoolTest, DefaultParallelismIsPositive) {
   EXPECT_GE(ThreadPool::DefaultParallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsTheBacklogWithinDeadline) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(pool.Shutdown(std::chrono::milliseconds(10000)),
+            ShutdownResult::kDrained);
+  EXPECT_EQ(counter.load(), 64);
+  // Idempotent after a clean drain.
+  EXPECT_EQ(pool.Shutdown(std::chrono::milliseconds(1)),
+            ShutdownResult::kDrained);
+}
+
+TEST(ThreadPoolTest, ShutdownAbandonsAStuckTaskAndDiscardsQueue) {
+  // The satellite contract: one hung task must not block destruction.
+  // The gate lives in a shared_ptr because the stuck task outlives the
+  // pool (it is detached at the deadline) and must not touch test-frame
+  // state after we move on.
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  std::future<void> stuck;
+  std::future<int> queued;
+  {
+    ThreadPool pool(1);
+    stuck = pool.Submit([gate]() {
+      std::unique_lock<std::mutex> lock(gate->mutex);
+      gate->cv.wait(lock, [&]() { return gate->open; });
+    });
+    queued = pool.Submit([]() { return 42; });  // never starts
+    EXPECT_EQ(pool.Shutdown(std::chrono::milliseconds(50)),
+              ShutdownResult::kTimedOut);
+    // Intake is closed for good.
+    EXPECT_THROW(pool.Submit([]() { return 0; }), std::logic_error);
+    // The destructor must now return immediately despite the wedged
+    // worker — that is the whole point of the timed drain.
+  }
+  // The discarded task's future reports the broken promise rather than
+  // hanging its waiter.
+  EXPECT_THROW(queued.get(), std::future_error);
+  // Unwedge the abandoned task; its future completes normally because
+  // the packaged task's shared state outlives the pool.
+  {
+    std::lock_guard<std::mutex> lock(gate->mutex);
+    gate->open = true;
+  }
+  gate->cv.notify_all();
+  EXPECT_EQ(stuck.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
 }
 
 TEST(JsonWriterTest, ComparisonRoundTripsThroughParseExactly) {

@@ -317,6 +317,47 @@ TEST(TraceIoTest, CorruptedBinaryInputsThrowWithByteOffsets) {
             std::string::npos);
 }
 
+TEST(TraceIoTest, BinaryReaderRejectsACorruptedTail) {
+  // Regression: bytes past the declared entry count used to be silently
+  // ignored, hiding a writer that died mid-append after stamping a stale
+  // count. The reader must reject both a partial trailing record and
+  // whole undeclared records, naming the byte offset where the declared
+  // data ends.
+  AddressTrace t;
+  t.Append(0x400000, AccessKind::kInstruction);
+  t.Append(0x400004, AccessKind::kData);
+  std::stringstream buffer;
+  WriteBinaryTrace(buffer, t);
+  const std::string good = buffer.str();  // 16-byte header + 2 * 9 bytes
+
+  auto message_of = [](const std::string& bytes) -> std::string {
+    std::stringstream in(bytes);
+    try {
+      ReadBinaryTrace(in);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // A truncated final record: three stray bytes of a third entry.
+  const std::string partial_tail = good + std::string(3, '\x5a');
+  const std::string partial_message = message_of(partial_tail);
+  EXPECT_NE(partial_message.find("truncated final record"),
+            std::string::npos);
+  EXPECT_NE(partial_message.find("byte offset 34"), std::string::npos);
+
+  // A whole undeclared record (or more) is trailing data all the same.
+  const std::string full_tail = good + std::string(9, '\x5a');
+  const std::string full_message = message_of(full_tail);
+  EXPECT_NE(full_message.find("trailing data"), std::string::npos);
+  EXPECT_NE(full_message.find("byte offset 34"), std::string::npos);
+
+  // The uncorrupted trace still round-trips.
+  std::stringstream clean(good);
+  EXPECT_EQ(ReadBinaryTrace(clean).entries(), t.entries());
+}
+
 TEST(TraceIoTest, TextParsersRejectTrailingGarbageInAddresses) {
   std::stringstream text("I 0x100junk\n");
   EXPECT_THROW(ReadTextTrace(text), std::runtime_error);
