@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/codec.h"
+#include "core/simd/kernel_dispatch.h"
 
 namespace abenc {
 
@@ -19,14 +20,20 @@ class BinaryCodec final : public Codec {
     return BusState{Mask(address), 0};
   }
 
-  // Devirtualized kernel: one masked store per access, no per-word
-  // dispatch. Stateless, so chunk boundaries cannot matter.
+  // Devirtualized block kernel, routed through the active SIMD backend
+  // (core/simd/kernel_dispatch.h). Stateless, so chunk boundaries
+  // cannot matter.
   void EncodeBlock(std::span<const BusAccess> in,
                    std::span<BusState> out) override {
-    const Word mask = LowMask(width());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      out[i] = BusState{in[i].address & mask, 0};
-    }
+    if (in.empty()) return;
+    simd::ActiveKernels().binary(simd::ViewAddresses(in.data()), in.size(),
+                                 LowMask(width()), out.data());
+  }
+  void EncodeColumns(const Word* addresses, const std::uint8_t* /*sel*/,
+                     std::size_t n, std::span<BusState> out) override {
+    if (n == 0) return;
+    simd::ActiveKernels().binary(simd::AddressView{addresses, 1}, n,
+                                 LowMask(width()), out.data());
   }
   Word Decode(const BusState& bus, bool /*sel*/) override {
     return Mask(bus.lines);

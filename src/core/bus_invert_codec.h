@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/codec.h"
+#include "core/simd/kernel_dispatch.h"
 
 namespace abenc {
 
@@ -74,10 +75,12 @@ class BusInvertCodec final : public Codec {
     return out;
   }
 
-  // Devirtualized kernel. The common single-partition configuration —
-  // every row of the paper's tables — gets a dedicated branch with the
-  // majority decision inlined; multi-partition slices reuse the
-  // per-word member logic without the per-word virtual dispatch.
+  // Devirtualized block kernel. The common single-partition
+  // configuration — every row of the paper's tables — goes through the
+  // dispatch table (where every backend keeps the scalar majority
+  // recurrence: the decision feeds one cycle's popcount into the next
+  // and does not vectorize); multi-partition slices reuse the per-word
+  // member logic without the per-word virtual dispatch.
   void EncodeBlock(std::span<const BusAccess> in,
                    std::span<BusState> out) override {
     if (partitions_ != 1) {
@@ -86,21 +89,23 @@ class BusInvertCodec final : public Codec {
       }
       return;
     }
-    const Word mask = LowMask(width());
-    const int threshold = static_cast<int>(width());
-    BusState prev = prev_;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const Word cand = in[i].address & mask;
-      const int h = PopCount(prev.lines ^ cand) +
-                    static_cast<int>(prev.redundant & 1);
-      if (2 * h > threshold) {
-        prev = BusState{~cand & mask, 1};
-      } else {
-        prev = BusState{cand, 0};
-      }
-      out[i] = prev;
+    if (in.empty()) return;
+    simd::ActiveKernels().bus_invert(simd::ViewAddresses(in.data()),
+                                     in.size(), LowMask(width()),
+                                     static_cast<int>(width()), &prev_,
+                                     out.data());
+  }
+  void EncodeColumns(const Word* addresses, const std::uint8_t* sel,
+                     std::size_t n, std::span<BusState> out) override {
+    if (partitions_ != 1) {
+      Codec::EncodeColumns(addresses, sel, n, out);
+      return;
     }
-    prev_ = prev;
+    if (n == 0) return;
+    simd::ActiveKernels().bus_invert(simd::AddressView{addresses, 1}, n,
+                                     LowMask(width()),
+                                     static_cast<int>(width()), &prev_,
+                                     out.data());
   }
 
   Word Decode(const BusState& bus, bool /*sel*/) override {

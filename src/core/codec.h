@@ -70,6 +70,21 @@ class Codec {
     }
   }
 
+  /// Encode a block presented as raw columns — the zero-copy trace path
+  /// of EvaluateBatched (see core/trace_source.h TraceColumns and
+  /// trace/mmap_trace.h). `addresses[i]` and `sel[i]` (nonzero = SEL
+  /// asserted / instruction slot) describe access i; `out` must hold at
+  /// least `n` entries. Same bit-identity contract as EncodeBlock. The
+  /// base implementation loops the virtual Encode; kernel-backed codecs
+  /// override it to feed the columnar buffers straight into the
+  /// dispatch kernels without materializing BusAccess records.
+  virtual void EncodeColumns(const Word* addresses, const std::uint8_t* sel,
+                             std::size_t n, std::span<BusState> out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Encode(addresses[i], sel[i] != 0);
+    }
+  }
+
   /// Decode the next bus state of the stream. SEL must match the value the
   /// encoder saw in the same cycle (it travels on the bus, per the paper).
   virtual Word Decode(const BusState& bus, bool sel) = 0;

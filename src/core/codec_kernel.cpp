@@ -1,31 +1,17 @@
 #include "core/codec_kernel.h"
 
+#include "core/simd/kernel_dispatch.h"
+
 namespace abenc {
 
 void BlockTransitionAccumulator::Consume(std::span<const BusState> block) {
-  BusState prev = prev_;
-  long long total = total_;
-  int peak = peak_;
-  for (const BusState& state : block) {
-    Word diff = (prev.lines ^ state.lines) & data_mask_;
-    Word rdiff = (prev.redundant ^ state.redundant) & redundant_mask_;
-    const int this_cycle = PopCount(diff) + PopCount(rdiff);
-    total += this_cycle;
-    if (this_cycle > peak) peak = this_cycle;
-    // Per-line histogram: only the toggled lines are visited.
-    while (diff != 0) {
-      ++per_line_[static_cast<unsigned>(std::countr_zero(diff))];
-      diff &= diff - 1;
-    }
-    while (rdiff != 0) {
-      ++per_line_[width_ + static_cast<unsigned>(std::countr_zero(rdiff))];
-      rdiff &= rdiff - 1;
-    }
-    prev = state;
-  }
-  prev_ = prev;
-  total_ = total;
-  peak_ = peak;
+  if (block.empty()) return;
+  // The XOR+popcount sweep runs on the active SIMD backend; every
+  // backend is bit-identical to the scalar reference by contract (the
+  // `kernel-dispatch-identity` verify property).
+  simd::ActiveKernels().sweep(block.data(), block.size(), data_mask_,
+                              redundant_mask_, width_, &prev_, &total_,
+                              &peak_, per_line_.data());
   cycles_ += block.size();
 }
 

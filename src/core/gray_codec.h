@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/codec.h"
+#include "core/simd/kernel_dispatch.h"
 
 namespace abenc {
 
@@ -33,23 +34,27 @@ class GrayCodec final : public Codec {
     return BusState{Mask((BinaryToGray(word_part) << shift_) | low), 0};
   }
 
-  // Devirtualized kernel. The masks are hoisted into locals (a member
-  // read per iteration would keep the loop from vectorizing — the
-  // compiler cannot prove the output span does not alias *this), and
-  // the shift pair is folded away: with b pre-masked,
+  // Devirtualized block kernel, routed through the active SIMD backend.
+  // The shift pair is folded into a mask pair: with b pre-masked,
   //   (BinaryToGray(b >> s) << s) | (b & low)  ==
   //   (BinaryToGray(b) & ~low) | (b & low)
   // because (b >> s) ^ (b >> (s+1)) re-shifted left by s is just
   // b ^ (b >> 1) with the low s bits cleared. Stateless, like Encode.
   void EncodeBlock(std::span<const BusAccess> in,
                    std::span<BusState> out) override {
+    if (in.empty()) return;
     const Word mask = LowMask(width());
     const Word low_mask = LowMask(shift_);
-    const Word high_mask = mask & ~low_mask;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const Word b = in[i].address & mask;
-      out[i] = BusState{(BinaryToGray(b) & high_mask) | (b & low_mask), 0};
-    }
+    simd::ActiveKernels().gray(simd::ViewAddresses(in.data()), in.size(),
+                               mask, low_mask, mask & ~low_mask, out.data());
+  }
+  void EncodeColumns(const Word* addresses, const std::uint8_t* /*sel*/,
+                     std::size_t n, std::span<BusState> out) override {
+    if (n == 0) return;
+    const Word mask = LowMask(width());
+    const Word low_mask = LowMask(shift_);
+    simd::ActiveKernels().gray(simd::AddressView{addresses, 1}, n, mask,
+                               low_mask, mask & ~low_mask, out.data());
   }
 
   Word Decode(const BusState& bus, bool /*sel*/) override {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/codec.h"
+#include "core/simd/kernel_dispatch.h"
 
 namespace abenc {
 
@@ -37,23 +38,22 @@ class IncXorCodec final : public Codec {
     return BusState{enc_prev_bus_, 0};
   }
 
-  // Devirtualized kernel: the transition-signalling recurrence with the
-  // encoder registers held in locals for the whole block.
+  // Devirtualized block kernel, routed through the active SIMD backend
+  // (the AVX2 table turns the running XOR into an in-register
+  // prefix-XOR); the encoder registers carry across calls.
   void EncodeBlock(std::span<const BusAccess> in,
                    std::span<BusState> out) override {
-    const Word mask = LowMask(width());
-    const Word stride = stride_;
-    Word prev_addr = enc_prev_addr_;
-    Word prev_bus = enc_prev_bus_;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const Word b = in[i].address & mask;
-      const Word prediction = (prev_addr + stride) & mask;
-      prev_bus = (prev_bus ^ (b ^ prediction)) & mask;
-      prev_addr = b;
-      out[i] = BusState{prev_bus, 0};
-    }
-    enc_prev_addr_ = prev_addr;
-    enc_prev_bus_ = prev_bus;
+    if (in.empty()) return;
+    simd::ActiveKernels().inc_xor(simd::ViewAddresses(in.data()), in.size(),
+                                  LowMask(width()), stride_, &enc_prev_addr_,
+                                  &enc_prev_bus_, out.data());
+  }
+  void EncodeColumns(const Word* addresses, const std::uint8_t* /*sel*/,
+                     std::size_t n, std::span<BusState> out) override {
+    if (n == 0) return;
+    simd::ActiveKernels().inc_xor(simd::AddressView{addresses, 1}, n,
+                                  LowMask(width()), stride_, &enc_prev_addr_,
+                                  &enc_prev_bus_, out.data());
   }
 
   Word Decode(const BusState& bus, bool /*sel*/) override {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/codec.h"
+#include "core/simd/kernel_dispatch.h"
 
 namespace abenc {
 
@@ -27,19 +28,20 @@ class OffsetCodec final : public Codec {
     return BusState{delta, 0};
   }
 
-  // Devirtualized kernel: encoder-side b(t-1) carried in a register
-  // across the loop and written back once, so chunked encoding chains
-  // bit-identically with the per-word path.
+  // Devirtualized block kernel, routed through the active SIMD backend:
+  // encoder-side b(t-1) is carried in *enc_prev_ across calls, so
+  // chunked encoding chains bit-identically with the per-word path.
   void EncodeBlock(std::span<const BusAccess> in,
                    std::span<BusState> out) override {
-    const Word mask = LowMask(width());
-    Word prev = enc_prev_;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const Word b = in[i].address & mask;
-      out[i] = BusState{(b - prev) & mask, 0};
-      prev = b;
-    }
-    enc_prev_ = prev;
+    if (in.empty()) return;
+    simd::ActiveKernels().offset(simd::ViewAddresses(in.data()), in.size(),
+                                 LowMask(width()), &enc_prev_, out.data());
+  }
+  void EncodeColumns(const Word* addresses, const std::uint8_t* /*sel*/,
+                     std::size_t n, std::span<BusState> out) override {
+    if (n == 0) return;
+    simd::ActiveKernels().offset(simd::AddressView{addresses, 1}, n,
+                                 LowMask(width()), &enc_prev_, out.data());
   }
 
   Word Decode(const BusState& bus, bool /*sel*/) override {

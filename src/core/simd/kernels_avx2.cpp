@@ -1,0 +1,399 @@
+// AVX2 kernels: four 64-bit lanes per vector.
+//
+// This translation unit is the only one compiled with -mavx2 (a
+// per-file property in src/core/CMakeLists.txt — a global arch flag
+// would let the compiler sprinkle AVX2 into code that runs before the
+// dispatcher has probed the CPU). kernel_dispatch guarantees these
+// functions are reached only on hosts that report the extension.
+//
+// Layout notes. BusAccess and BusState are both 16 bytes (two Words),
+// so a group of four records spans two 256-bit vectors. Addresses are
+// gathered with unpack+permute (step 2) or a plain load (step 1, the
+// columnar mmap path); encoded {lines, redundant} pairs are scattered
+// back with the inverse shuffle. Serial recurrences (offset's b(t-1),
+// INC-XOR's running XOR) become a lane shift with a scalar carry-in;
+// bus-invert's majority decision feeds back through a popcount and
+// stays scalar in this table too — documented, not hidden.
+#include <immintrin.h>
+
+#include <bit>
+
+#include "core/simd/kernels.h"
+
+#if !defined(ABENC_HAVE_AVX2)
+#error "kernels_avx2.cpp requires ABENC_HAVE_AVX2 (see src/core/CMakeLists)"
+#endif
+
+namespace abenc::simd {
+namespace {
+
+constexpr std::size_t kLanes = 4;
+
+// Four consecutive addresses from either stride (see AddressView).
+inline __m256i LoadAddresses4(AddressView in, std::size_t i) {
+  if (in.step == 1) {
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(in.addr + i));
+  }
+  // step 2: addresses occupy 64-bit lanes {0, 2} of two vectors.
+  const __m256i a = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(in.addr + 2 * i));
+  const __m256i b = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(in.addr + 2 * i + 4));
+  // unpacklo keeps lanes {0, 2} of each source: [a0, a2, a1, a3].
+  const __m256i lo = _mm256_unpacklo_epi64(a, b);
+  return _mm256_permute4x64_epi64(lo, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+// Interleave four {lines, redundant} pairs back into BusState AoS form.
+inline void StoreStates4(BusState* out, std::size_t i, __m256i lines,
+                         __m256i redundant) {
+  const __m256i lo = _mm256_unpacklo_epi64(lines, redundant);
+  const __m256i hi = _mm256_unpackhi_epi64(lines, redundant);
+  __m256i* p = reinterpret_cast<__m256i*>(out + i);
+  _mm256_storeu_si256(p, _mm256_permute2x128_si256(lo, hi, 0x20));
+  _mm256_storeu_si256(p + 1, _mm256_permute2x128_si256(lo, hi, 0x31));
+}
+
+// Deinterleave two state vectors [l0 r0 l1 r1][l2 r2 l3 r3] into
+// [l0 l1 l2 l3] / [r0 r1 r2 r3].
+inline __m256i GatherLines(__m256i a, __m256i b) {
+  return _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(a, b),
+                                  _MM_SHUFFLE(3, 1, 2, 0));
+}
+inline __m256i GatherRedundant(__m256i a, __m256i b) {
+  return _mm256_permute4x64_epi64(_mm256_unpackhi_epi64(a, b),
+                                  _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+// [prev, x0, x1, x2]: the lane-shifted vector serial recurrences need.
+inline __m256i ShiftInPrev(__m256i x, __m256i prev_broadcast) {
+  const __m256i rot =
+      _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 3));
+  return _mm256_blend_epi32(rot, prev_broadcast, 0x03);
+}
+
+inline Word Lane3(__m256i x) {
+  return static_cast<Word>(_mm256_extract_epi64(x, 3));
+}
+
+// Per-lane 64-bit popcount: nibble LUT via pshufb, horizontal byte sum
+// via SAD against zero.
+inline __m256i PopCount64x4(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nibble = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low_nibble));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low_nibble));
+  return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+inline long long HorizontalSum64(__m256i v) {
+  alignas(32) long long lanes[kLanes];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+inline int HorizontalMax64(__m256i v) {
+  alignas(32) long long lanes[kLanes];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  long long best = lanes[0];
+  for (std::size_t i = 1; i < kLanes; ++i) {
+    if (lanes[i] > best) best = lanes[i];
+  }
+  return static_cast<int>(best);
+}
+
+// Bit-sliced vertical counters for the per-line histogram: plane k bit
+// j lane l holds bit k of "how many of lane l's cycles toggled line j".
+// Depth 8 counts 255 additions before a flush is due.
+struct VerticalPlanes {
+  __m256i planes[8];
+  unsigned pending = 0;
+
+  VerticalPlanes() {
+    for (__m256i& p : planes) p = _mm256_setzero_si256();
+  }
+
+  void Add(__m256i bits) {
+    __m256i carry = bits;
+    for (__m256i& p : planes) {
+      const __m256i overflow = _mm256_and_si256(p, carry);
+      p = _mm256_xor_si256(p, carry);
+      carry = overflow;
+      if (_mm256_testz_si256(carry, carry)) break;
+    }
+    ++pending;
+  }
+
+  void Flush(long long* per_line, unsigned line_offset) {
+    for (unsigned k = 0; k < 8; ++k) {
+      alignas(32) Word lanes[kLanes];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), planes[k]);
+      planes[k] = _mm256_setzero_si256();
+      const long long weight = 1LL << k;
+      for (Word lane : lanes) {
+        while (lane != 0) {
+          per_line[line_offset +
+                   static_cast<unsigned>(std::countr_zero(lane))] += weight;
+          lane &= lane - 1;
+        }
+      }
+    }
+    pending = 0;
+  }
+};
+
+void BinaryEncodeAvx2(AddressView in, std::size_t n, Word mask,
+                      BusState* out) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    StoreStates4(out, i,
+                 _mm256_and_si256(LoadAddresses4(in, i), vmask), zero);
+  }
+  detail::BinaryEncodeScalar(AddressView{in.addr + in.step * i, in.step},
+                             n - i, mask, out + i);
+}
+
+void GrayEncodeAvx2(AddressView in, std::size_t n, Word mask, Word low_mask,
+                    Word high_mask, BusState* out) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vlow = _mm256_set1_epi64x(static_cast<long long>(low_mask));
+  const __m256i vhigh = _mm256_set1_epi64x(static_cast<long long>(high_mask));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i b = _mm256_and_si256(LoadAddresses4(in, i), vmask);
+    const __m256i gray = _mm256_xor_si256(b, _mm256_srli_epi64(b, 1));
+    const __m256i lines = _mm256_or_si256(_mm256_and_si256(gray, vhigh),
+                                          _mm256_and_si256(b, vlow));
+    StoreStates4(out, i, lines, zero);
+  }
+  detail::GrayEncodeScalar(AddressView{in.addr + in.step * i, in.step}, n - i,
+                           mask, low_mask, high_mask, out + i);
+}
+
+void OffsetEncodeAvx2(AddressView in, std::size_t n, Word mask,
+                      Word* prev_addr, BusState* out) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i zero = _mm256_setzero_si256();
+  Word prev = *prev_addr;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i b = _mm256_and_si256(LoadAddresses4(in, i), vmask);
+    const __m256i shifted =
+        ShiftInPrev(b, _mm256_set1_epi64x(static_cast<long long>(prev)));
+    const __m256i delta =
+        _mm256_and_si256(_mm256_sub_epi64(b, shifted), vmask);
+    StoreStates4(out, i, delta, zero);
+    prev = Lane3(b);
+  }
+  *prev_addr = prev;
+  detail::OffsetEncodeScalar(AddressView{in.addr + in.step * i, in.step},
+                             n - i, mask, prev_addr, out + i);
+}
+
+void IncXorEncodeAvx2(AddressView in, std::size_t n, Word mask, Word stride,
+                      Word* prev_addr, Word* prev_bus, BusState* out) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vstride = _mm256_set1_epi64x(static_cast<long long>(stride));
+  const __m256i zero = _mm256_setzero_si256();
+  Word pa = *prev_addr;
+  Word pb = *prev_bus;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i b = _mm256_and_si256(LoadAddresses4(in, i), vmask);
+    const __m256i b_prev =
+        ShiftInPrev(b, _mm256_set1_epi64x(static_cast<long long>(pa)));
+    const __m256i prediction =
+        _mm256_and_si256(_mm256_add_epi64(b_prev, vstride), vmask);
+    // d(t) = b(t) ^ prediction(t); the bus is the prefix-XOR of d
+    // seeded with B(t-1). Prefix within the four lanes takes two
+    // lane-shift+XOR steps, then the scalar seed is broadcast in.
+    __m256i x = _mm256_xor_si256(b, prediction);
+    x = _mm256_xor_si256(x, ShiftInPrev(x, zero));
+    x = _mm256_xor_si256(x, _mm256_permute2x128_si256(x, x, 0x08));
+    const __m256i lines =
+        _mm256_xor_si256(x, _mm256_set1_epi64x(static_cast<long long>(pb)));
+    StoreStates4(out, i, lines, zero);
+    pa = Lane3(b);
+    pb = Lane3(lines);
+  }
+  *prev_addr = pa;
+  *prev_bus = pb;
+  detail::IncXorEncodeScalar(AddressView{in.addr + in.step * i, in.step},
+                             n - i, mask, stride, prev_addr, prev_bus,
+                             out + i);
+}
+
+void T0EncodeAvx2(AddressView in, std::size_t n, Word mask, Word stride,
+                  bool* has_prev, Word* prev_addr, BusState* prev_bus,
+                  BusState* out) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vstride = _mm256_set1_epi64x(static_cast<long long>(stride));
+  const __m256i zero = _mm256_setzero_si256();
+  Word pa = *prev_addr;
+  BusState pbus = *prev_bus;
+  bool has = *has_prev;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i b = _mm256_and_si256(LoadAddresses4(in, i), vmask);
+    const __m256i b_prev =
+        ShiftInPrev(b, _mm256_set1_epi64x(static_cast<long long>(pa)));
+    const __m256i prediction =
+        _mm256_and_si256(_mm256_add_epi64(b_prev, vstride), vmask);
+    unsigned inc = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(b, prediction))));
+    if (!has) inc &= ~1u;  // the first word after Reset travels verbatim
+    if (inc == 0xF) {
+      // Whole group in sequence: the bus stays frozen, INC high.
+      StoreStates4(
+          out, i,
+          _mm256_set1_epi64x(static_cast<long long>(pbus.lines)),
+          _mm256_set1_epi64x(1));
+      pbus = BusState{pbus.lines, 1};
+    } else if (inc == 0) {
+      // Whole group out of sequence: plain binary, INC low.
+      StoreStates4(out, i, b, zero);
+      pbus = BusState{Lane3(b), 0};
+    } else {
+      // Mixed group: the frozen value fills forward serially.
+      alignas(32) Word bs[kLanes];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(bs), b);
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        if ((inc >> j) & 1u) {
+          out[i + j] = BusState{pbus.lines, 1};
+        } else {
+          out[i + j] = BusState{bs[j], 0};
+        }
+        pbus = out[i + j];
+      }
+    }
+    pa = Lane3(b);
+    has = true;
+  }
+  *prev_addr = pa;
+  *prev_bus = pbus;
+  *has_prev = has;
+  detail::T0EncodeScalar(AddressView{in.addr + in.step * i, in.step}, n - i,
+                         mask, stride, has_prev, prev_addr, prev_bus, out + i);
+}
+
+void TransitionSweepAvx2(const BusState* states, std::size_t n, Word data_mask,
+                         Word redundant_mask, unsigned width, BusState* prev,
+                         long long* total, int* peak, long long* per_line) {
+  if (n < 2 * kLanes) {
+    detail::TransitionSweepScalar(states, n, data_mask, redundant_mask, width,
+                                  prev, total, peak, per_line);
+    return;
+  }
+  const __m256i vdmask =
+      _mm256_set1_epi64x(static_cast<long long>(data_mask));
+  const __m256i vrmask =
+      _mm256_set1_epi64x(static_cast<long long>(redundant_mask));
+  Word prev_lines = prev->lines;
+  Word prev_redundant = prev->redundant;
+  __m256i total_acc = _mm256_setzero_si256();
+  __m256i peak_acc = _mm256_setzero_si256();
+  VerticalPlanes line_planes;
+  VerticalPlanes redundant_planes;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i* p = reinterpret_cast<const __m256i*>(states + i);
+    const __m256i s01 = _mm256_loadu_si256(p);
+    const __m256i s23 = _mm256_loadu_si256(p + 1);
+    const __m256i lines = GatherLines(s01, s23);
+    const __m256i redundant = GatherRedundant(s01, s23);
+    const __m256i diff = _mm256_and_si256(
+        _mm256_xor_si256(
+            lines, ShiftInPrev(lines, _mm256_set1_epi64x(
+                                          static_cast<long long>(prev_lines)))),
+        vdmask);
+    const __m256i rdiff = _mm256_and_si256(
+        _mm256_xor_si256(
+            redundant,
+            ShiftInPrev(redundant, _mm256_set1_epi64x(static_cast<long long>(
+                                       prev_redundant)))),
+        vrmask);
+    const __m256i counts =
+        _mm256_add_epi64(PopCount64x4(diff), PopCount64x4(rdiff));
+    total_acc = _mm256_add_epi64(total_acc, counts);
+    // Per-cycle counts are <= 128, so the 64-bit lanes' low halves hold
+    // them with zero high halves and a 32-bit max is exact.
+    peak_acc = _mm256_max_epi32(peak_acc, counts);
+    line_planes.Add(diff);
+    if (!_mm256_testz_si256(rdiff, rdiff)) redundant_planes.Add(rdiff);
+    if (line_planes.pending >= 255) line_planes.Flush(per_line, 0);
+    if (redundant_planes.pending >= 255) {
+      redundant_planes.Flush(per_line, width);
+    }
+    prev_lines = Lane3(lines);
+    prev_redundant = Lane3(redundant);
+  }
+  line_planes.Flush(per_line, 0);
+  redundant_planes.Flush(per_line, width);
+  *total += HorizontalSum64(total_acc);
+  const int vector_peak = HorizontalMax64(peak_acc);
+  if (vector_peak > *peak) *peak = vector_peak;
+  prev->lines = prev_lines;
+  prev->redundant = prev_redundant;
+  detail::TransitionSweepScalar(states + i, n - i, data_mask, redundant_mask,
+                                width, prev, total, peak, per_line);
+}
+
+void InSeqCountAvx2(AddressView in, std::size_t n, Word mask, Word stride,
+                    Word* prev_addr, bool* has_prev, std::size_t* count) {
+  std::size_t i = 0;
+  if (!*has_prev && n > 0) {
+    // Seed the carry scalar so the vector loop has a uniform predicate.
+    detail::InSeqCountScalar(in, 1, mask, stride, prev_addr, has_prev, count);
+    i = 1;
+  }
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vstride = _mm256_set1_epi64x(static_cast<long long>(stride));
+  Word prev = *prev_addr;
+  std::size_t c = *count;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256i a = LoadAddresses4(in, i);
+    const __m256i shifted =
+        ShiftInPrev(a, _mm256_set1_epi64x(static_cast<long long>(prev)));
+    const __m256i prediction =
+        _mm256_and_si256(_mm256_add_epi64(shifted, vstride), vmask);
+    const __m256i matches =
+        _mm256_cmpeq_epi64(_mm256_and_si256(a, vmask), prediction);
+    c += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(matches)))));
+    prev = Lane3(a);
+  }
+  *prev_addr = prev;
+  *count = c;
+  detail::InSeqCountScalar(AddressView{in.addr + in.step * i, in.step}, n - i,
+                           mask, stride, prev_addr, has_prev, count);
+}
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() {
+  static const KernelTable table{
+      "avx2",
+      BinaryEncodeAvx2,
+      GrayEncodeAvx2,
+      OffsetEncodeAvx2,
+      IncXorEncodeAvx2,
+      T0EncodeAvx2,
+      // Bus-invert's majority decision feeds the popcount of one cycle
+      // into the next; the recurrence does not vectorize, so the scalar
+      // kernel serves every table (kept explicit here, not hidden
+      // behind a slower vector attempt).
+      detail::BusInvertEncodeScalar,
+      TransitionSweepAvx2,
+      InSeqCountAvx2,
+  };
+  return table;
+}
+
+}  // namespace abenc::simd

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/codec_kernel.h"
+#include "core/simd/kernel_dispatch.h"
 #include "core/trace_source.h"
 #include "obs/metrics.h"
 
@@ -132,8 +133,9 @@ EvalResult EvaluateBatched(Codec& codec, const TraceSource& source,
   BlockTransitionAccumulator accumulator(width, codec.redundant_lines());
   const std::size_t chunk =
       std::min<std::size_t>(chunk_size, std::max<std::size_t>(length, 1));
-  std::vector<BusAccess> in(chunk);
+  std::vector<BusAccess> in;  // allocated only if a chunk needs copying
   std::vector<BusState> out(chunk);
+  const simd::KernelTable& kernels = simd::ActiveKernels();
 
   // In-sequence accounting carried across chunk boundaries: the exact
   // predicate of InSequencePercent, with b(t-1) kept unmasked like the
@@ -142,28 +144,45 @@ EvalResult EvaluateBatched(Codec& codec, const TraceSource& source,
   Word prev_address = 0;
   bool has_prev = false;
   std::size_t chunks = 0;
+  std::size_t columnar_chunks = 0;
 
   std::size_t offset = 0;
   while (offset < length) {
-    const std::size_t n = source.Read(offset, in);
-    if (n == 0) break;  // a short source; size() was an overestimate
-    const std::span<const BusAccess> accesses(in.data(), n);
-    const std::span<BusState> states(out.data(), n);
-    codec.EncodeBlock(accesses, states);
-    accumulator.Consume(states);
-    for (const BusAccess& access : accesses) {
-      if (has_prev &&
-          (access.address & mask) == ((prev_address + stride_for_stats) &
-                                      mask)) {
-        ++in_seq;
-      }
-      prev_address = access.address;
-      has_prev = true;
+    // Zero-copy fast path: columnar sources (the mmap trace reader,
+    // ColumnarTraceSource) expose their storage directly and the chunk
+    // flows through EncodeColumns without materializing BusAccess
+    // records; everything else is copied out via Read(). Both paths are
+    // bit-identical by the EncodeColumns contract.
+    TraceColumns columns;
+    std::size_t n = source.ViewColumns(offset, chunk, &columns);
+    const BusAccess* accesses = nullptr;
+    if (n == 0) {
+      if (in.empty()) in.resize(chunk);
+      n = source.Read(offset, in);
+      if (n == 0) break;  // a short source; size() was an overestimate
+      accesses = in.data();
+    } else {
+      ++columnar_chunks;
     }
+    const std::span<BusState> states(out.data(), n);
+    if (accesses != nullptr) {
+      codec.EncodeBlock(std::span<const BusAccess>(accesses, n), states);
+      kernels.in_seq(simd::ViewAddresses(accesses), n, mask,
+                     stride_for_stats, &prev_address, &has_prev, &in_seq);
+    } else {
+      codec.EncodeColumns(columns.addresses, columns.sel, n, states);
+      kernels.in_seq(simd::AddressView{columns.addresses, 1}, n, mask,
+                     stride_for_stats, &prev_address, &has_prev, &in_seq);
+    }
+    accumulator.Consume(states);
     if (verify_decode) {
       for (std::size_t i = 0; i < n; ++i) {
-        const Word decoded = codec.Decode(states[i], accesses[i].sel);
-        const Word expected = accesses[i].address & mask;
+        const bool sel =
+            accesses != nullptr ? accesses[i].sel : columns.sel[i] != 0;
+        const Word address =
+            accesses != nullptr ? accesses[i].address : columns.addresses[i];
+        const Word decoded = codec.Decode(states[i], sel);
+        const Word expected = address & mask;
         if (decoded != expected) {
           ThrowDecodeMismatch(codec, decoded, expected);
         }
@@ -175,6 +194,8 @@ EvalResult EvaluateBatched(Codec& codec, const TraceSource& source,
 
   if (registry) {
     registry->GetCounter("evaluator.batched.chunks").Increment(chunks);
+    registry->GetCounter("evaluator.batched.columnar_chunks")
+        .Increment(columnar_chunks);
     registry->GetCounter("evaluator.batched.words")
         .Increment(accumulator.cycles());
     const double elapsed = obs::MonotonicSeconds() - start;

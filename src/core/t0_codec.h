@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/codec.h"
+#include "core/simd/kernel_dispatch.h"
 
 namespace abenc {
 
@@ -44,31 +45,24 @@ class T0Codec final : public Codec {
     return out;
   }
 
-  // Devirtualized kernel: the encoder-side registers (previous address,
-  // frozen bus value, first-word flag) live in locals across the loop
-  // and are stored back once, so any chunking reproduces the per-word
-  // trajectory exactly — including the verbatim first word after Reset.
+  // Devirtualized block kernel, routed through the active SIMD backend:
+  // the encoder registers (previous address, frozen bus value,
+  // first-word flag) carry across calls, so any chunking reproduces the
+  // per-word trajectory exactly — including the verbatim first word
+  // after Reset.
   void EncodeBlock(std::span<const BusAccess> in,
                    std::span<BusState> out) override {
-    const Word mask = LowMask(width());
-    const Word stride = stride_;
-    Word prev_addr = enc_prev_addr_;
-    BusState prev_bus = enc_prev_bus_;
-    bool has_prev = enc_has_prev_;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const Word b = in[i].address & mask;
-      if (has_prev && b == ((prev_addr + stride) & mask)) {
-        out[i] = BusState{prev_bus.lines, 1};
-      } else {
-        out[i] = BusState{b, 0};
-      }
-      prev_addr = b;
-      prev_bus = out[i];
-      has_prev = true;
-    }
-    enc_prev_addr_ = prev_addr;
-    enc_prev_bus_ = prev_bus;
-    enc_has_prev_ = has_prev;
+    if (in.empty()) return;
+    simd::ActiveKernels().t0(simd::ViewAddresses(in.data()), in.size(),
+                             LowMask(width()), stride_, &enc_has_prev_,
+                             &enc_prev_addr_, &enc_prev_bus_, out.data());
+  }
+  void EncodeColumns(const Word* addresses, const std::uint8_t* /*sel*/,
+                     std::size_t n, std::span<BusState> out) override {
+    if (n == 0) return;
+    simd::ActiveKernels().t0(simd::AddressView{addresses, 1}, n,
+                             LowMask(width()), stride_, &enc_has_prev_,
+                             &enc_prev_addr_, &enc_prev_bus_, out.data());
   }
 
   Word Decode(const BusState& bus, bool /*sel*/) override {

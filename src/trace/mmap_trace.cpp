@@ -1,0 +1,198 @@
+#include "trace/mmap_trace.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ABENC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace abenc {
+namespace {
+
+constexpr std::array<char, 8> kColumnarMagic = {'A', 'B', 'E', 'N',
+                                                'C', 'T', 'C', '1'};
+constexpr std::size_t kHeaderBytes = 24;
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("columnar trace: " + what);
+}
+
+struct Layout {
+  std::uint64_t count = 0;
+  std::uint64_t name_len = 0;
+  std::size_t addresses_offset = kHeaderBytes;
+  std::size_t sel_offset = 0;
+  std::size_t name_offset = 0;
+  std::size_t total_bytes = 0;
+};
+
+// Validate the header against the actual file size; every multiply is
+// overflow-checked before it happens so a hostile count can neither
+// wrap the expected size nor drive a huge allocation.
+Layout ValidateHeader(const char* data, std::size_t file_bytes,
+                      const std::string& path) {
+  if (file_bytes < kHeaderBytes) {
+    Fail("'" + path + "' is too short for a header (" +
+         std::to_string(file_bytes) + " bytes, need " +
+         std::to_string(kHeaderBytes) + ")");
+  }
+  if (std::memcmp(data, kColumnarMagic.data(), kColumnarMagic.size()) != 0) {
+    Fail("'" + path + "' has bad magic (not an ABENC columnar trace)");
+  }
+  Layout layout;
+  std::memcpy(&layout.count, data + 8, sizeof(layout.count));
+  std::memcpy(&layout.name_len, data + 16, sizeof(layout.name_len));
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  constexpr std::uint64_t kRecordBytes = sizeof(Word) + 1;
+  if (layout.count > (kMax - kHeaderBytes) / kRecordBytes) {
+    Fail("'" + path + "' declares " + std::to_string(layout.count) +
+         " records, whose byte size overflows");
+  }
+  const std::uint64_t payload = kHeaderBytes + layout.count * kRecordBytes;
+  if (layout.name_len > kMax - payload) {
+    Fail("'" + path + "' declares a name length that overflows");
+  }
+  const std::uint64_t expected = payload + layout.name_len;
+  if (expected > std::numeric_limits<std::size_t>::max()) {
+    Fail("'" + path + "' is larger than this platform can map");
+  }
+  if (file_bytes != expected) {
+    Fail("'" + path + "' is " + std::to_string(file_bytes) +
+         " bytes but the header implies " + std::to_string(expected) +
+         " (count " + std::to_string(layout.count) + ", name_len " +
+         std::to_string(layout.name_len) + ")");
+  }
+  layout.sel_offset =
+      kHeaderBytes + static_cast<std::size_t>(layout.count) * sizeof(Word);
+  layout.name_offset =
+      layout.sel_offset + static_cast<std::size_t>(layout.count);
+  layout.total_bytes = static_cast<std::size_t>(expected);
+  return layout;
+}
+
+}  // namespace
+
+void WriteColumnarTrace(const std::string& path, const AddressTrace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Fail("cannot open '" + path + "' for writing");
+  out.write(kColumnarMagic.data(), kColumnarMagic.size());
+  const std::uint64_t count = trace.size();
+  const std::uint64_t name_len = trace.name().size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  for (const TraceEntry& e : trace) {
+    out.write(reinterpret_cast<const char*>(&e.address), sizeof(e.address));
+  }
+  for (const TraceEntry& e : trace) {
+    const std::uint8_t sel = e.kind == AccessKind::kInstruction ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&sel), sizeof(sel));
+  }
+  out.write(trace.name().data(),
+            static_cast<std::streamsize>(trace.name().size()));
+  if (!out) Fail("write to '" + path + "' failed");
+}
+
+AddressTrace ReadColumnarTrace(const std::string& path) {
+  const MmapTraceSource source(path);
+  AddressTrace trace(source.name());
+  trace.Reserve(source.size());
+  std::array<BusAccess, 4096> chunk;
+  std::size_t offset = 0;
+  while (offset < source.size()) {
+    const std::size_t n = source.Read(offset, chunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      trace.Append(chunk[i].address, chunk[i].sel ? AccessKind::kInstruction
+                                                  : AccessKind::kData);
+    }
+    offset += n;
+  }
+  return trace;
+}
+
+MmapTraceSource::MmapTraceSource(const std::string& path) {
+  const char* data = nullptr;
+  std::size_t file_bytes = 0;
+#if defined(ABENC_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) Fail("cannot open '" + path + "'");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    Fail("cannot stat '" + path + "'");
+  }
+  file_bytes = static_cast<std::size_t>(st.st_size);
+  if (file_bytes > 0) {
+    void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) Fail("mmap of '" + path + "' failed");
+    map_base_ = base;
+    map_length_ = file_bytes;
+    data = static_cast<const char*>(base);
+  } else {
+    ::close(fd);
+  }
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open '" + path + "'");
+  fallback_.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  file_bytes = fallback_.size();
+  data = reinterpret_cast<const char*>(fallback_.data());
+#endif
+  Layout layout;
+  try {
+    layout = ValidateHeader(data, file_bytes, path);
+  } catch (...) {
+#if defined(ABENC_HAVE_MMAP)
+    if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+    map_base_ = nullptr;
+#endif
+    throw;
+  }
+  count_ = static_cast<std::size_t>(layout.count);
+  if (count_ > 0) {
+    addresses_ =
+        reinterpret_cast<const Word*>(data + layout.addresses_offset);
+    sel_ = reinterpret_cast<const std::uint8_t*>(data + layout.sel_offset);
+  }
+  name_.assign(data + layout.name_offset,
+               static_cast<std::size_t>(layout.name_len));
+}
+
+MmapTraceSource::~MmapTraceSource() {
+#if defined(ABENC_HAVE_MMAP)
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+#endif
+}
+
+std::size_t MmapTraceSource::Read(std::size_t offset,
+                                  std::span<BusAccess> out) const {
+  if (offset >= count_) return 0;
+  const std::size_t n =
+      out.size() < count_ - offset ? out.size() : count_ - offset;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = BusAccess{addresses_[offset + i], sel_[offset + i] != 0};
+  }
+  return n;
+}
+
+std::size_t MmapTraceSource::ViewColumns(std::size_t offset,
+                                         std::size_t max_len,
+                                         TraceColumns* columns) const {
+  if (offset >= count_) return 0;
+  const std::size_t n =
+      max_len < count_ - offset ? max_len : count_ - offset;
+  columns->addresses = addresses_ + offset;
+  columns->sel = sel_ + offset;
+  return n;
+}
+
+}  // namespace abenc

@@ -1,0 +1,79 @@
+// Zero-copy packed traces: a columnar on-disk format and an mmap-backed
+// TraceSource over it.
+//
+// The row-oriented binary format (trace_io.h "ABENCTR1") interleaves a
+// 9-byte {address, kind} record per access, so consuming it means
+// per-record parsing into BusAccess. The columnar format here
+// ("ABENCTC1") stores the address column and the SEL column
+// contiguously, 8-byte aligned, so a reader can hand the evaluator
+// pointers straight into the file mapping: EvaluateBatched's
+// ViewColumns fast path encodes from the page cache with no per-record
+// work and no copies. tools/trace_pack converts between the formats.
+//
+// Layout (little-endian, host-order — a cache, not an interchange
+// standard, like the row format):
+//   bytes 0..7    magic "ABENCTC1"
+//   bytes 8..15   uint64 count
+//   bytes 16..23  uint64 name_len
+//   bytes 24..    count * uint64 addresses   (8-byte aligned)
+//   then          count * uint8 SEL flags    (0 = data, nonzero = SEL
+//                                             asserted / instruction)
+//   then          name_len bytes of trace name
+// The reader rejects bad magic, a count whose byte size overflows, and
+// any file whose length differs from the layout above.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/trace_source.h"
+#include "trace/trace.h"
+
+namespace abenc {
+
+/// Write `trace` to `path` in the columnar format above.
+void WriteColumnarTrace(const std::string& path, const AddressTrace& trace);
+
+/// Load a columnar file back into an AddressTrace (the converter path;
+/// streaming consumers should use MmapTraceSource instead).
+AddressTrace ReadColumnarTrace(const std::string& path);
+
+/// Memory-mapped TraceSource over a columnar trace file. Read() and
+/// ViewColumns() serve directly from the mapping (read-only, shared
+/// page cache); the mapping lives as long as the source. On platforms
+/// without POSIX mmap the file is loaded into owned buffers instead —
+/// same interface, one copy at open.
+class MmapTraceSource final : public TraceSource {
+ public:
+  explicit MmapTraceSource(const std::string& path);
+  ~MmapTraceSource() override;
+
+  MmapTraceSource(const MmapTraceSource&) = delete;
+  MmapTraceSource& operator=(const MmapTraceSource&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  std::size_t size() const override { return count_; }
+
+  std::size_t Read(std::size_t offset,
+                   std::span<BusAccess> out) const override;
+
+  std::size_t ViewColumns(std::size_t offset, std::size_t max_len,
+                          TraceColumns* columns) const override;
+
+ private:
+  // Either the file mapping (map_base_ != nullptr) or the fallback
+  // owned buffers back these pointers.
+  const Word* addresses_ = nullptr;
+  const std::uint8_t* sel_ = nullptr;
+  std::size_t count_ = 0;
+  std::string name_;
+  void* map_base_ = nullptr;
+  std::size_t map_length_ = 0;
+  std::vector<std::uint8_t> fallback_;
+};
+
+}  // namespace abenc

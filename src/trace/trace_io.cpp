@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "trace/mmap_trace.h"
 
 namespace abenc {
 namespace {
@@ -94,6 +97,17 @@ AddressTrace ReadBinaryTrace(std::istream& in, std::string name) {
          std::to_string(magic.size() + in.gcount()) +
          " (header needs 16 bytes)");
   }
+  // Reject a count whose byte size wraps uint64 before any arithmetic
+  // uses it: with a wrapping count the entry offsets reported below
+  // would lie, and on 32-bit size_t the bounded reserve could still be
+  // asked for more than the address space holds.
+  constexpr std::uint64_t kMaxCount =
+      (std::numeric_limits<std::uint64_t>::max() - 16) / kEntryBytes;
+  if (count > kMaxCount) {
+    Fail("header declares " + std::to_string(count) +
+         " entries, whose byte size overflows (max " +
+         std::to_string(kMaxCount) + ")");
+  }
   AddressTrace trace(std::move(name));
   trace.Reserve(static_cast<std::size_t>(
       std::min<std::uint64_t>(count, kMaxUpFrontReserve)));
@@ -179,6 +193,10 @@ AddressTrace ReadDineroTrace(std::istream& in, std::string name) {
 }
 
 void SaveTrace(const std::string& path, const AddressTrace& trace) {
+  if (path.ends_with(".ctrace")) {
+    WriteColumnarTrace(path, trace);
+    return;
+  }
   const bool binary = path.ends_with(".btrace");
   std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
   if (!out) Fail("cannot open '" + path + "' for writing");
@@ -193,6 +211,13 @@ void SaveTrace(const std::string& path, const AddressTrace& trace) {
 }
 
 AddressTrace LoadTrace(const std::string& path) {
+  if (path.ends_with(".ctrace")) {
+    // The columnar format stores the trace name; fall back to the path
+    // (what every other reader uses) when none was recorded.
+    AddressTrace trace = ReadColumnarTrace(path);
+    if (trace.name().empty()) trace.set_name(path);
+    return trace;
+  }
   const bool binary = path.ends_with(".btrace");
   std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
   if (!in) Fail("cannot open '" + path + "'");

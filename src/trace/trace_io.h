@@ -36,8 +36,9 @@ void WriteDineroTrace(std::ostream& out, const AddressTrace& trace);
 AddressTrace ReadDineroTrace(std::istream& in, std::string name = "");
 
 /// File helpers; the format is picked by extension (".trace" text,
-/// ".btrace" binary, ".din" dinero). Throw std::runtime_error on I/O or
-/// parse failure.
+/// ".btrace" binary, ".din" dinero, ".ctrace" columnar — see
+/// trace/mmap_trace.h). Throw std::runtime_error on I/O or parse
+/// failure.
 void SaveTrace(const std::string& path, const AddressTrace& trace);
 AddressTrace LoadTrace(const std::string& path);
 

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/simd/kernel_dispatch.h"
+#include "core/trace_source.h"
 #include "core/transition_counter.h"
 
 namespace abenc::verify {
@@ -266,10 +268,115 @@ std::optional<PropertyFailure> CheckBatchedIdentity(
   return std::nullopt;
 }
 
+std::optional<PropertyFailure> CheckKernelDispatchIdentity(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  // The per-word reference never touches the kernel tables, so it is
+  // the same no matter which backend is active.
+  const CodecPtr reference_codec = factory(codec_name, options);
+  EvalResult reference;
+  try {
+    reference = Evaluate(*reference_codec, stream, options.stride, true);
+  } catch (const std::logic_error& error) {
+    return PropertyFailure{stream.size(),
+                           codec_name + ": per-word Evaluate threw: " +
+                               error.what()};
+  }
+
+  const ColumnarTraceSource columnar =
+      ColumnarTraceSource::FromAccesses(stream);
+  const std::size_t chunk_sizes[] = {1, 64, stream.size() + 1};
+  for (const simd::KernelBackend backend : simd::SupportedBackends()) {
+    const simd::ScopedKernelBackend scoped(backend);
+    for (const std::size_t chunk : chunk_sizes) {
+      const auto mismatch = [&](const char* path, const std::string& what,
+                                auto per_word_value, auto batched_value) {
+        std::ostringstream out;
+        out << codec_name << ": backend " << simd::BackendName(backend)
+            << " diverges on the " << path << " path at chunk size " << chunk
+            << " — " << what << ": per-word " << per_word_value << ", batched "
+            << batched_value;
+        return PropertyFailure{stream.size(), out.str()};
+      };
+      const auto compare =
+          [&](const char* path,
+              const EvalResult& got) -> std::optional<PropertyFailure> {
+        if (got.transitions != reference.transitions) {
+          return mismatch(path, "transitions", reference.transitions,
+                          got.transitions);
+        }
+        if (got.peak_transitions != reference.peak_transitions) {
+          return mismatch(path, "peak", reference.peak_transitions,
+                          got.peak_transitions);
+        }
+        if (got.stream_length != reference.stream_length) {
+          return mismatch(path, "stream_length", reference.stream_length,
+                          got.stream_length);
+        }
+        // Exact double equality on purpose: every backend must run the
+        // very same arithmetic (that is the bit-identity contract).
+        if (got.in_sequence_percent != reference.in_sequence_percent) {
+          return mismatch(path, "in_sequence_percent",
+                          reference.in_sequence_percent,
+                          got.in_sequence_percent);
+        }
+        if (got.per_line != reference.per_line) {
+          for (std::size_t line = 0; line < reference.per_line.size();
+               ++line) {
+            if (line < got.per_line.size() &&
+                got.per_line[line] != reference.per_line[line]) {
+              return mismatch(path, "per_line[" + std::to_string(line) + "]",
+                              reference.per_line[line], got.per_line[line]);
+            }
+          }
+          return mismatch(path, "per_line size", reference.per_line.size(),
+                          got.per_line.size());
+        }
+        return std::nullopt;
+      };
+
+      const CodecPtr span_codec = factory(codec_name, options);
+      EvalResult span_result;
+      try {
+        span_result = EvaluateBatched(*span_codec, stream, options.stride,
+                                      true, chunk);
+      } catch (const std::logic_error& error) {
+        return PropertyFailure{
+            stream.size(),
+            codec_name + ": backend " +
+                std::string(simd::BackendName(backend)) +
+                " EvaluateBatched(chunk=" + std::to_string(chunk) +
+                ") threw where the per-word path did not: " + error.what()};
+      }
+      if (auto failure = compare("span", span_result)) return failure;
+
+      const CodecPtr columnar_codec = factory(codec_name, options);
+      EvalResult columnar_result;
+      try {
+        columnar_result = EvaluateBatched(*columnar_codec, columnar,
+                                          options.stride, true, chunk);
+      } catch (const std::logic_error& error) {
+        return PropertyFailure{
+            stream.size(),
+            codec_name + ": backend " +
+                std::string(simd::BackendName(backend)) +
+                " columnar EvaluateBatched(chunk=" + std::to_string(chunk) +
+                ") threw where the per-word path did not: " + error.what()};
+      }
+      if (auto failure = compare("columnar", columnar_result)) return failure;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> UniversalPropertyNames() {
-  return {"round-trip",            "line-width",
-          "reset-replay",          "transition-accounting",
-          "decoder-lockstep",      "batched-identity"};
+  return {"round-trip",
+          "line-width",
+          "reset-replay",
+          "transition-accounting",
+          "decoder-lockstep",
+          "batched-identity",
+          "kernel-dispatch-identity"};
 }
 
 std::optional<PropertyFailure> CheckUniversalProperty(
@@ -293,6 +400,9 @@ std::optional<PropertyFailure> CheckUniversalProperty(
   }
   if (property == "batched-identity") {
     return CheckBatchedIdentity(codec_name, options, stream, factory);
+  }
+  if (property == "kernel-dispatch-identity") {
+    return CheckKernelDispatchIdentity(codec_name, options, stream, factory);
   }
   throw std::invalid_argument("unknown universal property: " + property);
 }

@@ -84,9 +84,20 @@ std::optional<PropertyFailure> CheckBatchedIdentity(
     const std::string& codec_name, const CodecOptions& options,
     std::span<const BusAccess> stream, const CodecFactoryFn& factory);
 
+/// Kernel-dispatch identity: for every SIMD backend the host supports
+/// (scalar always, AVX2/NEON when compiled in and executable),
+/// EvaluateBatched must reproduce the per-word Evaluate() result
+/// exactly — over both a BusAccess span and the zero-copy columnar
+/// path — at degenerate, sub-block and overlong chunk sizes. This is
+/// the guarantee that lets ABENC_KERNEL pick any backend without
+/// perturbing a single committed baseline bit.
+std::optional<PropertyFailure> CheckKernelDispatchIdentity(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
 /// Names of the universal properties, in a stable order:
 /// "round-trip", "line-width", "reset-replay", "transition-accounting",
-/// "decoder-lockstep", "batched-identity".
+/// "decoder-lockstep", "batched-identity", "kernel-dispatch-identity".
 std::vector<std::string> UniversalPropertyNames();
 
 /// Dispatch by property name; throws std::invalid_argument for unknown

@@ -1,0 +1,216 @@
+// Tests of the zero-copy columnar trace format (trace/mmap_trace.h):
+// write/read round-trips, the MmapTraceSource chunk reader and its
+// ViewColumns fast path, hardened header validation (bad magic,
+// overflowing counts, size mismatches), the SaveTrace/LoadTrace
+// ".ctrace" dispatch, and the end-to-end guarantee that evaluating
+// straight off the mapping is bit-identical to the per-word reference.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "trace/mmap_trace.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace abenc {
+namespace {
+
+std::string TempPath(const std::string& filename) {
+  return (std::filesystem::path(::testing::TempDir()) / filename).string();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(MmapTraceTest, RoundTripPreservesEntriesAndName) {
+  SyntheticGenerator gen(11);
+  AddressTrace original = gen.MultiplexedLike(700, 0.4, 4, 32);
+  original.set_name("gzip-mux");
+  const std::string path = TempPath("abenc_mmap_roundtrip.ctrace");
+  WriteColumnarTrace(path, original);
+
+  const AddressTrace loaded = ReadColumnarTrace(path);
+  EXPECT_EQ(loaded.name(), "gzip-mux");
+  EXPECT_EQ(loaded.entries(), original.entries());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapTraceTest, EmptyTraceRoundTrips) {
+  AddressTrace empty("nothing");
+  const std::string path = TempPath("abenc_mmap_empty.ctrace");
+  WriteColumnarTrace(path, empty);
+  const AddressTrace loaded = ReadColumnarTrace(path);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.name(), "nothing");
+
+  const MmapTraceSource source(path);
+  EXPECT_EQ(source.size(), 0u);
+  std::array<BusAccess, 8> chunk;
+  EXPECT_EQ(source.Read(0, chunk), 0u);
+  TraceColumns columns;
+  EXPECT_EQ(source.ViewColumns(0, 8, &columns), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapTraceTest, ReadAndViewColumnsAgreeWithTheTrace) {
+  SyntheticGenerator gen(12);
+  const AddressTrace trace = gen.MultiplexedLike(500, 0.35, 4, 32);
+  const std::vector<BusAccess> expected = trace.ToBusAccesses();
+  const std::string path = TempPath("abenc_mmap_read.ctrace");
+  WriteColumnarTrace(path, trace);
+  const MmapTraceSource source(path);
+  ASSERT_EQ(source.size(), expected.size());
+
+  // Read() at an arbitrary interior offset, clamped at the end.
+  std::array<BusAccess, 64> chunk;
+  const std::size_t n = source.Read(470, chunk);
+  ASSERT_EQ(n, 30u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(chunk[i].address, expected[470 + i].address) << i;
+    EXPECT_EQ(chunk[i].sel, expected[470 + i].sel) << i;
+  }
+
+  // ViewColumns() exposes the same accesses without copying.
+  TraceColumns columns;
+  const std::size_t m = source.ViewColumns(100, 64, &columns);
+  ASSERT_EQ(m, 64u);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(columns.addresses[i], expected[100 + i].address) << i;
+    EXPECT_EQ(columns.sel[i] != 0, expected[100 + i].sel) << i;
+  }
+
+  // Past-the-end views are empty, not clamped into garbage.
+  EXPECT_EQ(source.ViewColumns(expected.size(), 8, &columns), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapTraceTest, SaveLoadDispatchOnCtraceExtension) {
+  SyntheticGenerator gen(13);
+  AddressTrace trace = gen.Sequential(200, 0x400000, 4, 32);
+  trace.set_name("seq");
+  const std::string path = TempPath("abenc_mmap_dispatch.ctrace");
+  SaveTrace(path, trace);
+  EXPECT_EQ(LoadTrace(path).entries(), trace.entries());
+  EXPECT_EQ(LoadTrace(path).name(), "seq");
+
+  // A columnar file with no recorded name falls back to the path, the
+  // convention every other reader follows.
+  AddressTrace nameless;
+  nameless.Append(0x100, AccessKind::kData);
+  SaveTrace(path, nameless);
+  EXPECT_EQ(LoadTrace(path).name(), path);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapTraceTest, RejectsCorruptHeaders) {
+  const std::string path = TempPath("abenc_mmap_corrupt.ctrace");
+  const auto message_of = [&](const std::string& bytes) -> std::string {
+    WriteBytes(path, bytes);
+    try {
+      const MmapTraceSource source(path);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  // Shorter than the 24-byte header.
+  EXPECT_NE(message_of("ABENCTC1").find("too short"), std::string::npos);
+
+  // Wrong magic (the row-binary magic is the likely mixup).
+  std::string wrong_magic(24, '\0');
+  std::memcpy(wrong_magic.data(), "ABENCTR1", 8);
+  EXPECT_NE(message_of(wrong_magic).find("bad magic"), std::string::npos);
+
+  // A valid one-entry file to corrupt from here on.
+  AddressTrace t("n");
+  t.Append(0x400000, AccessKind::kInstruction);
+  WriteColumnarTrace(path, t);
+  const std::string good = ReadBytes(path);
+  ASSERT_EQ(good.size(), 24u + 8u + 1u + 1u);
+
+  // A count whose byte size wraps uint64: rejected from the header
+  // alone, before any offset arithmetic or allocation can use it.
+  std::string overflowing = good;
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  std::memcpy(overflowing.data() + 8, &huge, sizeof(huge));
+  EXPECT_NE(message_of(overflowing).find("overflows"), std::string::npos);
+
+  // A name length that pushes the expected size past uint64.
+  std::string bad_name_len = good;
+  std::memcpy(bad_name_len.data() + 16, &huge, sizeof(huge));
+  EXPECT_NE(message_of(bad_name_len).find("name length"),
+            std::string::npos);
+
+  // A count the file does not actually contain.
+  std::string lying = good;
+  const std::uint64_t two = 2;
+  std::memcpy(lying.data() + 8, &two, sizeof(two));
+  EXPECT_NE(message_of(lying).find("header implies"), std::string::npos);
+
+  // Trailing garbage makes the size check fail the same way.
+  EXPECT_NE(message_of(good + "x").find("header implies"),
+            std::string::npos);
+
+  // The pristine bytes still load.
+  WriteBytes(path, good);
+  EXPECT_EQ(ReadColumnarTrace(path).entries(), t.entries());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapTraceTest, MissingFileThrows) {
+  EXPECT_THROW(MmapTraceSource(TempPath("abenc_no_such_file.ctrace")),
+               std::runtime_error);
+}
+
+TEST(MmapTraceTest, EvaluatingOffTheMappingIsBitIdentical) {
+  // The property the zero-copy path exists for: EvaluateBatched fed by
+  // the mmap source must reproduce the per-word reference exactly, for
+  // a stateful redundant code as well as a plain one.
+  SyntheticGenerator gen(14);
+  const AddressTrace trace = gen.MultiplexedLike(20000, 0.35, 4, 32);
+  const std::vector<BusAccess> stream = trace.ToBusAccesses();
+  const std::string path = TempPath("abenc_mmap_eval.ctrace");
+  WriteColumnarTrace(path, trace);
+  const MmapTraceSource source(path);
+
+  for (const std::string codec_name : {"gray", "t0-bi"}) {
+    const CodecOptions options;
+    const EvalResult reference = Evaluate(*MakeCodec(codec_name, options),
+                                          stream, options.stride, true);
+    const EvalResult mapped = EvaluateBatched(
+        *MakeCodec(codec_name, options), source, options.stride, true);
+    EXPECT_EQ(mapped.transitions, reference.transitions) << codec_name;
+    EXPECT_EQ(mapped.peak_transitions, reference.peak_transitions)
+        << codec_name;
+    EXPECT_EQ(mapped.stream_length, reference.stream_length) << codec_name;
+    // Exact double equality on purpose (the bit-identity contract).
+    EXPECT_EQ(mapped.in_sequence_percent, reference.in_sequence_percent)
+        << codec_name;
+    EXPECT_EQ(mapped.per_line, reference.per_line) << codec_name;
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace abenc

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "trace/synthetic.h"
@@ -356,6 +357,49 @@ TEST(TraceIoTest, BinaryReaderRejectsACorruptedTail) {
   // The uncorrupted trace still round-trips.
   std::stringstream clean(good);
   EXPECT_EQ(ReadBinaryTrace(clean).entries(), t.entries());
+}
+
+TEST(TraceIoTest, BinaryReaderRejectsACountWhoseByteSizeOverflows) {
+  // Regression: a header count near 2^64 used to wrap when multiplied
+  // by the 9-byte record size, so the per-entry byte offsets in error
+  // messages lied and a 32-bit size_t could be asked to reserve more
+  // than the address space holds. The reader must reject the count from
+  // the header alone, before any arithmetic uses it.
+  AddressTrace t;
+  t.Append(0x400000, AccessKind::kInstruction);
+  std::stringstream buffer;
+  WriteBinaryTrace(buffer, t);
+  std::string bytes = buffer.str();
+
+  auto message_of = [](const std::string& crafted) -> std::string {
+    std::stringstream in(crafted);
+    try {
+      ReadBinaryTrace(in);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  constexpr std::uint64_t kEntryBytes = 9;  // uint64 address + uint8 kind
+  constexpr std::uint64_t kMaxCount =
+      (std::numeric_limits<std::uint64_t>::max() - 16) / kEntryBytes;
+
+  // The all-ones count and the first overflowing count both fail with
+  // the overflow diagnostic, not a bogus-offset truncation error.
+  for (const std::uint64_t count :
+       {std::numeric_limits<std::uint64_t>::max(), kMaxCount + 1}) {
+    std::memcpy(bytes.data() + 8, &count, sizeof(count));
+    const std::string message = message_of(bytes);
+    EXPECT_NE(message.find("overflows"), std::string::npos)
+        << "count=" << count << ": " << message;
+  }
+
+  // The largest non-overflowing count is past the overflow gate and
+  // fails later, at the first entry the file does not contain.
+  std::memcpy(bytes.data() + 8, &kMaxCount, sizeof(kMaxCount));
+  EXPECT_NE(message_of(bytes).find("truncated at entry"),
+            std::string::npos);
 }
 
 TEST(TraceIoTest, TextParsersRejectTrailingGarbageInAddresses) {

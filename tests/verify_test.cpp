@@ -186,7 +186,7 @@ TEST(RunnerTest, EnumeratesTheFullPropertyMatrix) {
   VerifyConfig config;
   const VerifyRunner runner(config);
   const auto names = runner.PropertyNames();
-  // 6 universal properties x |codecs| x 6 families, gate oracles x 6
+  // Universal properties x |codecs| x 6 families, gate oracles x 6
   // families, one markov oracle per modelled code, parallel-identity.
   const std::size_t expected =
       UniversalPropertyNames().size() * AllCodecNames().size() * 6 +
