@@ -1,0 +1,277 @@
+#include "core/adaptive_codec.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace abenc {
+
+std::vector<std::string> AdaptiveCodec::DefaultPalette() {
+  return {"binary", "gray", "t0", "bus-invert", "dual-t0-bi"};
+}
+
+std::vector<std::string> AdaptiveCodec::ParsePalette(const std::string& spec) {
+  if (spec.empty()) return DefaultPalette();
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string name = spec.substr(start, end - start);
+    if (name.empty()) {
+      throw CodecConfigError("adaptive palette has an empty entry: '" + spec +
+                             "'");
+    }
+    names.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
+}
+
+AdaptiveCodec::AdaptiveCodec(unsigned width, std::vector<std::string> palette,
+                             std::size_t window, long long hysteresis,
+                             Word stride, const MemberBuilder& builder)
+    : Codec(width),
+      palette_(std::move(palette)),
+      window_(window),
+      hysteresis_(hysteresis),
+      stride_(stride) {
+  if (palette_.empty()) {
+    throw CodecConfigError("adaptive palette must name at least one member");
+  }
+  if (window_ == 0) {
+    throw CodecConfigError("adaptive window must be >= 1 access");
+  }
+  if (hysteresis_ < 0) {
+    throw CodecConfigError("adaptive hysteresis must be non-negative");
+  }
+  for (const std::string& name : palette_) {
+    if (name == "adaptive") {
+      throw CodecConfigError("adaptive palette cannot contain itself");
+    }
+  }
+  for (End* end : {&enc_, &dec_}) {
+    for (const std::string& name : palette_) {
+      CodecPtr member = builder(name);
+      if (member == nullptr || member->width() != this->width()) {
+        throw CodecConfigError("adaptive member '" + name +
+                               "' was not built at the meta-codec width");
+      }
+      redundant_ = std::max(redundant_, member->redundant_lines());
+      end->counters.emplace_back(this->width(), member->redundant_lines());
+      end->shadows.push_back(builder(name));
+      end->members.push_back(std::move(member));
+    }
+    end->window_base.assign(palette_.size(), 0);
+  }
+}
+
+bool AdaptiveCodec::DecideAtBoundary(End& e, bool encoder_end) {
+  const std::size_t n = palette_.size();
+  std::vector<long long> fresh(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    fresh[m] = e.counters[m].total() - e.window_base[m];
+  }
+  // The stale-statistics sabotage decides from the window before last;
+  // the first boundary has no older window, so both ends still agree
+  // there and the logs diverge from boundary two on.
+  const bool stale =
+      encoder_end && sabotage_.stale_stats && !e.last_costs.empty();
+  const std::vector<long long>& used = stale ? e.last_costs : fresh;
+
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < n; ++m) {
+    if (used[m] < used[best]) best = m;
+  }
+  const std::size_t active = static_cast<std::size_t>(e.active);
+  const bool switched =
+      best != active && used[active] - used[best] > hysteresis_;
+  if (switched) {
+    e.active = static_cast<int>(best);
+    e.members[best]->Reset();
+  }
+  AdaptiveDecision decision;
+  decision.access_index = e.accesses;
+  decision.window = e.accesses / window_;
+  decision.costs = used;
+  decision.chosen = e.active;
+  decision.switched = switched;
+  e.decisions.push_back(std::move(decision));
+
+  for (std::size_t m = 0; m < n; ++m) {
+    e.window_base[m] = e.counters[m].total();
+  }
+  e.completed = std::move(e.current);
+  e.current = AdaptiveWindowStats{};
+  e.last_costs = std::move(fresh);
+  return switched;
+}
+
+void AdaptiveCodec::Prime(End& e, Word address, bool sel) {
+  Codec& member = *e.members[static_cast<std::size_t>(e.active)];
+  const BusState primed = member.Encode(address, sel);
+  (void)member.Decode(primed, sel);
+}
+
+void AdaptiveCodec::ObserveStats(End& e, Word b, bool sel) {
+  ++e.current.accesses;
+  if (sel) ++e.current.sel_high;
+  if (e.has_prev) {
+    const Word delta = Mask(b - e.prev_address);
+    ++e.current.stride_histogram[delta];
+    e.current.raw_toggles += HammingDistance(e.prev_address, b, width());
+    if (delta == Mask(stride_)) ++e.current.in_sequence;
+  }
+  e.prev_address = b;
+  e.has_prev = true;
+}
+
+void AdaptiveCodec::Advance(End& e, Word address, bool sel) {
+  const Word b = Mask(address);
+  for (std::size_t m = 0; m < palette_.size(); ++m) {
+    e.counters[m].Observe(e.shadows[m]->Encode(b, sel));
+  }
+  ObserveStats(e, b, sel);
+  ++e.accesses;
+}
+
+BusState AdaptiveCodec::EncodeOne(Word address, bool sel) {
+  End& e = enc_;
+  bool switched = false;
+  if (AtBoundary(e)) switched = DecideAtBoundary(e, true);
+  const Word b = Mask(address);
+  BusState out;
+  if (switched) {
+    out = BusState{b, 1};  // verbatim address, ESC asserted
+    if (sabotage_.delayed_esc) {
+      out.redundant = 0;
+      e.pending_esc = true;
+    }
+    Prime(e, b, sel);
+  } else {
+    out = e.members[static_cast<std::size_t>(e.active)]->Encode(address, sel);
+    if (e.pending_esc) {
+      out.redundant |= 1;
+      e.pending_esc = false;
+    }
+  }
+  Advance(e, b, sel);
+  return out;
+}
+
+Word AdaptiveCodec::DecodeOne(const BusState& bus, bool sel) {
+  End& d = dec_;
+  bool switched = false;
+  if (AtBoundary(d)) switched = DecideAtBoundary(d, false);
+  Word b;
+  if (switched) {
+    // The replayed decision — not the ESC line — tells this end the
+    // boundary word is verbatim; ESC is the wire-visible witness that
+    // the decision-replay property audits.
+    b = Mask(bus.lines);
+    Prime(d, b, sel);
+  } else {
+    b = Mask(d.members[static_cast<std::size_t>(d.active)]->Decode(bus, sel));
+  }
+  Advance(d, b, sel);
+  return b;
+}
+
+BusState AdaptiveCodec::Encode(Word address, bool sel) {
+  return EncodeOne(address, sel);
+}
+
+Word AdaptiveCodec::Decode(const BusState& bus, bool sel) {
+  return DecodeOne(bus, sel);
+}
+
+void AdaptiveCodec::EncodeBlock(std::span<const BusAccess> in,
+                                std::span<BusState> out) {
+  End& e = enc_;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (AtBoundary(e)) {
+      out[i] = EncodeOne(in[i].address, in[i].sel);
+      ++i;
+      continue;
+    }
+    const std::size_t room = window_ - (e.accesses % window_);
+    const std::size_t run = std::min(room, in.size() - i);
+    const std::span<const BusAccess> sub_in = in.subspan(i, run);
+    const std::span<BusState> sub_out = out.subspan(i, run);
+    e.members[static_cast<std::size_t>(e.active)]->EncodeBlock(sub_in,
+                                                               sub_out);
+    if (e.pending_esc) {
+      sub_out[0].redundant |= 1;
+      e.pending_esc = false;
+    }
+    e.scratch.resize(run);
+    const std::span<BusState> scratch(e.scratch.data(), run);
+    for (std::size_t m = 0; m < palette_.size(); ++m) {
+      e.shadows[m]->EncodeBlock(sub_in, scratch);
+      for (const BusState& state : scratch) e.counters[m].Observe(state);
+    }
+    for (const BusAccess& access : sub_in) {
+      ObserveStats(e, Mask(access.address), access.sel);
+    }
+    e.accesses += run;
+    i += run;
+  }
+}
+
+void AdaptiveCodec::EncodeColumns(const Word* addresses,
+                                  const std::uint8_t* sel, std::size_t n,
+                                  std::span<BusState> out) {
+  End& e = enc_;
+  std::size_t i = 0;
+  while (i < n) {
+    if (AtBoundary(e)) {
+      out[i] = EncodeOne(addresses[i], sel[i] != 0);
+      ++i;
+      continue;
+    }
+    const std::size_t room = window_ - (e.accesses % window_);
+    const std::size_t run = std::min(room, n - i);
+    const std::span<BusState> sub_out = out.subspan(i, run);
+    e.members[static_cast<std::size_t>(e.active)]->EncodeColumns(
+        addresses + i, sel + i, run, sub_out);
+    if (e.pending_esc) {
+      sub_out[0].redundant |= 1;
+      e.pending_esc = false;
+    }
+    e.scratch.resize(run);
+    const std::span<BusState> scratch(e.scratch.data(), run);
+    for (std::size_t m = 0; m < palette_.size(); ++m) {
+      e.shadows[m]->EncodeColumns(addresses + i, sel + i, run, scratch);
+      for (const BusState& state : scratch) e.counters[m].Observe(state);
+    }
+    for (std::size_t k = 0; k < run; ++k) {
+      ObserveStats(e, Mask(addresses[i + k]), sel[i + k] != 0);
+    }
+    e.accesses += run;
+    i += run;
+  }
+}
+
+void AdaptiveCodec::ResetEnd(End& e) {
+  for (const CodecPtr& member : e.members) member->Reset();
+  for (const CodecPtr& shadow : e.shadows) shadow->Reset();
+  for (TransitionCounter& counter : e.counters) counter.Reset();
+  e.window_base.assign(palette_.size(), 0);
+  e.last_costs.clear();
+  e.active = 0;
+  e.accesses = 0;
+  e.pending_esc = false;
+  e.has_prev = false;
+  e.prev_address = 0;
+  e.current = AdaptiveWindowStats{};
+  e.completed = AdaptiveWindowStats{};
+  e.decisions.clear();
+}
+
+void AdaptiveCodec::Reset() {
+  ResetEnd(enc_);
+  ResetEnd(dec_);
+}
+
+}  // namespace abenc

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/adaptive_codec.h"
 #include "core/beach_codec.h"
 #include "core/binary_codec.h"
 #include "core/bus_invert_codec.h"
@@ -54,6 +55,15 @@ CodecPtr MakeCodec(const std::string& name, const CodecOptions& o) {
   if (name == "couple-invert") {
     return std::make_unique<CoupleInvertCodec>(o.width, o.coupling_lambda);
   }
+  if (name == "adaptive") {
+    // Members are built through this same factory with the caller's
+    // options (width, stride, partitions, ...); the palette cannot
+    // contain "adaptive" itself, so the recursion is one level deep.
+    return std::make_unique<AdaptiveCodec>(
+        o.width, AdaptiveCodec::ParsePalette(o.adaptive_palette),
+        o.adaptive_window, o.adaptive_hysteresis, o.stride,
+        [o](const std::string& member) { return MakeCodec(member, o); });
+  }
   throw CodecConfigError("unknown codec name: " + name);
 }
 
@@ -69,7 +79,7 @@ std::vector<std::string> AllCodecNames() {
   return {"binary",     "gray",   "gray-word", "bus-invert",
           "t0",         "t0-bi",  "dual-t0",   "dual-t0-bi",
           "offset",     "inc-xor", "working-zone", "beach", "beach-corr", "mtf",
-          "couple-invert"};
+          "couple-invert", "adaptive"};
 }
 
 }  // namespace abenc

@@ -1,6 +1,7 @@
 // String-keyed construction of every codec in the library.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -18,13 +19,21 @@ struct CodecOptions {
   unsigned beach_cluster_bits = 8;
   unsigned mtf_entries = 16;   // move-to-front dictionary size
   double coupling_lambda = 2.0; // coupling/ground cap ratio (OE-invert)
+  // Adaptive meta-codec (src/core/adaptive_codec.h): decision window in
+  // accesses, minimum per-window toggle advantage required to switch,
+  // and the member palette as a comma-separated name list (empty =
+  // AdaptiveCodec::DefaultPalette()).
+  std::size_t adaptive_window = 64;
+  long long adaptive_hysteresis = 16;
+  std::string adaptive_palette;
 };
 
 /// Create a codec by machine name. Known names:
 ///   "binary", "gray", "gray-word" (stride-aware Gray), "bus-invert",
 ///   "t0", "t0-bi", "dual-t0", "dual-t0-bi",
 ///   "offset", "inc-xor", "working-zone", "beach", "beach-corr", "mtf",
-///   "couple-invert".
+///   "couple-invert", "adaptive" (windowed meta-codec over a member
+///   palette, built recursively through this factory).
 /// Throws CodecConfigError for unknown names or invalid options.
 CodecPtr MakeCodec(const std::string& name, const CodecOptions& options = {});
 

@@ -22,8 +22,9 @@ using Clock = std::chrono::steady_clock;
 /// The codec rotation: the paper's main history and stateless codes,
 /// including a redundant-line code (bus-invert) and a dual multiplexed
 /// code, so the soak exercises every frame geometry the channel knows.
-const char* const kCodecPalette[] = {"t0",     "gray",    "bus-invert",
-                                     "inc-xor", "offset", "dual-t0-bi"};
+const char* const kCodecPalette[] = {"t0",      "gray",   "bus-invert",
+                                     "inc-xor", "offset", "dual-t0-bi",
+                                     "adaptive"};
 
 /// Everything about one synthetic session, fixed up front so the serial
 /// reference can be recomputed after the run from the same plan.

@@ -1,8 +1,10 @@
 #include "verify/properties.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/adaptive_codec.h"
 #include "core/simd/kernel_dispatch.h"
 #include "core/trace_source.h"
 #include "core/transition_counter.h"
@@ -369,6 +371,95 @@ std::optional<PropertyFailure> CheckKernelDispatchIdentity(
   return std::nullopt;
 }
 
+std::optional<PropertyFailure> CheckDecisionReplay(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory) {
+  const CodecPtr encoder = factory(codec_name, options);
+  const CodecPtr decoder = factory(codec_name, options);
+  const Word mask = LowMask(encoder->width());
+
+  // Split-end lockstep, recording the wire for the audits below. On a
+  // decode mismatch the run stops (the decoder end is desynchronized;
+  // everything after it is noise), but decisions taken up to that
+  // point are still audited so the earliest offence wins.
+  std::vector<BusState> wire;
+  wire.reserve(stream.size());
+  std::optional<PropertyFailure> worst;
+  const auto offer = [&](std::size_t index, const std::string& message) {
+    if (!worst.has_value() || index < worst->index) {
+      worst = PropertyFailure{index, message};
+    }
+  };
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    wire.push_back(encoder->Encode(stream[i].address, stream[i].sel));
+    const Word split = decoder->Decode(wire.back(), stream[i].sel);
+    const Word expected = stream[i].address & mask;
+    if (split != expected) {
+      offer(i, codec_name + ": replay decoder recovered " + HexWord(split) +
+                 ", expected " + HexWord(expected) + " at access " +
+                 std::to_string(i));
+      break;
+    }
+  }
+
+  // The audits need the decision logs, so they only engage when the
+  // factory hands back real AdaptiveCodec instances (a sabotage
+  // wrapper hides them — the lockstep half still runs); every other
+  // codec degenerates to the lockstep check by construction.
+  const auto* enc = dynamic_cast<const AdaptiveCodec*>(encoder.get());
+  const auto* dec = dynamic_cast<const AdaptiveCodec*>(decoder.get());
+  if (enc == nullptr || dec == nullptr) return worst;
+
+  // (a) Wire audit: every logged switch boundary must carry the
+  // address verbatim with the overloaded redundant line reading ESC=1.
+  const std::vector<AdaptiveDecision>& enc_log = enc->encoder_decisions();
+  for (const AdaptiveDecision& decision : enc_log) {
+    if (decision.access_index >= wire.size()) break;
+    if (!decision.switched) continue;
+    const BusState& state = wire[decision.access_index];
+    const std::size_t i = decision.access_index;
+    if ((state.redundant & 1) == 0) {
+      offer(i, codec_name + ": switch at access " + std::to_string(i) +
+                   " went out without the ESC bit — the wire no longer "
+                   "witnesses the decision the ends replayed");
+    }
+    if (state.lines != (stream[i].address & mask)) {
+      offer(i, codec_name + ": switch word at access " + std::to_string(i) +
+                   " is " + HexWord(state.lines) + ", expected the verbatim "
+                   "address " + HexWord(stream[i].address & mask));
+    }
+  }
+
+  // (b) Log audit: the decoder's replayed decisions — boundary, window
+  // costs, chosen member, switch flag — must equal the encoder's.
+  const std::vector<AdaptiveDecision>& dec_log = dec->decoder_decisions();
+  const std::size_t common = std::min(enc_log.size(), dec_log.size());
+  for (std::size_t j = 0; j < common; ++j) {
+    if (enc_log[j] == dec_log[j]) continue;
+    const std::size_t i =
+        std::min(enc_log[j].access_index, dec_log[j].access_index);
+    std::ostringstream out;
+    out << codec_name << ": decision logs diverge at boundary access " << i
+        << " — encoder chose member " << enc_log[j].chosen
+        << (enc_log[j].switched ? " (switch)" : " (hold)")
+        << ", decoder replayed member " << dec_log[j].chosen
+        << (dec_log[j].switched ? " (switch)" : " (hold)");
+    if (enc_log[j].costs != dec_log[j].costs) {
+      out << "; the two ends measured different window costs";
+    }
+    offer(i, out.str());
+    break;
+  }
+  if (enc_log.size() != dec_log.size()) {
+    const std::vector<AdaptiveDecision>& longer =
+        enc_log.size() > dec_log.size() ? enc_log : dec_log;
+    offer(longer[common].access_index,
+          codec_name + ": one end logged " + std::to_string(enc_log.size()) +
+              " decisions, the other " + std::to_string(dec_log.size()));
+  }
+  return worst;
+}
+
 std::vector<std::string> UniversalPropertyNames() {
   return {"round-trip",
           "line-width",
@@ -376,7 +467,8 @@ std::vector<std::string> UniversalPropertyNames() {
           "transition-accounting",
           "decoder-lockstep",
           "batched-identity",
-          "kernel-dispatch-identity"};
+          "kernel-dispatch-identity",
+          "decision-replay"};
 }
 
 std::optional<PropertyFailure> CheckUniversalProperty(
@@ -403,6 +495,9 @@ std::optional<PropertyFailure> CheckUniversalProperty(
   }
   if (property == "kernel-dispatch-identity") {
     return CheckKernelDispatchIdentity(codec_name, options, stream, factory);
+  }
+  if (property == "decision-replay") {
+    return CheckDecisionReplay(codec_name, options, stream, factory);
   }
   throw std::invalid_argument("unknown universal property: " + property);
 }

@@ -95,9 +95,26 @@ std::optional<PropertyFailure> CheckKernelDispatchIdentity(
     const std::string& codec_name, const CodecOptions& options,
     std::span<const BusAccess> stream, const CodecFactoryFn& factory);
 
+/// Decision-replay lockstep: the adaptive meta-codec's decoder must
+/// replay the encoder's per-window decisions deterministically from the
+/// wire alone. Drives two separate instances (one only encoding, one
+/// only decoding) and then audits, beyond the decoded addresses: (a)
+/// the wire at every logged switch boundary carries the address
+/// verbatim with the ESC bit asserted, and (b) the two ends' decision
+/// logs — boundary index, per-member window costs, chosen member,
+/// switch flag — are identical entry by entry. The reported index is
+/// the earliest offending access, so an injected protocol bug (stale
+/// window statistics, delayed ESC) is caught at its exact boundary.
+/// For codecs without a decision log the property degenerates to the
+/// split-decoder lockstep check.
+std::optional<PropertyFailure> CheckDecisionReplay(
+    const std::string& codec_name, const CodecOptions& options,
+    std::span<const BusAccess> stream, const CodecFactoryFn& factory);
+
 /// Names of the universal properties, in a stable order:
 /// "round-trip", "line-width", "reset-replay", "transition-accounting",
-/// "decoder-lockstep", "batched-identity", "kernel-dispatch-identity".
+/// "decoder-lockstep", "batched-identity", "kernel-dispatch-identity",
+/// "decision-replay".
 std::vector<std::string> UniversalPropertyNames();
 
 /// Dispatch by property name; throws std::invalid_argument for unknown

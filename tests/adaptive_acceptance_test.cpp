@@ -1,0 +1,97 @@
+// Acceptance gates for the adaptive meta-codec, straight from the issue:
+// (a) on a mixed-phase workload — alternating regimes engineered so each
+// palette member is the wrong choice somewhere — adaptive must strictly
+// beat every single member it is built from, and (b) on all nine paper
+// benchmark streams it must never do worse than uncoded binary. Both are
+// hard ctest assertions on exact transition counts, not trends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_codec.h"
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "sim/program_library.h"
+#include "verify/stream_gen.h"
+
+namespace abenc {
+namespace {
+
+using verify::MixSeed;
+
+// The bench setup: 32-bit multiplexed MIPS bus, word stride 4.
+CodecOptions BenchOptions() {
+  CodecOptions options;
+  options.width = 32;
+  options.stride = 4;
+  return options;
+}
+
+// A deterministic workload that changes character every phase:
+//   - stride-4 sequential runs (T0 territory: the bus can freeze),
+//   - stride-1 scans the codec's stride knob does not match (Gray's
+//     single-toggle regime; T0 sees every step as out-of-sequence),
+//   - uniform random bursts (bus-invert's regime).
+// No single member wins all three, so a correct per-window selector has
+// to beat each of them end to end.
+std::vector<BusAccess> MixedPhaseWorkload() {
+  std::vector<BusAccess> stream;
+  std::uint64_t chain = 0x3D1FEEDull;
+  const auto next = [&chain] { return MixSeed(chain++); };
+  const Word mask = LowMask(32);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    Word base = (next() & mask) & ~Word{0xFFF};
+    for (std::size_t i = 0; i < 512; ++i) {
+      stream.push_back(BusAccess{(base + 4 * i) & mask, true});
+    }
+    base = (next() & mask) & ~Word{0xFFF};
+    for (std::size_t i = 0; i < 512; ++i) {
+      stream.push_back(BusAccess{(base + i) & mask, true});
+    }
+    for (std::size_t i = 0; i < 512; ++i) {
+      stream.push_back(BusAccess{next() & mask, true});
+    }
+  }
+  return stream;
+}
+
+EvalResult EvaluateOn(const std::string& codec_name,
+                      const CodecOptions& options,
+                      std::span<const BusAccess> stream) {
+  const CodecPtr codec = MakeCodec(codec_name, options);
+  return Evaluate(*codec, stream, options.stride);
+}
+
+TEST(AdaptiveAcceptanceTest, StrictlyBeatsEveryMemberOnMixedPhases) {
+  const CodecOptions options = BenchOptions();
+  const std::vector<BusAccess> stream = MixedPhaseWorkload();
+
+  const EvalResult adaptive = EvaluateOn("adaptive", options, stream);
+  for (const std::string& member : AdaptiveCodec::DefaultPalette()) {
+    const EvalResult alone = EvaluateOn(member, options, stream);
+    EXPECT_LT(adaptive.transitions, alone.transitions)
+        << "adaptive (" << adaptive.transitions
+        << " transitions) failed to beat standalone " << member << " ("
+        << alone.transitions << ") on the mixed-phase workload";
+  }
+}
+
+TEST(AdaptiveAcceptanceTest, NeverLosesToBinaryOnThePaperStreams) {
+  const CodecOptions options = BenchOptions();
+  for (const sim::ProgramTraces& traces : sim::RunAllBenchmarks()) {
+    const std::vector<BusAccess> stream =
+        traces.multiplexed.ToBusAccesses();
+    const EvalResult binary = EvaluateOn("binary", options, stream);
+    const EvalResult adaptive = EvaluateOn("adaptive", options, stream);
+    EXPECT_LE(adaptive.transitions, binary.transitions)
+        << "adaptive (" << adaptive.transitions
+        << " transitions) lost to binary (" << binary.transitions
+        << ") on the " << traces.multiplexed.name() << " stream";
+  }
+}
+
+}  // namespace
+}  // namespace abenc

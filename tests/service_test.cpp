@@ -5,6 +5,7 @@
 // wedged shard, and the soak harness end to end.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "channel/fault_models.h"
+#include "core/adaptive_codec.h"
 #include "core/codec_factory.h"
 #include "core/stream_evaluator.h"
 #include "service/service.h"
@@ -329,6 +331,129 @@ TEST(RecoveryTest, UnhealableFaultDegradesToBinaryNeverSilently) {
   EXPECT_EQ(t.transfers, stream.size());
   CodecPtr reference = MakeCodec("t0");
   ExpectSameEvalResult(report.result, Evaluate(*reference, stream));
+}
+
+TEST(AdaptiveServiceTest, AccountingMatchesSerialEvaluateAcrossSwitches) {
+  // An adaptive session through the full service stack: the per-window
+  // member switching must be invisible to the accounting contract. The
+  // small window plus a multiplexed stream guarantees the run actually
+  // crosses member switches (asserted on the serial reference below).
+  EncodingService service(ManualMode());
+  SessionConfig config;
+  config.codec_name = "adaptive";
+  config.codec_options.adaptive_window = 16;
+  config.codec_options.adaptive_hysteresis = 0;
+  const std::uint64_t id = service.OpenSession(config);
+  const std::vector<BusAccess> stream =
+      TestStream(verify::StreamFamily::kMultiplexed, 41, 600);
+  SubmitAll(service, id, stream);
+  service.CloseSession(id);
+  ASSERT_TRUE(service.Drain(std::chrono::milliseconds(5000)));
+
+  CodecPtr reference = MakeCodec("adaptive", config.codec_options);
+  const EvalResult want = Evaluate(*reference, stream);
+  const auto* adaptive = dynamic_cast<const AdaptiveCodec*>(reference.get());
+  ASSERT_NE(adaptive, nullptr);
+  const auto& decisions = adaptive->encoder_decisions();
+  ASSERT_TRUE(std::any_of(decisions.begin(), decisions.end(),
+                          [](const AdaptiveDecision& d) { return d.switched; }))
+      << "stream never forced a switch; the test is vacuous";
+  const SessionReport report = service.Report(id);
+  ExpectSameEvalResult(report.result, want);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.transport.clean, stream.size());
+}
+
+TEST(AdaptiveServiceTest, SwitchesCleanlyAfterAChannelResync) {
+  // A transient upset lands mid-window while the history member
+  // (inc-xor) is active; the recovery ladder resyncs the channel, and
+  // the very next regime change must still switch members cleanly — the
+  // boundary edge case where a desync would shear the two decision logs
+  // apart. The phases are engineered so the switch decision lands after
+  // the upset: a sequential run (inc-xor territory), then an alternating
+  // all-ones/all-zeros burst (bus-invert pays 1 toggle where inc-xor
+  // pays the full bus width).
+  EncodingService service(ManualMode());
+  SessionConfig config;
+  config.codec_name = "adaptive";
+  config.codec_options.adaptive_palette = "inc-xor,bus-invert";
+  config.codec_options.adaptive_window = 16;
+  config.codec_options.adaptive_hysteresis = 0;
+  config.protection = Protection::kNone;
+  config.fault_installer = [](BusChannel& channel) {
+    channel.AddFault(std::make_unique<SingleUpsetFault>(20, 7));
+  };
+  const std::uint64_t id = service.OpenSession(config);
+  std::vector<BusAccess> stream;
+  for (std::size_t i = 0; i < 48; ++i) {
+    stream.push_back(BusAccess{0x1000 + 4 * i, true});
+  }
+  for (std::size_t i = 0; i < 48; ++i) {
+    stream.push_back(BusAccess{i % 2 == 0 ? Word{0} : Word{0xFFFFFFFF}, true});
+  }
+  SubmitAll(service, id, stream);
+  ASSERT_TRUE(service.Drain(std::chrono::milliseconds(5000)));
+
+  const SessionReport report = service.Report(id);
+  EXPECT_GE(report.transport.recovered, 1u);
+  EXPECT_GE(report.transport.forced_resyncs, 1u);
+  EXPECT_FALSE(report.degraded);
+
+  CodecPtr reference = MakeCodec("adaptive", config.codec_options);
+  const EvalResult want = Evaluate(*reference, stream);
+  const auto* adaptive = dynamic_cast<const AdaptiveCodec*>(reference.get());
+  ASSERT_NE(adaptive, nullptr);
+  const auto& decisions = adaptive->encoder_decisions();
+  ASSERT_TRUE(std::any_of(decisions.begin(), decisions.end(),
+                          [](const AdaptiveDecision& d) {
+                            return d.switched && d.access_index > 20;
+                          }))
+      << "no member switch after the upset; the scenario went untested";
+  ExpectSameEvalResult(report.result, want);
+}
+
+TEST(AdaptiveServiceTest, KeepsSwitchingAfterTransportDegrades) {
+  // Rung 3 with an adaptive session: an unhealable stuck line demotes
+  // the *transport* to binary, but the session's accounting codec keeps
+  // taking (and replaying) window decisions — the report must still be
+  // bit-exact against the serial adaptive reference, with switches
+  // happening after the degradation point.
+  EncodingService service(ManualMode());
+  SessionConfig config;
+  config.codec_name = "adaptive";
+  config.codec_options.adaptive_palette = "inc-xor,bus-invert";
+  config.codec_options.adaptive_window = 16;
+  config.codec_options.adaptive_hysteresis = 0;
+  config.protection = Protection::kNone;
+  config.fault_installer = [](BusChannel& channel) {
+    channel.AddFault(std::make_unique<StuckAtFault>(0, true, 30));
+  };
+  const std::uint64_t id = service.OpenSession(config);
+  std::vector<BusAccess> stream;
+  for (std::size_t i = 0; i < 48; ++i) {
+    stream.push_back(BusAccess{0x2000 + 4 * i, true});
+  }
+  for (std::size_t i = 0; i < 48; ++i) {
+    stream.push_back(BusAccess{i % 2 == 0 ? Word{0} : Word{0xFFFFFFFF}, true});
+  }
+  SubmitAll(service, id, stream);
+  ASSERT_TRUE(service.Drain(std::chrono::milliseconds(5000)));
+
+  const SessionReport report = service.Report(id);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_GE(report.transport.degraded_deliveries, 1u);
+
+  CodecPtr reference = MakeCodec("adaptive", config.codec_options);
+  const EvalResult want = Evaluate(*reference, stream);
+  const auto* adaptive = dynamic_cast<const AdaptiveCodec*>(reference.get());
+  ASSERT_NE(adaptive, nullptr);
+  const auto& decisions = adaptive->encoder_decisions();
+  EXPECT_TRUE(std::any_of(decisions.begin(), decisions.end(),
+                          [](const AdaptiveDecision& d) {
+                            return d.switched && d.access_index > 30;
+                          }))
+      << "no member switch after the degradation point";
+  ExpectSameEvalResult(report.result, want);
 }
 
 TEST(ServiceTest, UnknownSessionIdsThrow) {
