@@ -1,0 +1,110 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace abenc::net {
+
+Client::Client(ClientOptions options) {
+  const Endpoint endpoint = ParseEndpoint(options.endpoint);
+  fd_ = DialEndpoint(endpoint, options.io_timeout);
+  try {
+    HelloRequest hello;
+    const Frame reply = Transact(FrameType::kHello, EncodeHello(hello),
+                                 FrameType::kHelloOk);
+    max_frame_bytes_ = DecodeHelloOk(reply.payload).max_frame_bytes;
+  } catch (...) {
+    Abort();
+    throw;
+  }
+}
+
+Client::~Client() { Abort(); }
+
+OpenReply Client::Open(const OpenRequest& request) {
+  const Frame reply =
+      Transact(FrameType::kOpen, EncodeOpen(request), FrameType::kOpenOk);
+  return DecodeOpenOk(reply.payload);
+}
+
+AttachReply Client::Attach(std::uint64_t session_id, std::uint64_t token) {
+  AttachRequest request;
+  request.session_id = session_id;
+  request.token = token;
+  const Frame reply = Transact(FrameType::kAttach, EncodeAttach(request),
+                               FrameType::kAttachOk);
+  return DecodeAttachOk(reply.payload);
+}
+
+SubmitAck Client::Submit(std::uint64_t session_id,
+                         std::span<const BusAccess> batch) {
+  const Frame reply = Transact(FrameType::kSubmit,
+                               EncodeSubmit(session_id, batch),
+                               FrameType::kSubmitAck);
+  return DecodeSubmitAck(reply.payload);
+}
+
+StatsReply Client::DrainStats(std::uint64_t session_id, bool wait_drained) {
+  DrainStatsRequest request;
+  request.session_id = session_id;
+  request.wait_drained = wait_drained;
+  const Frame reply = Transact(FrameType::kDrainStats,
+                               EncodeDrainStats(request), FrameType::kStats);
+  return DecodeStats(reply.payload);
+}
+
+CloseReply Client::Close(std::uint64_t session_id) {
+  CloseRequest request;
+  request.session_id = session_id;
+  const Frame reply = Transact(FrameType::kClose, EncodeClose(request),
+                               FrameType::kCloseOk);
+  return DecodeCloseOk(reply.payload);
+}
+
+void Client::SendRaw(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) throw NetError("Client: socket already closed");
+  SendAll(fd_, bytes.data(), bytes.size());
+}
+
+Frame Client::ReadFrame() {
+  if (fd_ < 0) throw NetError("Client: socket already closed");
+  for (;;) {
+    std::optional<Frame> frame =
+        TryExtractFrame(in_, static_cast<std::size_t>(max_frame_bytes_));
+    if (frame.has_value()) return std::move(*frame);
+    std::uint8_t chunk[65536];
+    const std::size_t n = RecvSome(fd_, chunk, sizeof(chunk));
+    if (n == 0) throw NetError("connection closed by server");
+    in_.insert(in_.end(), chunk, chunk + n);
+  }
+}
+
+void Client::ShutdownSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::Abort() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Frame Client::Transact(FrameType type,
+                       std::span<const std::uint8_t> payload,
+                       FrameType expected) {
+  const std::vector<std::uint8_t> bytes = EncodeFrame(type, payload);
+  SendRaw(bytes);
+  Frame reply = ReadFrame();
+  if (reply.type == FrameType::kError) {
+    const ErrorReply error = DecodeError(reply.payload);
+    throw WireError(error.status, error.message);
+  }
+  if (reply.type != expected) {
+    throw WireError(Status::kBadFrame,
+                    "expected " + FrameTypeName(expected) + ", got " +
+                        FrameTypeName(reply.type));
+  }
+  return reply;
+}
+
+}  // namespace abenc::net

@@ -1,0 +1,96 @@
+// Blocking client for the encoding service's wire protocol: dial +
+// HELLO handshake in the constructor, then typed request/reply calls
+// that mirror the EncodingService API across the socket.
+//
+// Error surfaces:
+//  - NetError: the transport failed (dial, timeout, peer closed) — the
+//    Client is dead; reconnect and ATTACH with the OPEN-issued token to
+//    resume sessions.
+//  - WireError: the server answered ERROR (status carried in the
+//    exception) or sent bytes that do not decode. Request-scoped
+//    statuses (kUnknownSession, kBadConfig, kBadToken, kNotAttached)
+//    leave the connection usable; fatal ones are followed by a server
+//    close.
+//
+// Backpressure is data, not an exception: Submit() returns the ack
+// whose status maps the session's Admission (kSlowDown / kRejected),
+// so client pacing loops read it exactly like the in-process soak reads
+// Admission.
+//
+// The raw escape hatches (SendRaw / ReadFrame / ShutdownSend / Abort)
+// exist for the net_soak fuzz and disconnect injection — they speak
+// bytes, not protocol, on purpose.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/sockets.h"
+
+namespace abenc::net {
+
+struct ClientOptions {
+  std::string endpoint = "tcp:127.0.0.1:0";
+  /// Socket send/receive timeout for every blocking call. Calls that
+  /// can legitimately take long (DrainStats with wait_drained under
+  /// load) need this sized to the expected drain time.
+  std::chrono::milliseconds io_timeout{10000};
+};
+
+class Client {
+ public:
+  /// Dials and performs the HELLO handshake; throws NetError on
+  /// transport failure and WireError if the server refuses the
+  /// handshake (bad magic / no version overlap).
+  explicit Client(ClientOptions options);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Frame cap advertised by the server in HELLO_OK.
+  std::uint64_t max_frame_bytes() const { return max_frame_bytes_; }
+
+  OpenReply Open(const OpenRequest& request);
+  AttachReply Attach(std::uint64_t session_id, std::uint64_t token);
+  SubmitAck Submit(std::uint64_t session_id,
+                   std::span<const BusAccess> batch);
+  StatsReply DrainStats(std::uint64_t session_id, bool wait_drained);
+  CloseReply Close(std::uint64_t session_id);
+
+  // -- raw layer (fuzz + fault injection) --
+
+  /// Send arbitrary bytes as-is (no framing added).
+  void SendRaw(std::span<const std::uint8_t> bytes);
+
+  /// Read the next complete frame off the socket; throws NetError on
+  /// timeout or close, WireError on framing violations.
+  Frame ReadFrame();
+
+  /// Half-close the send side (the server sees EOF after any buffered
+  /// bytes — a clean mid-conversation disconnect).
+  void ShutdownSend();
+
+  /// Hard-close the socket immediately; every later call throws
+  /// NetError. Simulates a crashed client (possibly mid-frame).
+  void Abort();
+
+  bool alive() const { return fd_ >= 0; }
+
+ private:
+  /// Send one frame, read one frame, demand `expected` (ERROR decodes
+  /// into a thrown WireError instead).
+  Frame Transact(FrameType type, std::span<const std::uint8_t> payload,
+                 FrameType expected);
+
+  int fd_ = -1;
+  std::uint64_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  std::vector<std::uint8_t> in_;  // receive accumulator
+};
+
+}  // namespace abenc::net

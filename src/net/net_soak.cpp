@@ -1,0 +1,549 @@
+#include "net/net_soak.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "core/codec_factory.h"
+#include "core/stream_evaluator.h"
+#include "net/client.h"
+#include "service/soak.h"
+#include "verify/stream_gen.h"
+
+namespace abenc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t Draw(std::uint64_t seed, std::uint64_t salt) {
+  return verify::MixSeed(seed + 0x9E3779B97F4A7C15ULL * (salt + 1));
+}
+
+/// One planned wire session: stream, codec and injection schedule, all
+/// fixed up front so the serial oracle can be recomputed afterwards.
+struct SessionPlan {
+  std::size_t index = 0;
+  std::string codec_name;
+  std::vector<BusAccess> stream;
+  CodecOptions codec_options;
+  std::uint8_t protection = 2;  // SECDED unless the fault draw rotates it
+  std::uint64_t fault_seed = 0;
+  /// Accepted-count thresholds at which the client kills its connection
+  /// (odd entries mid-frame) and resumes via ATTACH.
+  std::vector<std::size_t> kill_points;
+};
+
+/// What a hostile connection observed. Anything but kWedged is a clean
+/// containment outcome.
+enum class FuzzEnd { kError, kClosed, kWedged };
+
+/// Raw socket (no Client, no handshake) for the fuzz swarm.
+struct RawConn {
+  int fd = -1;
+
+  RawConn(const Endpoint& endpoint, std::chrono::milliseconds timeout)
+      : fd(DialEndpoint(endpoint, timeout)) {}
+  ~RawConn() { CloseFd(fd); }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  void Send(std::span<const std::uint8_t> bytes) {
+    SendAll(fd, bytes.data(), bytes.size());
+  }
+
+  void HalfClose() { ::shutdown(fd, SHUT_WR); }
+
+  /// Drain replies until an ERROR frame, an orderly close, or a receive
+  /// timeout (= the server wedged — the one forbidden outcome).
+  FuzzEnd Outcome(std::uint64_t* errors_seen) {
+    std::vector<std::uint8_t> buffer;
+    for (;;) {
+      std::optional<Frame> frame;
+      try {
+        frame = TryExtractFrame(buffer, kDefaultMaxFrameBytes);
+      } catch (const WireError&) {
+        return FuzzEnd::kClosed;  // server echoing our garbage? count as
+                                  // contained; health check still gates
+      }
+      if (frame.has_value()) {
+        if (frame->type == FrameType::kError) {
+          ++*errors_seen;
+          return FuzzEnd::kError;
+        }
+        continue;  // e.g. HELLO_OK before the violation's ERROR
+      }
+      std::uint8_t chunk[4096];
+      std::size_t n = 0;
+      try {
+        n = RecvSome(fd, chunk, sizeof(chunk));
+      } catch (const NetError&) {
+        return FuzzEnd::kWedged;  // receive timeout
+      }
+      if (n == 0) return FuzzEnd::kClosed;
+      buffer.insert(buffer.end(), chunk, chunk + n);
+    }
+  }
+};
+
+}  // namespace
+
+NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
+  NetSoakOutcome outcome;
+  const auto start = Clock::now();
+  const bool budgeted = options.time_budget_s > 0.0;
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      budgeted ? options.time_budget_s : 0.0));
+  auto out_of_time = [&]() { return budgeted && Clock::now() >= deadline; };
+
+  ServerConfig server_config;
+  server_config.endpoint = options.endpoint;
+  server_config.service.shards = std::max(1u, options.shards);
+  server_config.service.parallelism = std::max(1u, options.parallelism);
+  // Patient watchdog, as in the in-process soak: survives CPU-starved CI
+  // machines without spurious failovers.
+  server_config.service.watchdog_interval = std::chrono::milliseconds(100);
+  server_config.service.watchdog_stuck_strikes = 10;
+  const std::size_t plan_length = options.length;
+  server_config.fault_planner = [plan_length](std::uint64_t seed) {
+    return service::PlanSoakFault(seed, plan_length);
+  };
+  Server server(std::move(server_config));
+  server.Start();
+
+  ClientOptions client_options;
+  client_options.endpoint = server.endpoint();
+  client_options.io_timeout = options.io_timeout;
+
+  // Shared tallies.
+  std::mutex mutex;  // failures + verify aggregates
+  std::atomic<std::uint64_t> slowdowns{0};
+  std::atomic<std::uint64_t> rejections{0};
+  std::atomic<std::uint64_t> disconnects{0};
+  std::atomic<std::uint64_t> resumes{0};
+  std::atomic<std::uint64_t> fuzz_frames{0};
+  std::atomic<std::uint64_t> fuzz_errors{0};
+  std::atomic<bool> ran_out{false};
+
+  auto fail = [&](std::size_t index, const std::string& codec,
+                  const std::string& what) {
+    std::ostringstream out;
+    out << "session[" << index << "] (" << codec << "): " << what;
+    std::lock_guard<std::mutex> lock(mutex);
+    outcome.failures.push_back(out.str());
+  };
+
+  // Oracle check of one STATS reply against the serial reference.
+  auto verify_stats = [&](const SessionPlan& plan, const StatsReply& stats) {
+    const std::size_t length = plan.stream.size();
+    if (stats.accepted != length) {
+      fail(plan.index, plan.codec_name,
+           "server-acked accepted count != planned stream length");
+      return;
+    }
+    if (stats.stream_length != length) {
+      fail(plan.index, plan.codec_name,
+           "processed stream length != planned stream length");
+      return;
+    }
+    CodecPtr reference = MakeCodec(plan.codec_name, plan.codec_options);
+    const std::vector<std::size_t> resets(stats.reset_points.begin(),
+                                          stats.reset_points.end());
+    const EvalResult expected =
+        EvaluateWithResets(*reference, plan.stream, resets);
+    if (stats.transitions != expected.transitions) {
+      fail(plan.index, plan.codec_name, "transition count diverged");
+    }
+    if (stats.peak_transitions != expected.peak_transitions) {
+      fail(plan.index, plan.codec_name, "peak transitions diverged");
+    }
+    bool per_line_ok = stats.per_line.size() == expected.per_line.size();
+    for (std::size_t i = 0; per_line_ok && i < stats.per_line.size(); ++i) {
+      per_line_ok = stats.per_line[i] == expected.per_line[i];
+    }
+    if (!per_line_ok) {
+      fail(plan.index, plan.codec_name, "per-line histogram diverged");
+    }
+    if (stats.in_sequence_percent != expected.in_sequence_percent) {
+      fail(plan.index, plan.codec_name, "in-sequence percentage diverged");
+    }
+    const service::TransportCounters& t = stats.transport;
+    if (t.clean + t.corrected + t.recovered + t.degraded_deliveries !=
+        t.transfers) {
+      fail(plan.index, plan.codec_name,
+           "transport reconciliation failed (a delivery outcome was "
+           "lost — silent corruption)");
+    }
+    if (t.transfers != length) {
+      fail(plan.index, plan.codec_name, "transfer count != stream length");
+    }
+    if (stats.peak_queue_depth > options.queue_capacity) {
+      fail(plan.index, plan.codec_name,
+           "queue exceeded its configured capacity");
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    ++outcome.sessions;
+    outcome.accesses += stats.stream_length;
+    outcome.recovered_transfers += stats.transport.recovered;
+    outcome.corrected_transfers += stats.transport.corrected;
+    outcome.degraded_transfers += stats.transport.degraded_deliveries;
+    if (stats.degraded) ++outcome.degraded_sessions;
+  };
+
+  // Drive one planned session end-to-end over the wire, including its
+  // disconnect injections, then verify its STATS against the oracle.
+  auto run_session = [&](const SessionPlan& plan) {
+    auto client = std::make_unique<Client>(client_options);
+    OpenRequest open;
+    open.codec = plan.codec_name;
+    open.width = static_cast<std::uint16_t>(plan.codec_options.width);
+    open.stride = plan.codec_options.stride;
+    open.protection = plan.protection;
+    open.queue_capacity = options.queue_capacity;
+    open.slowdown_watermark = options.slowdown_watermark;
+    open.fault_seed = plan.fault_seed;
+    const OpenReply opened = client->Open(open);
+
+    const std::span<const BusAccess> stream(plan.stream);
+    std::uint64_t accepted = 0;
+    std::uint64_t backoff_us = 100;
+    std::size_t next_kill = 0;
+    while (accepted < stream.size()) {
+      if (out_of_time()) {
+        ran_out.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const std::size_t chunk =
+          options.chunk == 0 ? std::size_t{64} : options.chunk;
+      const std::size_t n = std::min<std::size_t>(
+          chunk, stream.size() - static_cast<std::size_t>(accepted));
+      if (next_kill < plan.kill_points.size() &&
+          accepted >= plan.kill_points[next_kill]) {
+        // Kill the connection — on odd kills after shipping the first
+        // half of a SUBMIT frame, so the server sees a mid-frame EOF
+        // and must discard the partial frame whole.
+        if ((next_kill & 1) != 0) {
+          const std::vector<std::uint8_t> frame_bytes = EncodeFrame(
+              FrameType::kSubmit,
+              EncodeSubmit(opened.session_id,
+                           stream.subspan(accepted, n)));
+          const std::size_t half =
+              std::max<std::size_t>(1, frame_bytes.size() / 2);
+          try {
+            client->SendRaw(
+                std::span<const std::uint8_t>(frame_bytes.data(), half));
+          } catch (const NetError&) {
+          }
+        }
+        client->Abort();
+        ++next_kill;
+        disconnects.fetch_add(1, std::memory_order_relaxed);
+        client = std::make_unique<Client>(client_options);
+        const AttachReply attach =
+            client->Attach(opened.session_id, opened.token);
+        if (attach.accepted < accepted ||
+            attach.accepted > stream.size()) {
+          fail(plan.index, plan.codec_name,
+               "ATTACH resume point out of range");
+          return;
+        }
+        accepted = attach.accepted;
+        resumes.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const SubmitAck ack =
+          client->Submit(opened.session_id, stream.subspan(accepted, n));
+      switch (ack.status) {
+        case Status::kOk:
+        case Status::kSlowDown:
+          if (ack.accepted != accepted + n) {
+            fail(plan.index, plan.codec_name,
+                 "admitted count skew (an access was dropped or "
+                 "duplicated)");
+            return;
+          }
+          accepted = ack.accepted;
+          backoff_us = 100;
+          if (ack.status == Status::kSlowDown) {
+            slowdowns.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          break;
+        case Status::kRejected:
+          if (ack.accepted != accepted) {
+            fail(plan.index, plan.codec_name,
+                 "rejected SUBMIT changed the accepted count");
+            return;
+          }
+          rejections.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = std::min<std::uint64_t>(backoff_us * 2, 5000);
+          break;
+        default:
+          fail(plan.index, plan.codec_name,
+               "unexpected SUBMIT_ACK status " + StatusName(ack.status));
+          return;
+      }
+    }
+    const StatsReply stats =
+        client->DrainStats(opened.session_id, /*wait_drained=*/true);
+    client->Close(opened.session_id);
+    client.reset();
+    verify_stats(plan, stats);
+  };
+
+  auto run_session_guarded = [&](const SessionPlan& plan) {
+    try {
+      run_session(plan);
+    } catch (const WireError& e) {
+      fail(plan.index, plan.codec_name,
+           std::string("protocol error: ") + e.what());
+    } catch (const NetError& e) {
+      fail(plan.index, plan.codec_name,
+           std::string("transport error: ") + e.what());
+    }
+  };
+
+  // Plan every session up front.
+  const std::span<const char* const> palette = service::SoakCodecPalette();
+  const std::vector<verify::StreamFamily> families =
+      verify::AllStreamFamilies();
+  const std::size_t total_sessions =
+      std::max<std::size_t>(1, options.clients) *
+      std::max<std::size_t>(1, options.sessions_per_client);
+  std::vector<SessionPlan> plans(total_sessions);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    SessionPlan& plan = plans[i];
+    plan.index = i;
+    plan.codec_name = options.codec.empty()
+                          ? palette[i % palette.size()]
+                          : options.codec;
+    const std::uint64_t sub_seed =
+        verify::MixSeed(options.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+    plan.stream = verify::GenerateStream(
+        families[i % families.size()], sub_seed, options.length,
+        plan.codec_options.width, plan.codec_options.stride);
+    const bool faulted =
+        options.fault_fraction > 0.0 &&
+        static_cast<double>(Draw(sub_seed, 0) % 10000) <
+            options.fault_fraction * 10000.0;
+    if (faulted) {
+      plan.fault_seed = sub_seed;
+      switch (Draw(sub_seed, 5) % 3) {
+        case 0: plan.protection = 2; break;  // SECDED
+        case 1: plan.protection = 1; break;  // parity
+        default: plan.protection = 0; break;
+      }
+    }
+    const bool killed =
+        options.disconnect_fraction > 0.0 &&
+        static_cast<double>(Draw(sub_seed, 6) % 10000) <
+            options.disconnect_fraction * 10000.0;
+    if (killed && options.length >= 3) {
+      plan.kill_points = {options.length / 3, (2 * options.length) / 3};
+    }
+  }
+
+  // Concurrent wire clients, one thread per client, sessions sequential
+  // within a thread.
+  std::vector<std::thread> threads;
+  const unsigned clients = std::max(1u, options.clients);
+  threads.reserve(clients + options.fuzz_connections);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      for (std::size_t i = c; i < plans.size(); i += clients) {
+        if (out_of_time()) {
+          ran_out.store(true, std::memory_order_relaxed);
+          return;
+        }
+        run_session_guarded(plans[i]);
+      }
+    });
+  }
+
+  // The fuzz swarm runs concurrently with the traffic: every violation
+  // in the catalogue must end in a protocol ERROR or an orderly close —
+  // a receive timeout means a wedged connection and fails the soak.
+  auto fuzz_fail = [&](std::size_t f, int which, const char* what) {
+    std::ostringstream out;
+    out << "fuzz[" << f << "] case " << which << ": " << what;
+    std::lock_guard<std::mutex> lock(mutex);
+    outcome.failures.push_back(out.str());
+  };
+  const Endpoint dial = ParseEndpoint(server.endpoint());
+  for (std::size_t f = 0; f < options.fuzz_connections; ++f) {
+    threads.emplace_back([&, f]() {
+      std::mt19937_64 rng(verify::MixSeed(options.seed ^ (0xF022ULL + f)));
+      const std::vector<std::uint8_t> hello =
+          EncodeFrame(FrameType::kHello, EncodeHello(HelloRequest{}));
+      auto with_hello = [&](const std::vector<std::uint8_t>& frame) {
+        std::vector<std::uint8_t> bytes = hello;
+        bytes.insert(bytes.end(), frame.begin(), frame.end());
+        return bytes;
+      };
+      auto raw_case = [&](int which,
+                          const std::vector<std::uint8_t>& bytes,
+                          bool require_error) {
+        if (out_of_time()) return;
+        try {
+          RawConn conn(dial, options.io_timeout);
+          conn.Send(bytes);
+          conn.HalfClose();
+          fuzz_frames.fetch_add(1, std::memory_order_relaxed);
+          std::uint64_t errors_seen = 0;
+          const FuzzEnd end = conn.Outcome(&errors_seen);
+          fuzz_errors.fetch_add(errors_seen, std::memory_order_relaxed);
+          if (end == FuzzEnd::kWedged) {
+            fuzz_fail(f, which, "server wedged (receive timeout)");
+          } else if (end == FuzzEnd::kClosed && require_error) {
+            fuzz_fail(f, which,
+                      "expected a protocol ERROR before the close");
+          }
+        } catch (const NetError& e) {
+          fuzz_fail(f, which, e.what());
+        }
+      };
+
+      // 0: random garbage. A plausible garbage length prefix makes the
+      // server wait for the payload; the half-close turns that into a
+      // mid-frame EOF, so a clean close (no ERROR) is acceptable here.
+      std::vector<std::uint8_t> garbage(1 + rng() % 64);
+      for (std::uint8_t& byte : garbage) {
+        byte = static_cast<std::uint8_t>(rng());
+      }
+      raw_case(0, garbage, /*require_error=*/false);
+
+      // 1: length prefix far above the cap — rejected from the prefix
+      // alone, before any payload arrives.
+      raw_case(1, {0xFF, 0xFF, 0xFF, 0xFF}, /*require_error=*/true);
+
+      // 2: zero-length frame.
+      raw_case(2, {0x00, 0x00, 0x00, 0x00}, /*require_error=*/true);
+
+      // 3: unknown frame type after a valid HELLO.
+      raw_case(3,
+               with_hello(EncodeFrame(static_cast<FrameType>(0x63),
+                                      std::vector<std::uint8_t>())),
+               /*require_error=*/true);
+
+      // 4: HELLO with the wrong magic.
+      {
+        HelloRequest bad;
+        bad.magic = 0xDEADBEEFu;
+        raw_case(4, EncodeFrame(FrameType::kHello, EncodeHello(bad)),
+                 /*require_error=*/true);
+      }
+
+      // 5: HELLO with no protocol version overlap.
+      {
+        HelloRequest bad;
+        bad.version_min = 99;
+        bad.version_max = 100;
+        raw_case(5, EncodeFrame(FrameType::kHello, EncodeHello(bad)),
+                 /*require_error=*/true);
+      }
+
+      // 6: truncated frame then hard disconnect mid-frame — nothing to
+      // read back; the post-traffic health check proves no harm done.
+      if (!out_of_time()) {
+        try {
+          RawConn conn(dial, options.io_timeout);
+          conn.Send(hello);
+          const std::vector<std::uint8_t> open_frame =
+              EncodeFrame(FrameType::kOpen, EncodeOpen(OpenRequest{}));
+          conn.Send(std::span<const std::uint8_t>(open_frame.data(),
+                                                  open_frame.size() / 2));
+          fuzz_frames.fetch_add(1, std::memory_order_relaxed);
+        } catch (const NetError&) {
+        }
+      }
+
+      // 7: well-typed frame with trailing garbage after its payload —
+      // sender/receiver layout disagreement, must be rejected.
+      {
+        Writer writer;
+        writer.U64(1);           // CloseRequest.session_id
+        writer.U32(0xDEADBEEF);  // trailing garbage
+        raw_case(7, with_hello(EncodeFrame(FrameType::kClose, writer.Take())),
+                 /*require_error=*/true);
+      }
+
+      // 8: request-scoped errors must leave the connection usable — the
+      // same client that was refused twice then opens a real session.
+      if (!out_of_time()) {
+        try {
+          Client probe(client_options);
+          fuzz_frames.fetch_add(2, std::memory_order_relaxed);
+          bool refused = false;
+          try {
+            const std::vector<BusAccess> one(1);
+            probe.Submit(0xFFFFFFFFFFFFull, one);
+          } catch (const WireError& e) {
+            refused = e.status() == Status::kUnknownSession;
+            fuzz_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!refused) {
+            fuzz_fail(f, 8, "unknown-session SUBMIT was not refused");
+          }
+          refused = false;
+          try {
+            OpenRequest bogus;
+            bogus.codec = "no-such-codec";
+            probe.Open(bogus);
+          } catch (const WireError& e) {
+            refused = e.status() == Status::kBadConfig;
+            fuzz_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!refused) {
+            fuzz_fail(f, 8, "bogus-codec OPEN was not refused");
+          }
+          OpenRequest good;
+          good.codec = "t0";
+          const OpenReply opened = probe.Open(good);
+          probe.Close(opened.session_id);
+        } catch (const WireError& e) {
+          fuzz_fail(f, 8, e.what());
+        } catch (const NetError& e) {
+          fuzz_fail(f, 8, e.what());
+        }
+      }
+    });
+  }
+
+  for (std::thread& thread : threads) thread.join();
+
+  // Post-fuzz health check: after everything above, the server must
+  // still carry one clean session end-to-end, bit-identical.
+  if (!out_of_time()) {
+    SessionPlan health;
+    health.index = plans.size();
+    health.codec_name = "t0";
+    health.stream = verify::GenerateStream(
+        families[0], verify::MixSeed(options.seed ^ 0x4EA17ULL),
+        std::max<std::size_t>(options.length, 16),
+        health.codec_options.width, health.codec_options.stride);
+    run_session_guarded(health);
+  }
+
+  outcome.slowdowns = slowdowns.load();
+  outcome.rejections = rejections.load();
+  outcome.disconnects = disconnects.load();
+  outcome.resumes = resumes.load();
+  outcome.fuzz_frames = fuzz_frames.load();
+  outcome.fuzz_errors = fuzz_errors.load();
+  outcome.server = server.stats();
+  server.Stop();
+  outcome.timed_out = ran_out.load();
+  outcome.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return outcome;
+}
+
+}  // namespace abenc::net

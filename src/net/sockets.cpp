@@ -1,0 +1,182 @@
+#include "net/sockets.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace abenc::net {
+namespace {
+
+[[noreturn]] void FailErrno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void SetTimeouts(int fd, std::chrono::milliseconds io_timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+sockaddr_un UnixAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw NetError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint ParseEndpoint(const std::string& text) {
+  Endpoint endpoint;
+  if (text.rfind("unix:", 0) == 0) {
+    endpoint.is_unix = true;
+    endpoint.path = text.substr(5);
+    if (endpoint.path.empty()) {
+      throw NetError("endpoint '" + text + "' has an empty unix path");
+    }
+    return endpoint;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw NetError("endpoint '" + text + "' is not tcp:HOST:PORT");
+    }
+    endpoint.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+    if (port_text.empty() || *end != '\0' || port > 65535) {
+      throw NetError("endpoint '" + text + "' has a bad port");
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+  }
+  throw NetError("endpoint '" + text +
+                 "' must start with 'tcp:' or 'unix:'");
+}
+
+int ListenOn(Endpoint& endpoint) {
+  const int family = endpoint.is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) FailErrno("socket");
+  if (endpoint.is_unix) {
+    ::unlink(endpoint.path.c_str());  // stale socket from a dead server
+    sockaddr_un addr = UnixAddress(endpoint.path);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      CloseFd(fd);
+      FailErrno("bind '" + endpoint.path + "'");
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+      CloseFd(fd);
+      throw NetError("cannot parse host '" + endpoint.host + "'");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      CloseFd(fd);
+      FailErrno("bind " + endpoint.ToString());
+    }
+    if (endpoint.port == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        CloseFd(fd);
+        FailErrno("getsockname");
+      }
+      endpoint.port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(fd, 128) != 0) {
+    CloseFd(fd);
+    FailErrno("listen " + endpoint.ToString());
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+int DialEndpoint(const Endpoint& endpoint,
+                 std::chrono::milliseconds io_timeout) {
+  const int family = endpoint.is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) FailErrno("socket");
+  SetTimeouts(fd, io_timeout);
+  int rc;
+  if (endpoint.is_unix) {
+    sockaddr_un addr = UnixAddress(endpoint.path);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+      CloseFd(fd);
+      throw NetError("cannot parse host '" + endpoint.host + "'");
+    }
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0) {
+    const int saved = errno;
+    CloseFd(fd);
+    errno = saved;
+    FailErrno("connect " + endpoint.ToString());
+  }
+  return fd;
+}
+
+void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("send timed out");
+      }
+      FailErrno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t RecvSome(int fd, std::uint8_t* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw NetError("recv timed out");
+    }
+    FailErrno("recv");
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace abenc::net

@@ -1,0 +1,55 @@
+// Thin POSIX socket helpers shared by the server, the client library
+// and the tests: endpoint strings, dialing, and timed blocking I/O.
+//
+// Endpoints are spelled as strings so every CLI and config field can
+// carry either transport:
+//   "tcp:HOST:PORT"  - IPv4 TCP (PORT 0 binds an ephemeral port)
+//   "unix:PATH"      - AF_UNIX stream socket at PATH
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace abenc::net {
+
+/// Thrown for transport-level failures (dial, send, recv, timeouts) —
+/// distinct from WireError, which is about the bytes themselves.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Endpoint {
+  bool is_unix = false;
+  std::string host;  // tcp only
+  std::uint16_t port = 0;
+  std::string path;  // unix only
+
+  std::string ToString() const;
+};
+
+/// Parse "tcp:HOST:PORT" / "unix:PATH"; throws NetError on anything else.
+Endpoint ParseEndpoint(const std::string& text);
+
+/// Create + bind + listen; returns the listening fd (non-blocking).
+/// For tcp port 0 the bound port is written back into `endpoint`.
+int ListenOn(Endpoint& endpoint);
+
+/// Blocking connect with a timeout; returns a connected blocking fd
+/// with the given send/receive timeouts installed.
+int DialEndpoint(const Endpoint& endpoint,
+                 std::chrono::milliseconds io_timeout);
+
+/// Send every byte (MSG_NOSIGNAL); throws NetError on failure/timeout.
+void SendAll(int fd, const std::uint8_t* data, std::size_t size);
+
+/// Receive up to `size` bytes; returns 0 on orderly peer close; throws
+/// NetError on failure or when the socket's receive timeout expires.
+std::size_t RecvSome(int fd, std::uint8_t* data, std::size_t size);
+
+/// Close ignoring errors; safe on -1.
+void CloseFd(int fd);
+
+}  // namespace abenc::net

@@ -87,6 +87,15 @@ SessionReport EncodingService::Report(std::uint64_t session_id) const {
   return FindSession(sessions_, session_id, sessions_mutex_)->Report();
 }
 
+bool EncodingService::HasSession(std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.find(session_id) != sessions_.end();
+}
+
+std::size_t EncodingService::SessionQueued(std::uint64_t session_id) const {
+  return FindSession(sessions_, session_id, sessions_mutex_)->queued();
+}
+
 std::vector<SessionReport> EncodingService::ReportAll() const {
   std::vector<std::shared_ptr<Session>> sessions;
   {

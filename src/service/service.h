@@ -99,6 +99,17 @@ class EncodingService {
   SessionReport Report(std::uint64_t session_id) const;
   std::vector<SessionReport> ReportAll() const;
 
+  /// Whether `session_id` names a live session (any state). The network
+  /// front-end uses this for attach/stats checks without the throwing
+  /// lookup.
+  bool HasSession(std::uint64_t session_id) const;
+
+  /// Accesses queued and not yet processed for one session; zero means
+  /// the session is quiescent and Report() is complete (the wait_drained
+  /// deferral in src/net relies on this). Unknown ids throw
+  /// std::out_of_range.
+  std::size_t SessionQueued(std::uint64_t session_id) const;
+
   /// Wait until every queue is empty and all popped work has been
   /// processed, or the deadline passes; returns whether the service is
   /// quiescent. In manual mode (start_drivers = false) this also steps

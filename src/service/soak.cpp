@@ -22,6 +22,7 @@ using Clock = std::chrono::steady_clock;
 /// The codec rotation: the paper's main history and stateless codes,
 /// including a redundant-line code (bus-invert) and a dual multiplexed
 /// code, so the soak exercises every frame geometry the channel knows.
+/// Exposed via SoakCodecPalette().
 const char* const kCodecPalette[] = {"t0",      "gray",   "bus-invert",
                                      "inc-xor", "offset", "dual-t0-bi",
                                      "adaptive"};
@@ -109,6 +110,16 @@ std::string Describe(const SessionPlan& plan, const char* what) {
 }
 
 }  // namespace
+
+std::span<const char* const> SoakCodecPalette() {
+  return std::span<const char* const>(kCodecPalette,
+                                      std::size(kCodecPalette));
+}
+
+std::function<void(BusChannel&)> PlanSoakFault(std::uint64_t seed,
+                                               std::size_t length) {
+  return MakeFaultInstaller(seed, length);
+}
 
 SoakOutcome RunSoak(const SoakOptions& options) {
   SoakOutcome outcome;

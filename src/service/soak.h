@@ -27,10 +27,29 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "channel/bus_channel.h"
+
 namespace abenc::service {
+
+/// The soak codec rotation: the paper's main history and stateless
+/// codes, a redundant-line code and the dual multiplexed code, so a
+/// rotating workload exercises every frame geometry the channel knows.
+/// Shared with the network soak harness (src/net) so both soaks stress
+/// the same palette.
+std::span<const char* const> SoakCodecPalette();
+
+/// Deterministic per-session fault plan: maps a sub-seed and stream
+/// length to a channel fault installer drawn from the soak's fault
+/// palette (upset / burst / noise / mid-stream stuck-at). Pure function
+/// of its arguments — the property that lets a server-side injection
+/// (net_soak's OPEN fault_seed hook) be replayed bit-for-bit.
+std::function<void(BusChannel&)> PlanSoakFault(std::uint64_t seed,
+                                               std::size_t length);
 
 struct SoakOptions {
   std::size_t sessions = 1000;     // simultaneous sessions

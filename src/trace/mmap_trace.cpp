@@ -40,12 +40,13 @@ struct Layout {
 Layout ValidateHeader(const char* data, std::size_t file_bytes,
                       const std::string& path) {
   if (file_bytes < kHeaderBytes) {
-    Fail("'" + path + "' is too short for a header (" +
-         std::to_string(file_bytes) + " bytes, need " +
-         std::to_string(kHeaderBytes) + ")");
+    Fail("'" + path + "' is truncated: file ends at byte offset " +
+         std::to_string(file_bytes) + ", header needs " +
+         std::to_string(kHeaderBytes) + " bytes");
   }
   if (std::memcmp(data, kColumnarMagic.data(), kColumnarMagic.size()) != 0) {
-    Fail("'" + path + "' has bad magic (not an ABENC columnar trace)");
+    Fail("'" + path +
+         "' has bad magic at byte offset 0 (not an ABENC columnar trace)");
   }
   Layout layout;
   std::memcpy(&layout.count, data + 8, sizeof(layout.count));
@@ -54,11 +55,12 @@ Layout ValidateHeader(const char* data, std::size_t file_bytes,
   constexpr std::uint64_t kRecordBytes = sizeof(Word) + 1;
   if (layout.count > (kMax - kHeaderBytes) / kRecordBytes) {
     Fail("'" + path + "' declares " + std::to_string(layout.count) +
-         " records, whose byte size overflows");
+         " records (count at byte offset 8), whose byte size overflows");
   }
   const std::uint64_t payload = kHeaderBytes + layout.count * kRecordBytes;
   if (layout.name_len > kMax - payload) {
-    Fail("'" + path + "' declares a name length that overflows");
+    Fail("'" + path +
+         "' declares a name length (at byte offset 16) that overflows");
   }
   const std::uint64_t expected = payload + layout.name_len;
   if (expected > std::numeric_limits<std::size_t>::max()) {

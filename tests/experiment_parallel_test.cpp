@@ -10,6 +10,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.h"
@@ -227,6 +228,52 @@ TEST(ThreadPoolTest, ShutdownAbandonsAStuckTaskAndDiscardsQueue) {
   gate->cv.notify_all();
   EXPECT_EQ(stuck.wait_for(std::chrono::seconds(10)),
             std::future_status::ready);
+}
+
+TEST(ThreadPoolTest, SubmitRacingShutdownIsNeverLost) {
+  // Pinned behavior from the Submit-vs-Shutdown audit: both paths take
+  // state_->mutex and gate on `stopping`, so a Submit racing Shutdown
+  // has exactly three legal outcomes — the task runs (drained before
+  // the stop), its future breaks (queued but discarded by a timed-out
+  // drain; impossible here since no task wedges), or Submit throws
+  // std::logic_error (intake already closed). Anything else — a lost
+  // task, a hang, a torn queue — is the bug this test pins against,
+  // and the TSan CI job runs it to catch the data-race variant.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::atomic<int> refused{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&]() {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 64; ++i) {
+          try {
+            pool.Submit([&ran]() { ran.fetch_add(1); });
+            accepted.fetch_add(1);
+          } catch (const std::logic_error&) {
+            refused.fetch_add(1);
+            return;  // intake is closed for good; later tries also throw
+          }
+        }
+      });
+    }
+    go.store(true);
+    const ShutdownResult result =
+        pool.Shutdown(std::chrono::milliseconds(10000));
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(result, ShutdownResult::kDrained) << "round " << round;
+    // Every accepted task ran exactly once; every refusal was the
+    // documented logic_error, so the totals reconcile with no losses.
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+    EXPECT_EQ(pool.Shutdown(std::chrono::milliseconds(1)),
+              ShutdownResult::kDrained);
+    EXPECT_THROW(pool.Submit([]() { return 0; }), std::logic_error);
+  }
 }
 
 TEST(JsonWriterTest, ComparisonRoundTripsThroughParseExactly) {

@@ -72,6 +72,34 @@ TEST(MmapTraceTest, EmptyTraceRoundTrips) {
   std::filesystem::remove(path);
 }
 
+TEST(MmapTraceTest, EmptyTraceRoundTripsThroughSaveLoadDispatch) {
+  // The same empty trace must survive every on-disk format that
+  // SaveTrace/LoadTrace dispatch on, not just the columnar writer.
+  AddressTrace empty("idle");
+  for (const char* ext : {".ctrace", ".btrace", ".trace"}) {
+    const std::string path = TempPath(std::string("abenc_empty_rt") + ext);
+    SaveTrace(path, empty);
+    const AddressTrace loaded = LoadTrace(path);
+    EXPECT_EQ(loaded.size(), 0u) << ext;
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(MmapTraceTest, ZeroByteFileFailsCleanlyWithByteOffset) {
+  // A 0-byte .ctrace is not a valid empty trace (that still carries a
+  // 24-byte header); it must fail with a diagnostic, not crash in mmap.
+  const std::string path = TempPath("abenc_zero_byte.ctrace");
+  WriteBytes(path, "");
+  try {
+    const MmapTraceSource source(path);
+    FAIL() << "zero-byte file unexpectedly accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("byte offset 0"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(MmapTraceTest, ReadAndViewColumnsAgreeWithTheTrace) {
   SyntheticGenerator gen(12);
   const AddressTrace trace = gen.MultiplexedLike(500, 0.35, 4, 32);
@@ -134,13 +162,19 @@ TEST(MmapTraceTest, RejectsCorruptHeaders) {
     return "";
   };
 
-  // Shorter than the 24-byte header.
-  EXPECT_NE(message_of("ABENCTC1").find("too short"), std::string::npos);
+  // Shorter than the 24-byte header: the message names the byte offset
+  // where the file ran out, matching the row-binary reader's phrasing.
+  const std::string short_msg = message_of("ABENCTC1");
+  EXPECT_NE(short_msg.find("truncated"), std::string::npos) << short_msg;
+  EXPECT_NE(short_msg.find("byte offset 8"), std::string::npos) << short_msg;
 
   // Wrong magic (the row-binary magic is the likely mixup).
   std::string wrong_magic(24, '\0');
   std::memcpy(wrong_magic.data(), "ABENCTR1", 8);
-  EXPECT_NE(message_of(wrong_magic).find("bad magic"), std::string::npos);
+  const std::string magic_msg = message_of(wrong_magic);
+  EXPECT_NE(magic_msg.find("bad magic at byte offset 0"),
+            std::string::npos)
+      << magic_msg;
 
   // A valid one-entry file to corrupt from here on.
   AddressTrace t("n");

@@ -156,6 +156,57 @@ TEST(BackpressureTest, QueueIsBoundedAndSubmitIsAllOrNothing) {
   EXPECT_EQ(report.rejected_batches, 1u);
 }
 
+TEST(BackpressureTest, AdmissionBoundariesAreExact) {
+  // Pins the documented boundary semantics of Session::Submit at the
+  // exact edges (audited for this test: the code is correct; these
+  // tests keep it that way):
+  //  - kSlowDown is returned strictly *above* the watermark — a depth
+  //    of exactly slowdown_watermark is still kAccepted;
+  //  - a batch that fills the queue to exactly queue_capacity is
+  //    admitted (the reject condition is queued + batch > capacity);
+  //  - one access past the cap bounces atomically.
+  EncodingService service(ManualMode());
+  SessionConfig config;
+  config.queue_capacity = 8;
+  config.slowdown_watermark = 4;
+  const std::uint64_t id = service.OpenSession(config);
+  const std::vector<BusAccess> stream =
+      TestStream(verify::StreamFamily::kSequentialRuns, 6, 32);
+  const std::span<const BusAccess> span(stream);
+
+  // Landing exactly AT the watermark is not a slow-down...
+  EXPECT_EQ(service.Submit(id, span.subspan(0, 4)), Admission::kAccepted);
+  // ...one access above it is.
+  EXPECT_EQ(service.Submit(id, span.subspan(4, 1)), Admission::kSlowDown);
+  // Filling to exactly capacity is admitted (with the slow-down flag,
+  // since 8 > 4).
+  EXPECT_EQ(service.Submit(id, span.subspan(5, 3)), Admission::kSlowDown);
+  EXPECT_EQ(service.total_queued(), 8u);
+  // One access past the cap is rejected atomically.
+  EXPECT_EQ(service.Submit(id, span.subspan(8, 1)), Admission::kRejected);
+  EXPECT_EQ(service.total_queued(), 8u);
+  // An empty batch on a full queue is an accepted no-op.
+  EXPECT_EQ(service.Submit(id, span.subspan(0, 0)), Admission::kAccepted);
+  EXPECT_EQ(service.total_queued(), 8u);
+
+  // A single batch of exactly queue_capacity into an empty queue is
+  // admitted; with watermark == capacity it is a plain kAccepted.
+  SessionConfig wide;
+  wide.queue_capacity = 8;
+  wide.slowdown_watermark = 8;
+  const std::uint64_t id2 = service.OpenSession(wide);
+  EXPECT_EQ(service.Submit(id2, span.subspan(0, 8)), Admission::kAccepted);
+  // capacity + 1 in one batch can never be admitted.
+  EXPECT_EQ(service.Submit(id2, span.subspan(8, 1)), Admission::kRejected);
+
+  ASSERT_TRUE(service.Drain(std::chrono::milliseconds(5000)));
+  const SessionReport report = service.Report(id);
+  EXPECT_EQ(report.rejected_batches, 1u);
+  EXPECT_EQ(report.peak_queue_depth, 8u);
+  EXPECT_EQ(report.result.stream_length, 8u);
+  EXPECT_EQ(service.Report(id2).peak_queue_depth, 8u);
+}
+
 TEST(EvictionTest, EvictAndReadmitReproducesEvaluateWithResets) {
   // The determinism contract: evicting at index k and re-admitting
   // mid-stream must make the lifetime accounting equal a serial

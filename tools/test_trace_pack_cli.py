@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CLI error-path tests for the trace_pack tool.
+
+Run through ctest (registered as `trace_pack_cli_test`, which passes
+the built binary's path as argv[1]). trace_pack is the operator-facing
+entry point for trace conversion, so its failure modes are part of its
+contract: a nonexistent input, an unwritable output, or a corrupt file
+must exit nonzero with a diagnostic naming the byte offset of the
+problem — never a stack trace, a crash, or a silent zero exit.
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+
+def run(tool, *argv):
+    return subprocess.run(
+        [str(tool), *map(str, argv)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TracePackCliTest(unittest.TestCase):
+    tool = None  # set in main() from argv[1]
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="trace_pack_cli_")
+        self.dir = Path(self.tmp.name)
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_text_trace(self, name, lines):
+        path = self.dir / name
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_usage_without_arguments_exits_two(self):
+        result = run(self.tool)
+        self.assertEqual(result.returncode, 2, result.stderr)
+        self.assertIn("usage:", result.stderr)
+
+    def test_nonexistent_input_exits_nonzero_with_message(self):
+        result = run(
+            self.tool, self.dir / "no_such.trace", self.dir / "out.ctrace"
+        )
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("trace_pack:", result.stderr)
+        self.assertIn("no_such.trace", result.stderr)
+
+    def test_unwritable_output_exits_nonzero_with_message(self):
+        src = self.write_text_trace("in.trace", ["I 0x400000", "D 0x8000"])
+        dest = self.dir / "missing_subdir" / "out.ctrace"
+        result = run(self.tool, src, dest)
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("trace_pack:", result.stderr)
+        self.assertIn("cannot open", result.stderr)
+
+    def test_wrong_magic_reports_byte_offset(self):
+        bogus = self.dir / "bogus.ctrace"
+        bogus.write_bytes(b"NOTMAGIC" + b"\x00" * 16)
+        result = run(self.tool, bogus, self.dir / "out.btrace")
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("bad magic at byte offset 0", result.stderr)
+
+    def test_wrong_row_binary_magic_reports_byte_offset(self):
+        bogus = self.dir / "bogus.btrace"
+        bogus.write_bytes(b"NOTMAGIC" + struct.pack("<Q", 0))
+        result = run(self.tool, bogus, self.dir / "out.ctrace")
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("bad magic at byte offset 0", result.stderr)
+
+    def test_truncated_columnar_reports_byte_offset(self):
+        stub = self.dir / "stub.ctrace"
+        stub.write_bytes(b"ABENCTC1")  # header needs 24 bytes, got 8
+        result = run(self.tool, stub, self.dir / "out.btrace")
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("byte offset 8", result.stderr)
+
+    def test_empty_trace_packs_and_round_trips(self):
+        src = self.write_text_trace("empty.trace", ["# comment only"])
+        packed = self.dir / "empty.ctrace"
+        result = run(self.tool, src, packed)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("0 entries, verified", result.stdout)
+        # And the packed empty trace converts back out again.
+        back = self.dir / "empty.btrace"
+        result = run(self.tool, packed, back)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("0 entries, verified", result.stdout)
+
+    def test_successful_pack_round_trips(self):
+        src = self.write_text_trace(
+            "prog.trace", ["I 0x400000", "I 0x400004", "D 0x10008000"]
+        )
+        packed = self.dir / "prog.ctrace"
+        result = run(self.tool, src, packed)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("3 entries, verified", result.stdout)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(
+            "usage: test_trace_pack_cli.py <path-to-trace_pack>",
+            file=sys.stderr,
+        )
+        return 2
+    TracePackCliTest.tool = Path(sys.argv[1]).resolve()
+    if not TracePackCliTest.tool.exists():
+        print(f"trace_pack binary not found: {TracePackCliTest.tool}",
+              file=sys.stderr)
+        return 2
+    unittest.main(argv=[sys.argv[0]], verbosity=2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

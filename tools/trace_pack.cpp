@@ -63,6 +63,12 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace_pack: %s\n", e.what());
     return 1;
+  } catch (...) {
+    // No error path may escape as an uncaught exception: a corrupt
+    // input must produce a diagnostic and a nonzero exit, never a
+    // std::terminate.
+    std::fprintf(stderr, "trace_pack: unknown error\n");
+    return 1;
   }
   return 0;
 }
