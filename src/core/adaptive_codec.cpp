@@ -113,17 +113,54 @@ void AdaptiveCodec::Prime(End& e, Word address, bool sel) {
   (void)member.Decode(primed, sel);
 }
 
-void AdaptiveCodec::ObserveStats(End& e, Word b, bool sel) {
-  ++e.current.accesses;
-  if (sel) ++e.current.sel_high;
-  if (e.has_prev) {
-    const Word delta = Mask(b - e.prev_address);
-    ++e.current.stride_histogram[delta];
-    e.current.raw_toggles += HammingDistance(e.prev_address, b, width());
-    if (delta == Mask(stride_)) ++e.current.in_sequence;
+void AccumulateWindowStats(AdaptiveWindowStats& stats, Word masked_address,
+                           bool sel, bool& has_prev, Word& prev_address,
+                           unsigned width, Word stride) {
+  const Word mask = LowMask(width);
+  ++stats.accesses;
+  if (sel) ++stats.sel_high;
+  if (has_prev) {
+    const Word delta = (masked_address - prev_address) & mask;
+    ++stats.stride_histogram[delta];
+    stats.raw_toggles += HammingDistance(prev_address, masked_address, width);
+    if (delta == (stride & mask)) ++stats.in_sequence;
   }
-  e.prev_address = b;
-  e.has_prev = true;
+  prev_address = masked_address;
+  has_prev = true;
+}
+
+AdaptiveStatsTracker::AdaptiveStatsTracker(unsigned width, Word stride,
+                                           std::size_t window)
+    : width_(width), stride_(stride), window_(window == 0 ? 1 : window) {}
+
+void AdaptiveStatsTracker::Observe(Word address, bool sel) {
+  AccumulateWindowStats(current_, address & LowMask(width_), sel, has_prev_,
+                        prev_address_, width_, stride_);
+  if (++accesses_ % window_ == 0) {
+    completed_ = std::move(current_);
+    current_ = AdaptiveWindowStats{};
+    ++windows_completed_;
+  }
+}
+
+void AdaptiveStatsTracker::ObserveColumns(const Word* addresses,
+                                          const std::uint8_t* sel,
+                                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Observe(addresses[i], sel[i] != 0);
+}
+
+void AdaptiveStatsTracker::Reset() {
+  accesses_ = 0;
+  has_prev_ = false;
+  prev_address_ = 0;
+  windows_completed_ = 0;
+  current_ = AdaptiveWindowStats{};
+  completed_ = AdaptiveWindowStats{};
+}
+
+void AdaptiveCodec::ObserveStats(End& e, Word b, bool sel) {
+  AccumulateWindowStats(e.current, b, sel, e.has_prev, e.prev_address, width(),
+                        stride_);
 }
 
 void AdaptiveCodec::Advance(End& e, Word address, bool sel) {

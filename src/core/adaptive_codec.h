@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -47,6 +48,54 @@ struct AdaptiveWindowStats {
                          : static_cast<double>(raw_toggles) /
                                static_cast<double>(accesses);
   }
+};
+
+/// Fold one masked address step into a window's statistics — the single
+/// update rule shared by AdaptiveCodec's two ends and the standalone
+/// AdaptiveStatsTracker, so every consumer of AdaptiveWindowStats
+/// measures exactly the same quantities. `prev`/`has_prev` carry the
+/// caller's previous-address state and are updated in place.
+void AccumulateWindowStats(AdaptiveWindowStats& stats, Word masked_address,
+                           bool sel, bool& has_prev, Word& prev_address,
+                           unsigned width, Word stride);
+
+/// Standalone window-segmented tracker of AdaptiveWindowStats: the same
+/// windowed stream-shape statistics the adaptive codec's encoder end
+/// measures, surfaced for layers that watch a stream encoded by *any*
+/// codec. The service layer keeps one per session and the server's
+/// renegotiation policy reads the last completed window to propose a
+/// better palette member (src/service/renegotiation.h).
+class AdaptiveStatsTracker {
+ public:
+  /// `window` accesses per segment (>= 1); `stride` feeds the
+  /// in-sequence statistic, like stride_for_stats in the evaluators.
+  AdaptiveStatsTracker(unsigned width, Word stride, std::size_t window);
+
+  void Observe(Word address, bool sel);
+  /// Columnar batch feed: equivalent to Observe per element.
+  void ObserveColumns(const Word* addresses, const std::uint8_t* sel,
+                      std::size_t n);
+  /// Power-on state: empty windows, no previous address.
+  void Reset();
+
+  /// Statistics accumulated so far in the open window.
+  const AdaptiveWindowStats& current() const { return current_; }
+  /// The last completed window (empty before the first roll-over).
+  const AdaptiveWindowStats& completed() const { return completed_; }
+  std::size_t windows_completed() const { return windows_completed_; }
+  std::size_t window() const { return window_; }
+  unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+  Word stride_;
+  std::size_t window_;
+  std::size_t accesses_ = 0;  // lifetime, for the window boundary
+  bool has_prev_ = false;
+  Word prev_address_ = 0;
+  std::size_t windows_completed_ = 0;
+  AdaptiveWindowStats current_;
+  AdaptiveWindowStats completed_;
 };
 
 /// Test-only fault injection, applied to the *encoder end only* (the

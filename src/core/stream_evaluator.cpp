@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/codec_factory.h"
 #include "core/codec_kernel.h"
 #include "core/simd/kernel_dispatch.h"
 #include "core/trace_source.h"
@@ -115,6 +116,59 @@ EvalResult EvaluateWithResets(Codec& codec, std::span<const BusAccess> stream,
   fold_segment();
   result.in_sequence_percent =
       InSequencePercent(stream, stride_for_stats, codec.width());
+  return result;
+}
+
+EvalResult EvaluateWithSchedule(const std::string& initial_codec,
+                                const CodecOptions& options,
+                                std::span<const BusAccess> stream,
+                                std::span<const CodecSwitchPoint> switches,
+                                std::span<const std::size_t> reset_points,
+                                Word stride_for_stats, bool verify_decode) {
+  for (std::size_t i = 1; i < switches.size(); ++i) {
+    if (switches[i].index < switches[i - 1].index) {
+      throw std::invalid_argument(
+          "EvaluateWithSchedule: switch schedule not ascending");
+    }
+  }
+  EvalResult result;
+  result.stream_length = stream.size();
+  std::string active = initial_codec;
+  std::size_t start = 0;
+  std::size_t next_switch = 0;
+  while (true) {
+    const bool last = next_switch >= switches.size();
+    const std::size_t end =
+        last ? stream.size()
+             : std::min(switches[next_switch].index, stream.size());
+    // Every segment runs — an empty one still contributes its codec's
+    // line geometry, matching a session whose switch applied with no
+    // traffic after it (the per-line histogram zero-extends either way).
+    CodecPtr codec = MakeCodec(active, options);
+    std::vector<std::size_t> local;
+    for (const std::size_t point : reset_points) {
+      if (point > start && point < end) local.push_back(point - start);
+    }
+    const EvalResult segment =
+        EvaluateWithResets(*codec, stream.subspan(start, end - start), local,
+                           stride_for_stats, verify_decode);
+    result.transitions += segment.transitions;
+    result.peak_transitions =
+        std::max(result.peak_transitions, segment.peak_transitions);
+    if (segment.per_line.size() > result.per_line.size()) {
+      result.per_line.resize(segment.per_line.size(), 0);
+    }
+    for (std::size_t line = 0; line < segment.per_line.size(); ++line) {
+      result.per_line[line] += segment.per_line[line];
+    }
+    if (last) break;
+    active = switches[next_switch].codec_name;
+    start = end;
+    ++next_switch;
+  }
+  result.codec_name = active;
+  result.in_sequence_percent =
+      InSequencePercent(stream, stride_for_stats, options.width);
   return result;
 }
 

@@ -10,7 +10,8 @@
 
 namespace abenc {
 
-class TraceSource;  // core/trace_source.h
+class TraceSource;   // core/trace_source.h
+struct CodecOptions;  // core/codec_factory.h
 
 // BusAccess (one address plus the SEL signal) lives in core/types.h so
 // the Codec block interface can speak it; it is re-exported here for
@@ -106,6 +107,41 @@ EvalResult EvaluateWithResets(Codec& codec, std::span<const BusAccess> stream,
                               std::span<const std::size_t> reset_points,
                               Word stride_for_stats = 4,
                               bool verify_decode = false);
+
+/// One entry of a session's codec-switch schedule: from lifetime access
+/// `index` onward the stream is encoded by `codec_name`, built fresh
+/// from the factory. This is the wire-replayable record a renegotiated
+/// service session reports (RENEGOTIATE_ACK pins `index`, STATS replays
+/// the whole schedule — docs/PROTOCOL.md).
+struct CodecSwitchPoint {
+  std::size_t index = 0;
+  std::string codec_name;
+
+  bool operator==(const CodecSwitchPoint&) const = default;
+};
+
+/// Serial reference for a session whose codec was renegotiated
+/// mid-stream: segment [switches[i].index, switches[i+1].index) is an
+/// independent EvaluateWithResets() run of a freshly built
+/// switches[i].codec_name (the stream up to the first switch uses
+/// `initial_codec`). `reset_points` are the session's eviction/resync
+/// teardowns and may fall anywhere; a reset point equal to a segment
+/// start is a no-op (the codec there is already fresh). Folding matches
+/// EvaluateWithResets: transitions and stream lengths sum, peaks max,
+/// per-line histograms sum element-wise zero-extended to the widest
+/// segment geometry, and the in-sequence percentage remains a property
+/// of the whole stream. `switches` must be ascending by index.
+///
+/// An empty schedule degenerates to EvaluateWithResets(initial_codec),
+/// which is why the soak harnesses can verify renegotiated and
+/// untouched sessions through the same call.
+EvalResult EvaluateWithSchedule(const std::string& initial_codec,
+                                const CodecOptions& options,
+                                std::span<const BusAccess> stream,
+                                std::span<const CodecSwitchPoint> switches,
+                                std::span<const std::size_t> reset_points,
+                                Word stride_for_stats = 4,
+                                bool verify_decode = false);
 
 /// Convenience: wrap a pure address sequence (dedicated bus) as BusAccesses.
 std::vector<BusAccess> ToAccesses(std::span<const Word> addresses,

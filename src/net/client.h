@@ -39,6 +39,35 @@ struct ClientOptions {
   /// can legitimately take long (DrainStats with wait_drained under
   /// load) need this sized to the expected drain time.
   std::chrono::milliseconds io_timeout{10000};
+  /// Highest protocol version to offer in HELLO. Set 1 to emulate an
+  /// old client: the HELLO is byte-identical to the v1 layout and no
+  /// v2 frame or field ever appears on the connection.
+  std::uint16_t version_max = kProtocolVersion;
+  /// Capability bits to offer (v2+); in force only where the server
+  /// grants them back in HELLO_OK.
+  std::uint32_t capabilities = kDefaultCapabilities;
+};
+
+/// Knobs for the windowed SubmitColumns() streaming loop.
+struct StreamSubmitOptions {
+  std::size_t chunk = 256;      // accesses per SUBMIT_STREAM frame
+  std::size_t window = 8;       // frames in flight before waiting
+  /// Request an ack every Nth frame (1 = every frame, i.e. classic
+  /// pipelined SUBMITs; larger = streaming bulk mode). The frame that
+  /// fills the window and the final frame always request one.
+  std::size_t ack_interval = 1;
+  /// Lifetime stream index of columns[0]: submission resumes
+  /// exactly-once after a disconnect via `start = attach.accepted`.
+  std::uint64_t start = 0;
+};
+
+struct StreamSubmitResult {
+  std::uint64_t accepted = 0;  // server's lifetime admitted count
+  std::uint64_t slowdowns = 0;
+  std::uint64_t rejections = 0;  // admission + offset-guard rejections
+  bool closed = false;  // session input closed before the stream ended
+  /// Last non-empty SUBMIT_ACK codec hint seen (kCapRenegotiate).
+  std::string last_recommendation;
 };
 
 class Client {
@@ -56,12 +85,37 @@ class Client {
   /// Frame cap advertised by the server in HELLO_OK.
   std::uint64_t max_frame_bytes() const { return max_frame_bytes_; }
 
+  /// Protocol version negotiated at HELLO.
+  std::uint16_t version() const { return version_; }
+
+  /// Capabilities in force on this connection (client ∩ server).
+  std::uint32_t capabilities() const { return caps_; }
+
   OpenReply Open(const OpenRequest& request);
   AttachReply Attach(std::uint64_t session_id, std::uint64_t token);
   SubmitAck Submit(std::uint64_t session_id,
                    std::span<const BusAccess> batch);
   StatsReply DrainStats(std::uint64_t session_id, bool wait_drained);
   CloseReply Close(std::uint64_t session_id);
+
+  /// kCapRenegotiate: request a codec switch pinned to the lifetime
+  /// admitted index ("" = let the server policy pick). Throws WireError
+  /// on refusal — kRenegotiateRefused / kBadConfig are request-scoped,
+  /// the connection stays usable.
+  RenegotiateReply Renegotiate(std::uint64_t session_id,
+                               const std::string& codec = "");
+
+  /// kCapPipeline: stream `count - options.start` accesses (lifetime
+  /// indices [options.start, count)) through windowed SUBMIT_STREAM
+  /// frames, keeping up to `window` frames in flight. Rejections rewind
+  /// to the server's authoritative count via the offset guard, so the
+  /// admitted stream never gaps or duplicates. The columns are read
+  /// in place — an mmap-backed `.ctrace` streams without row copies.
+  StreamSubmitResult SubmitColumns(std::uint64_t session_id,
+                                   const Word* addresses,
+                                   const std::uint8_t* sel,
+                                   std::uint64_t count,
+                                   const StreamSubmitOptions& options);
 
   // -- raw layer (fuzz + fault injection) --
 
@@ -90,6 +144,8 @@ class Client {
 
   int fd_ = -1;
   std::uint64_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  std::uint16_t version_ = kProtocolVersion;
+  std::uint32_t caps_ = 0;
   std::vector<std::uint8_t> in_;  // receive accumulator
 };
 

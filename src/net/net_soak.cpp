@@ -25,6 +25,20 @@ std::uint64_t Draw(std::uint64_t seed, std::uint64_t salt) {
   return verify::MixSeed(seed + 0x9E3779B97F4A7C15ULL * (salt + 1));
 }
 
+/// A planned mid-stream RENEGOTIATE: issued once the client's admitted
+/// count reaches `at`, asking for `codec` (which may be refused).
+struct PlannedSwitch {
+  std::size_t at = 0;
+  std::string codec;
+};
+
+/// How a session ships its stream.
+enum class SubmitMode {
+  kSerial,     // lock-step SUBMIT / SUBMIT_ACK (the v1 path)
+  kPipelined,  // SUBMIT_STREAM, window of frames, ack every frame
+  kStreaming,  // SUBMIT_STREAM, sparse acks (bulk-transfer mode)
+};
+
 /// One planned wire session: stream, codec and injection schedule, all
 /// fixed up front so the serial oracle can be recomputed afterwards.
 struct SessionPlan {
@@ -37,6 +51,12 @@ struct SessionPlan {
   /// Accepted-count thresholds at which the client kills its connection
   /// (odd entries mid-frame) and resumes via ATTACH.
   std::vector<std::size_t> kill_points;
+  /// Mid-stream renegotiation schedule (admitted-count thresholds).
+  std::vector<PlannedSwitch> renegotiations;
+  SubmitMode submit_mode = SubmitMode::kSerial;
+  /// Run as a v1 client: byte-identical legacy conversation, no v2
+  /// frame or field may ever reach it.
+  bool old_version = false;
 };
 
 /// What a hostile connection observed. Anything but kWedged is a clean
@@ -130,6 +150,10 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
   std::atomic<std::uint64_t> resumes{0};
   std::atomic<std::uint64_t> fuzz_frames{0};
   std::atomic<std::uint64_t> fuzz_errors{0};
+  std::atomic<std::uint64_t> renegotiations{0};
+  std::atomic<std::uint64_t> renegotiate_refusals{0};
+  std::atomic<std::uint64_t> pipelined_sessions{0};
+  std::atomic<std::uint64_t> old_version_sessions{0};
   std::atomic<bool> ran_out{false};
 
   auto fail = [&](std::size_t index, const std::string& codec,
@@ -141,7 +165,11 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
   };
 
   // Oracle check of one STATS reply against the serial reference.
-  auto verify_stats = [&](const SessionPlan& plan, const StatsReply& stats) {
+  // `acked` is the switch schedule the client collected from its
+  // RENEGOTIATE_ACKs: the server's pinned schedule must match it
+  // exactly, and the oracle replays it serially.
+  auto verify_stats = [&](const SessionPlan& plan, const StatsReply& stats,
+                          const std::vector<CodecSwitchPoint>& acked) {
     const std::size_t length = plan.stream.size();
     if (stats.accepted != length) {
       fail(plan.index, plan.codec_name,
@@ -153,11 +181,17 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
            "processed stream length != planned stream length");
       return;
     }
-    CodecPtr reference = MakeCodec(plan.codec_name, plan.codec_options);
+    if (stats.renegotiations != acked) {
+      fail(plan.index, plan.codec_name,
+           "server switch schedule != the RENEGOTIATE_ACKs the client "
+           "collected (a switch was lost, duplicated or re-pinned)");
+      return;
+    }
     const std::vector<std::size_t> resets(stats.reset_points.begin(),
                                           stats.reset_points.end());
-    const EvalResult expected =
-        EvaluateWithResets(*reference, plan.stream, resets);
+    const EvalResult expected = EvaluateWithSchedule(
+        plan.codec_name, plan.codec_options, plan.stream,
+        stats.renegotiations, resets);
     if (stats.transitions != expected.transitions) {
       fail(plan.index, plan.codec_name, "transition count diverged");
     }
@@ -198,9 +232,18 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
   };
 
   // Drive one planned session end-to-end over the wire, including its
-  // disconnect injections, then verify its STATS against the oracle.
+  // disconnect injections and renegotiation schedule, then verify its
+  // STATS against the oracle.
   auto run_session = [&](const SessionPlan& plan) {
-    auto client = std::make_unique<Client>(client_options);
+    ClientOptions conn_options = client_options;
+    if (plan.old_version) conn_options.version_max = 1;
+    auto client = std::make_unique<Client>(conn_options);
+    if (plan.old_version &&
+        (client->version() != 1 || client->capabilities() != 0)) {
+      fail(plan.index, plan.codec_name,
+           "v1 client negotiated a v2 conversation");
+      return;
+    }
     OpenRequest open;
     open.codec = plan.codec_name;
     open.width = static_cast<std::uint16_t>(plan.codec_options.width);
@@ -212,28 +255,87 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
     const OpenReply opened = client->Open(open);
 
     const std::span<const BusAccess> stream(plan.stream);
+    const std::size_t length = stream.size();
+    // Column copy of the stream for the SUBMIT_STREAM modes (index ==
+    // lifetime index, the shape an mmap-fed replay would view directly).
+    std::vector<Word> addresses;
+    std::vector<std::uint8_t> sel;
+    if (plan.submit_mode != SubmitMode::kSerial) {
+      addresses.reserve(length);
+      sel.reserve(length);
+      for (const BusAccess& access : stream) {
+        addresses.push_back(access.address);
+        sel.push_back(access.sel ? 1 : 0);
+      }
+    }
+
+    std::vector<CodecSwitchPoint> acked;
     std::uint64_t accepted = 0;
     std::uint64_t backoff_us = 100;
     std::size_t next_kill = 0;
-    while (accepted < stream.size()) {
+    std::size_t next_switch = 0;
+
+    // Issue every planned RENEGOTIATE whose threshold the admitted
+    // count has reached. Only called between submissions, when no frame
+    // is in flight, so the reply is the very next frame. Clean refusals
+    // (degraded transport, codec already active, …) are tolerated and
+    // tallied; the acked switches feed the oracle. Returns false on a
+    // verification failure.
+    auto issue_renegotiations = [&]() {
+      while (next_switch < plan.renegotiations.size() &&
+             accepted >= plan.renegotiations[next_switch].at) {
+        const std::string& target = plan.renegotiations[next_switch].codec;
+        ++next_switch;
+        try {
+          const RenegotiateReply ack =
+              client->Renegotiate(opened.session_id, target);
+          if (ack.switch_index < accepted || ack.switch_index > length) {
+            fail(plan.index, plan.codec_name,
+                 "RENEGOTIATE_ACK pinned a switch outside the admitted "
+                 "range");
+            return false;
+          }
+          acked.push_back(
+              {static_cast<std::size_t>(ack.switch_index), ack.codec});
+          renegotiations.fetch_add(1, std::memory_order_relaxed);
+        } catch (const WireError& e) {
+          if (e.status() != Status::kRenegotiateRefused &&
+              e.status() != Status::kBadConfig) {
+            throw;
+          }
+          renegotiate_refusals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return true;
+    };
+
+    while (accepted < length) {
       if (out_of_time()) {
         ran_out.store(true, std::memory_order_relaxed);
         return;
       }
+      if (!issue_renegotiations()) return;
       const std::size_t chunk =
           options.chunk == 0 ? std::size_t{64} : options.chunk;
       const std::size_t n = std::min<std::size_t>(
-          chunk, stream.size() - static_cast<std::size_t>(accepted));
+          chunk, length - static_cast<std::size_t>(accepted));
       if (next_kill < plan.kill_points.size() &&
           accepted >= plan.kill_points[next_kill]) {
         // Kill the connection — on odd kills after shipping the first
-        // half of a SUBMIT frame, so the server sees a mid-frame EOF
-        // and must discard the partial frame whole.
+        // half of a frame (SUBMIT or SUBMIT_STREAM, per the session's
+        // mode), so the server sees a mid-frame EOF and must discard
+        // the partial frame whole.
         if ((next_kill & 1) != 0) {
-          const std::vector<std::uint8_t> frame_bytes = EncodeFrame(
-              FrameType::kSubmit,
-              EncodeSubmit(opened.session_id,
-                           stream.subspan(accepted, n)));
+          const std::vector<std::uint8_t> frame_bytes =
+              plan.submit_mode == SubmitMode::kSerial
+                  ? EncodeFrame(FrameType::kSubmit,
+                                EncodeSubmit(opened.session_id,
+                                             stream.subspan(accepted, n)))
+                  : EncodeFrame(
+                        FrameType::kSubmitStream,
+                        EncodeSubmitStream(opened.session_id, accepted,
+                                           true, addresses.data() + accepted,
+                                           sel.data() + accepted, n));
           const std::size_t half =
               std::max<std::size_t>(1, frame_bytes.size() / 2);
           try {
@@ -245,17 +347,65 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
         client->Abort();
         ++next_kill;
         disconnects.fetch_add(1, std::memory_order_relaxed);
-        client = std::make_unique<Client>(client_options);
+        client = std::make_unique<Client>(conn_options);
         const AttachReply attach =
             client->Attach(opened.session_id, opened.token);
-        if (attach.accepted < accepted ||
-            attach.accepted > stream.size()) {
+        if (attach.accepted < accepted || attach.accepted > length) {
           fail(plan.index, plan.codec_name,
                "ATTACH resume point out of range");
           return;
         }
+        // Applied switches can lag acked ones (a scheduled switch whose
+        // pinned index the drain has not reached yet) but never exceed
+        // them — the server can't invent a switch the client never sent.
+        if ((client->capabilities() & kCapRenegotiate) != 0 &&
+            attach.renegotiations > acked.size()) {
+          fail(plan.index, plan.codec_name,
+               "ATTACH_OK reports more applied switches than the client "
+               "ever acked");
+          return;
+        }
         accepted = attach.accepted;
         resumes.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (plan.submit_mode != SubmitMode::kSerial) {
+        // Stream up to the next planned boundary (kill or renegotiation
+        // threshold), windowed; SubmitColumns drains its window before
+        // returning, so the boundary actions above stay frame-aligned.
+        std::uint64_t target = length;
+        if (next_kill < plan.kill_points.size()) {
+          target = std::min<std::uint64_t>(target,
+                                           plan.kill_points[next_kill]);
+        }
+        if (next_switch < plan.renegotiations.size()) {
+          target = std::min<std::uint64_t>(
+              target, plan.renegotiations[next_switch].at);
+        }
+        target = std::max<std::uint64_t>(target, accepted + 1);
+        StreamSubmitOptions stream_options;
+        stream_options.chunk = chunk;
+        stream_options.window = 4;
+        stream_options.ack_interval =
+            plan.submit_mode == SubmitMode::kPipelined ? 1 : 4;
+        stream_options.start = accepted;
+        const StreamSubmitResult result = client->SubmitColumns(
+            opened.session_id, addresses.data(), sel.data(), target,
+            stream_options);
+        slowdowns.fetch_add(result.slowdowns, std::memory_order_relaxed);
+        rejections.fetch_add(result.rejections, std::memory_order_relaxed);
+        if (result.closed) {
+          fail(plan.index, plan.codec_name,
+               "session input closed mid-stream");
+          return;
+        }
+        if (result.accepted < accepted || result.accepted > target) {
+          fail(plan.index, plan.codec_name,
+               "admitted count skew (an access was dropped or "
+               "duplicated)");
+          return;
+        }
+        accepted = result.accepted;
         continue;
       }
       const SubmitAck ack =
@@ -292,11 +442,20 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
           return;
       }
     }
+    // Renegotiation thresholds at the exact stream end still fire —
+    // they pin a switch at the final admitted index.
+    if (!issue_renegotiations()) return;
     const StatsReply stats =
         client->DrainStats(opened.session_id, /*wait_drained=*/true);
     client->Close(opened.session_id);
     client.reset();
-    verify_stats(plan, stats);
+    verify_stats(plan, stats, acked);
+    if (plan.submit_mode != SubmitMode::kSerial) {
+      pipelined_sessions.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (plan.old_version) {
+      old_version_sessions.fetch_add(1, std::memory_order_relaxed);
+    }
   };
 
   auto run_session_guarded = [&](const SessionPlan& plan) {
@@ -348,6 +507,36 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
             options.disconnect_fraction * 10000.0;
     if (killed && options.length >= 3) {
       plan.kill_points = {options.length / 3, (2 * options.length) / 3};
+    }
+    const bool v2_features = options.renegotiate_fraction > 0.0 ||
+                             options.pipeline_fraction > 0.0;
+    // One in eight sessions runs as a v1 client when v2 features are on:
+    // the legacy conversation must stay untouched by the new frames.
+    plan.old_version = v2_features && Draw(sub_seed, 8) % 8 == 0;
+    if (!plan.old_version) {
+      if (options.renegotiate_fraction > 0.0 && options.length >= 8 &&
+          static_cast<double>(Draw(sub_seed, 7) % 10000) <
+              options.renegotiate_fraction * 10000.0) {
+        // Two mid-stream switches plus, on half of these sessions, one
+        // pinned exactly at the stream end — and occasionally an empty
+        // codec, delegating the choice to the server's policy.
+        auto pick = [&](std::uint64_t salt) -> std::string {
+          if (Draw(sub_seed, salt) % 5 == 0) return "";  // policy's choice
+          return palette[Draw(sub_seed, salt + 17) % palette.size()];
+        };
+        plan.renegotiations = {{options.length / 4, pick(9)},
+                               {(3 * options.length) / 5, pick(10)}};
+        if (Draw(sub_seed, 11) % 2 == 0) {
+          plan.renegotiations.push_back({options.length, pick(12)});
+        }
+      }
+      if (options.pipeline_fraction > 0.0 &&
+          static_cast<double>(Draw(sub_seed, 13) % 10000) <
+              options.pipeline_fraction * 10000.0) {
+        plan.submit_mode = Draw(sub_seed, 14) % 2 == 0
+                               ? SubmitMode::kPipelined
+                               : SubmitMode::kStreaming;
+      }
     }
   }
 
@@ -514,13 +703,32 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
           fuzz_fail(f, 8, e.what());
         }
       }
+
+      // 9: capability-gated frames on a connection that never
+      // negotiated them (v1 HELLO) are framing violations — fatal
+      // ERROR, exactly like an unknown frame type.
+      {
+        HelloRequest v1;
+        v1.version_max = 1;
+        std::vector<std::uint8_t> bytes =
+            EncodeFrame(FrameType::kHello, EncodeHello(v1));
+        RenegotiateRequest reneg;
+        reneg.session_id = 1;
+        reneg.codec = "gray";
+        const std::vector<std::uint8_t> frame =
+            EncodeFrame(FrameType::kRenegotiate, EncodeRenegotiate(reneg));
+        bytes.insert(bytes.end(), frame.begin(), frame.end());
+        raw_case(9, bytes, /*require_error=*/true);
+      }
     });
   }
 
   for (std::thread& thread : threads) thread.join();
 
   // Post-fuzz health check: after everything above, the server must
-  // still carry one clean session end-to-end, bit-identical.
+  // still carry one clean session end-to-end, bit-identical — once on
+  // the current protocol and once as a v1 old-version client, which
+  // must complete untouched by any v2 frame or field.
   if (!out_of_time()) {
     SessionPlan health;
     health.index = plans.size();
@@ -530,6 +738,11 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
         std::max<std::size_t>(options.length, 16),
         health.codec_options.width, health.codec_options.stride);
     run_session_guarded(health);
+
+    SessionPlan legacy = health;
+    legacy.index = plans.size() + 1;
+    legacy.old_version = true;
+    run_session_guarded(legacy);
   }
 
   outcome.slowdowns = slowdowns.load();
@@ -538,6 +751,10 @@ NetSoakOutcome RunNetSoak(const NetSoakOptions& options) {
   outcome.resumes = resumes.load();
   outcome.fuzz_frames = fuzz_frames.load();
   outcome.fuzz_errors = fuzz_errors.load();
+  outcome.renegotiations = renegotiations.load();
+  outcome.renegotiate_refusals = renegotiate_refusals.load();
+  outcome.pipelined_sessions = pipelined_sessions.load();
+  outcome.old_version_sessions = old_version_sessions.load();
   outcome.server = server.stats();
   server.Stop();
   outcome.timed_out = ran_out.load();

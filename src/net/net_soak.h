@@ -51,6 +51,16 @@ struct NetSoakOptions {
   /// Fraction of sessions whose client kills its connection mid-stream
   /// (second kill is mid-frame) and resumes via ATTACH.
   double disconnect_fraction = 0.5;
+  /// Fraction of sessions that issue mid-stream RENEGOTIATE requests
+  /// (palette-drawn targets at deterministic thresholds); the oracle
+  /// then replays the acked switch schedule via EvaluateWithSchedule.
+  double renegotiate_fraction = 0.0;
+  /// Fraction of sessions submitting via windowed SUBMIT_STREAM frames
+  /// instead of lock-step SUBMIT (alternating pipelined ack-every-frame
+  /// and streaming sparse-ack modes). When either of these fractions is
+  /// nonzero, one in eight sessions also runs as a v1 old-version
+  /// client to prove the legacy path is untouched.
+  double pipeline_fraction = 0.0;
   unsigned shards = 4;
   unsigned parallelism = 2;
   /// Malformed-frame fuzz connections run concurrently with the
@@ -71,6 +81,10 @@ struct NetSoakOutcome {
   std::uint64_t resumes = 0;       // successful ATTACH resumes
   std::uint64_t fuzz_frames = 0;   // hostile frames/blobs delivered
   std::uint64_t fuzz_errors = 0;   // clean protocol ERRORs received
+  std::uint64_t renegotiations = 0;        // RENEGOTIATE_ACKs received
+  std::uint64_t renegotiate_refusals = 0;  // clean refusals (tolerated)
+  std::uint64_t pipelined_sessions = 0;    // sessions on SUBMIT_STREAM
+  std::uint64_t old_version_sessions = 0;  // v1-client sessions verified
   std::size_t degraded_sessions = 0;
   std::uint64_t recovered_transfers = 0;
   std::uint64_t corrected_transfers = 0;

@@ -29,7 +29,8 @@ using abenc::net::RunNetSoak;
             << "usage: net_soak [--clients N] [--sessions-per-client N]\n"
             << "  [--length N] [--seed N] [--codec NAME] [--chunk N]\n"
             << "  [--queue-cap N] [--watermark N] [--fault-fraction F]\n"
-            << "  [--disconnect-fraction F] [--shards N] [--parallelism N]\n"
+            << "  [--disconnect-fraction F] [--renegotiate-fraction F]\n"
+            << "  [--pipeline-fraction F] [--shards N] [--parallelism N]\n"
             << "  [--fuzz N] [--endpoint tcp:HOST:PORT|unix:PATH]\n"
             << "  [--io-timeout-ms N] [--time-budget-s F]\n";
   std::exit(2);
@@ -78,6 +79,10 @@ int main(int argc, char** argv) {
         options.fault_fraction = std::stod(value);
       } else if (TakeValue(argc, argv, i, "--disconnect-fraction", value)) {
         options.disconnect_fraction = std::stod(value);
+      } else if (TakeValue(argc, argv, i, "--renegotiate-fraction", value)) {
+        options.renegotiate_fraction = std::stod(value);
+      } else if (TakeValue(argc, argv, i, "--pipeline-fraction", value)) {
+        options.pipeline_fraction = std::stod(value);
       } else if (TakeValue(argc, argv, i, "--shards", value)) {
         options.shards = static_cast<unsigned>(std::stoul(value));
       } else if (TakeValue(argc, argv, i, "--parallelism", value)) {
@@ -117,6 +122,12 @@ int main(int argc, char** argv) {
             << " kills, " << outcome.resumes << " ATTACH resumes\n"
             << "  fuzz: " << outcome.fuzz_frames << " hostile deliveries, "
             << outcome.fuzz_errors << " clean protocol errors\n"
+            << "  renegotiation: " << outcome.renegotiations
+            << " acked switches, " << outcome.renegotiate_refusals
+            << " clean refusals\n"
+            << "  pipelining: " << outcome.pipelined_sessions
+            << " SUBMIT_STREAM sessions, " << outcome.old_version_sessions
+            << " v1 old-client sessions\n"
             << "  transport: " << outcome.corrected_transfers
             << " corrected, " << outcome.recovered_transfers
             << " recovered, " << outcome.degraded_transfers
@@ -142,6 +153,6 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
-  std::cout << "  bit-identity vs serial EvaluateWithResets: OK\n";
+  std::cout << "  bit-identity vs serial EvaluateWithSchedule: OK\n";
   return 0;
 }

@@ -19,7 +19,10 @@ std::string FrameTypeName(FrameType type) {
     case FrameType::kStats:      return "STATS";
     case FrameType::kClose:      return "CLOSE";
     case FrameType::kCloseOk:    return "CLOSE_OK";
+    case FrameType::kRenegotiate:    return "RENEGOTIATE";
+    case FrameType::kRenegotiateAck: return "RENEGOTIATE_ACK";
     case FrameType::kError:      return "ERROR";
+    case FrameType::kSubmitStream:   return "SUBMIT_STREAM";
   }
   return "?";
 }
@@ -39,6 +42,7 @@ std::string StatusName(Status status) {
     case Status::kBadToken:       return "bad-token";
     case Status::kNotAttached:    return "not-attached";
     case Status::kInternal:       return "internal";
+    case Status::kRenegotiateRefused: return "renegotiate-refused";
   }
   return "?";
 }
@@ -198,6 +202,9 @@ std::vector<std::uint8_t> EncodeHello(const HelloRequest& hello) {
   w.U32(hello.magic);
   w.U16(hello.version_min);
   w.U16(hello.version_max);
+  // A client that cannot speak v2 emits the PR 9 byte layout exactly;
+  // the capability word exists only where someone can understand it.
+  if (hello.version_max >= 2) w.U32(hello.capabilities);
   return w.Take();
 }
 
@@ -207,6 +214,8 @@ HelloRequest DecodeHello(std::span<const std::uint8_t> payload) {
   hello.magic = r.U32();
   hello.version_min = r.U16();
   hello.version_max = r.U16();
+  // v1 clients offer no capabilities; absent word decodes as 0.
+  hello.capabilities = r.remaining() > 0 ? r.U32() : 0;
   r.ExpectEnd();
   return hello;
 }
@@ -215,6 +224,9 @@ std::vector<std::uint8_t> EncodeHelloOk(const HelloReply& reply) {
   Writer w;
   w.U16(reply.version);
   w.U64(reply.max_frame_bytes);
+  // Self-describing: the capability word rides only on a v2+ HELLO_OK,
+  // so a v1 negotiation stays byte-identical to PR 9.
+  if (reply.version >= 2) w.U32(reply.capabilities);
   return w.Take();
 }
 
@@ -223,6 +235,7 @@ HelloReply DecodeHelloOk(std::span<const std::uint8_t> payload) {
   HelloReply reply;
   reply.version = r.U16();
   reply.max_frame_bytes = r.U64();
+  reply.capabilities = reply.version >= 2 ? r.U32() : 0;
   r.ExpectEnd();
   return reply;
 }
@@ -295,18 +308,28 @@ AttachRequest DecodeAttach(std::span<const std::uint8_t> payload) {
   return attach;
 }
 
-std::vector<std::uint8_t> EncodeAttachOk(const AttachReply& reply) {
+std::vector<std::uint8_t> EncodeAttachOk(const AttachReply& reply,
+                                         std::uint32_t capabilities) {
   Writer w;
   w.U64(reply.session_id);
   w.U64(reply.accepted);
+  if (capabilities & kCapRenegotiate) {
+    w.U32(reply.renegotiations);
+    w.Str16(reply.active_codec);
+  }
   return w.Take();
 }
 
-AttachReply DecodeAttachOk(std::span<const std::uint8_t> payload) {
+AttachReply DecodeAttachOk(std::span<const std::uint8_t> payload,
+                           std::uint32_t capabilities) {
   Reader r(payload);
   AttachReply reply;
   reply.session_id = r.U64();
   reply.accepted = r.U64();
+  if (capabilities & kCapRenegotiate) {
+    reply.renegotiations = r.U32();
+    reply.active_codec = r.Str16();
+  }
   r.ExpectEnd();
   return reply;
 }
@@ -348,22 +371,114 @@ SubmitRequest DecodeSubmit(std::span<const std::uint8_t> payload) {
   return request;
 }
 
-std::vector<std::uint8_t> EncodeSubmitAck(const SubmitAck& ack) {
+std::vector<std::uint8_t> EncodeSubmitAck(const SubmitAck& ack,
+                                          std::uint32_t capabilities) {
   Writer w;
   w.U64(ack.session_id);
   w.U16(static_cast<std::uint16_t>(ack.status));
   w.U64(ack.accepted);
+  if (capabilities & kCapRenegotiate) w.Str16(ack.recommended_codec);
   return w.Take();
 }
 
-SubmitAck DecodeSubmitAck(std::span<const std::uint8_t> payload) {
+SubmitAck DecodeSubmitAck(std::span<const std::uint8_t> payload,
+                          std::uint32_t capabilities) {
   Reader r(payload);
   SubmitAck ack;
   ack.session_id = r.U64();
   ack.status = static_cast<Status>(r.U16());
   ack.accepted = r.U64();
+  if (capabilities & kCapRenegotiate) ack.recommended_codec = r.Str16();
   r.ExpectEnd();
   return ack;
+}
+
+std::vector<std::uint8_t> EncodeSubmitStream(
+    const SubmitStreamRequest& request) {
+  return EncodeSubmitStream(request.session_id, request.offset,
+                            request.want_ack,
+                            request.columns.addresses.data(),
+                            request.columns.sel.data(),
+                            request.columns.size());
+}
+
+std::vector<std::uint8_t> EncodeSubmitStream(std::uint64_t session_id,
+                                             std::uint64_t offset,
+                                             bool want_ack,
+                                             const Word* addresses,
+                                             const std::uint8_t* sel,
+                                             std::size_t count) {
+  Writer w;
+  w.U64(session_id);
+  w.U64(offset);
+  w.U8(want_ack ? 1 : 0);
+  w.U32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) w.U64(addresses[i]);
+  w.Bytes(std::span<const std::uint8_t>(sel, count));
+  return w.Take();
+}
+
+SubmitStreamRequest DecodeSubmitStream(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  SubmitStreamRequest request;
+  request.session_id = r.U64();
+  request.offset = r.U64();
+  request.want_ack = r.U8() != 0;
+  const std::uint32_t count = r.U32();
+  // Same pre-check as SUBMIT: a hostile count is one clean error, not a
+  // large partial parse.
+  const std::size_t body = static_cast<std::size_t>(count) * 9;
+  if (r.remaining() != body) {
+    throw WireError(Status::kBadFrame,
+                    "SUBMIT_STREAM declares " + std::to_string(count) +
+                        " accesses (" + std::to_string(body) +
+                        " body bytes) but carries " +
+                        std::to_string(r.remaining()));
+  }
+  request.columns.addresses.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    request.columns.addresses[i] = r.U64();
+  }
+  request.columns.sel.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    request.columns.sel[i] = r.U8();
+  }
+  r.ExpectEnd();
+  return request;
+}
+
+std::vector<std::uint8_t> EncodeRenegotiate(const RenegotiateRequest& request) {
+  Writer w;
+  w.U64(request.session_id);
+  w.Str16(request.codec);
+  return w.Take();
+}
+
+RenegotiateRequest DecodeRenegotiate(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  RenegotiateRequest request;
+  request.session_id = r.U64();
+  request.codec = r.Str16();
+  r.ExpectEnd();
+  return request;
+}
+
+std::vector<std::uint8_t> EncodeRenegotiateAck(const RenegotiateReply& reply) {
+  Writer w;
+  w.U64(reply.session_id);
+  w.U64(reply.switch_index);
+  w.Str16(reply.codec);
+  return w.Take();
+}
+
+RenegotiateReply DecodeRenegotiateAck(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  RenegotiateReply reply;
+  reply.session_id = r.U64();
+  reply.switch_index = r.U64();
+  reply.codec = r.Str16();
+  r.ExpectEnd();
+  return reply;
 }
 
 std::vector<std::uint8_t> EncodeDrainStats(const DrainStatsRequest& request) {
@@ -382,7 +497,8 @@ DrainStatsRequest DecodeDrainStats(std::span<const std::uint8_t> payload) {
   return request;
 }
 
-std::vector<std::uint8_t> EncodeStats(const StatsReply& stats) {
+std::vector<std::uint8_t> EncodeStats(const StatsReply& stats,
+                                      std::uint32_t capabilities) {
   Writer w;
   w.U64(stats.session_id);
   w.U8(stats.state);
@@ -407,10 +523,19 @@ std::vector<std::uint8_t> EncodeStats(const StatsReply& stats) {
   for (long long line : stats.per_line) w.I64(line);
   w.U32(static_cast<std::uint32_t>(stats.reset_points.size()));
   for (std::uint64_t point : stats.reset_points) w.U64(point);
+  if (capabilities & kCapRenegotiate) {
+    w.U32(static_cast<std::uint32_t>(stats.renegotiations.size()));
+    for (const CodecSwitchPoint& point : stats.renegotiations) {
+      w.U64(point.index);
+      w.Str16(point.codec_name);
+    }
+    w.Str16(stats.active_codec);
+  }
   return w.Take();
 }
 
-StatsReply DecodeStats(std::span<const std::uint8_t> payload) {
+StatsReply DecodeStats(std::span<const std::uint8_t> payload,
+                       std::uint32_t capabilities) {
   Reader r(payload);
   StatsReply stats;
   stats.session_id = r.U64();
@@ -446,6 +571,22 @@ StatsReply DecodeStats(std::span<const std::uint8_t> payload) {
   }
   stats.reset_points.resize(resets);
   for (std::uint32_t i = 0; i < resets; ++i) stats.reset_points[i] = r.U64();
+  if (capabilities & kCapRenegotiate) {
+    const std::uint32_t switches = r.U32();
+    // Each entry is at least 10 bytes (u64 index + empty str16); bound
+    // the count before resizing so a hostile value cannot force a huge
+    // allocation.
+    if (static_cast<std::size_t>(switches) * 10 > r.remaining()) {
+      throw WireError(Status::kBadFrame,
+                      "STATS switch-schedule count exceeds the payload");
+    }
+    stats.renegotiations.resize(switches);
+    for (std::uint32_t i = 0; i < switches; ++i) {
+      stats.renegotiations[i].index = r.U64();
+      stats.renegotiations[i].codec_name = r.Str16();
+    }
+    stats.active_codec = r.Str16();
+  }
   r.ExpectEnd();
   return stats;
 }
@@ -513,6 +654,8 @@ StatsReply StatsFromReport(const service::SessionReport& report,
   stats.readmissions = report.readmissions;
   stats.rejected_batches = report.rejected_batches;
   stats.peak_queue_depth = report.peak_queue_depth;
+  stats.renegotiations = report.renegotiations;
+  stats.active_codec = report.active_codec;
   return stats;
 }
 

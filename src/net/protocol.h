@@ -49,10 +49,27 @@ namespace abenc::net {
 /// First payload word of HELLO; bytes "ABNC" on the wire.
 inline constexpr std::uint32_t kHelloMagic = 0x434E4241u;
 
-/// The protocol revision this library speaks. HELLO carries the
-/// client's [min, max] supported range; the server answers with its own
-/// version if it falls inside the range and ERROR kBadVersion otherwise.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// The newest protocol revision this library speaks. HELLO carries the
+/// client's [min, max] supported range; the server answers with the
+/// highest version both sides support and ERROR kBadVersion when the
+/// ranges do not overlap.
+///
+/// v1: the PR 9 baseline (HELLO..ERROR, frames 1-12 and 15).
+/// v2: adds capability negotiation in HELLO/HELLO_OK plus the
+///     capability-gated RENEGOTIATE / RENEGOTIATE_ACK / SUBMIT_STREAM
+///     frames and field extensions below. A v1 conversation is
+///     byte-identical to PR 9 — old clients are untouched.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersionMin = 1;
+
+/// Capability bits carried in HELLO/HELLO_OK from v2 on. A capability
+/// is in force only when both sides advertised it (the server replies
+/// with the intersection); frames/fields gated on an absent capability
+/// must never appear on the connection (kBadFrame).
+inline constexpr std::uint32_t kCapRenegotiate = 1u << 0;
+inline constexpr std::uint32_t kCapPipeline = 1u << 1;
+inline constexpr std::uint32_t kDefaultCapabilities =
+    kCapRenegotiate | kCapPipeline;
 
 /// Default hard cap on one frame's payload (type byte + body). The
 /// server enforces its own configured cap as soon as a length prefix is
@@ -75,7 +92,10 @@ enum class FrameType : std::uint8_t {
   kStats = 10,
   kClose = 11,
   kCloseOk = 12,
+  kRenegotiate = 13,     // v2, kCapRenegotiate
+  kRenegotiateAck = 14,  // v2, kCapRenegotiate
   kError = 15,
+  kSubmitStream = 16,    // v2, kCapPipeline
 };
 
 std::string FrameTypeName(FrameType type);
@@ -99,6 +119,8 @@ enum class Status : std::uint16_t {
   kBadToken = 22,        // ATTACH token mismatch
   kNotAttached = 23,  // session not opened/attached on this connection
   kInternal = 24,     // unexpected server-side failure
+  kRenegotiateRefused = 25,  // switch refused (degraded / recovering /
+                             // pending / unchanged); connection usable
 };
 
 std::string StatusName(Status status);
@@ -191,13 +213,21 @@ std::optional<Frame> TryExtractFrame(std::vector<std::uint8_t>& buffer,
 
 struct HelloRequest {
   std::uint32_t magic = kHelloMagic;
-  std::uint16_t version_min = kProtocolVersion;
+  std::uint16_t version_min = kProtocolVersionMin;
   std::uint16_t version_max = kProtocolVersion;
+  /// v2+: capability bits offered by the client. Encoded only when
+  /// version_max >= 2 (a v1 HELLO is byte-identical to PR 9); decoded
+  /// as 0 when absent, so v1 clients implicitly offer nothing.
+  std::uint32_t capabilities = kDefaultCapabilities;
 };
 
 struct HelloReply {
   std::uint16_t version = kProtocolVersion;
   std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Capabilities in force: client ∩ server. Present on the wire only
+  /// when the negotiated `version` >= 2 — the layout is self-describing
+  /// and a v1 HELLO_OK stays byte-identical to PR 9.
+  std::uint32_t capabilities = 0;
 };
 
 /// Codec + palette negotiation plus the session's robustness knobs —
@@ -236,6 +266,12 @@ struct AttachReply {
   /// Accesses admitted over the session's lifetime — the resume point
   /// for exactly-once submission after a disconnect.
   std::uint64_t accepted = 0;
+  /// kCapRenegotiate extension: how many codec switches have applied
+  /// and which codec is active now, so a resuming client knows whether
+  /// a switch it acked before the disconnect landed (the full pinned
+  /// schedule arrives with STATS).
+  std::uint32_t renegotiations = 0;
+  std::string active_codec;
 };
 
 struct SubmitRequest {
@@ -247,6 +283,43 @@ struct SubmitAck {
   std::uint64_t session_id = 0;
   Status status = Status::kOk;
   std::uint64_t accepted = 0;  // lifetime admitted-access count
+  /// kCapRenegotiate extension: the server policy's codec proposal for
+  /// this session's observed traffic ("" = no proposal). Advisory — the
+  /// client switches only by sending RENEGOTIATE.
+  std::string recommended_codec;
+};
+
+/// v2 kCapPipeline: the streaming bulk-transfer frame. Columnar like
+/// SUBMIT, plus the sender's expected lifetime admitted count (`offset`)
+/// — the guard that makes pipelining safe: a frame whose offset does not
+/// match the server's count (because an earlier in-flight frame was
+/// rejected) is itself rejected whole, so a rejection can never punch a
+/// gap into the admitted stream. Acked only when `want_ack` is set or
+/// the verdict is not kOk, so a bulk replay pays one ack per window, not
+/// per frame.
+struct SubmitStreamRequest {
+  std::uint64_t session_id = 0;
+  std::uint64_t offset = 0;
+  bool want_ack = false;
+  service::ColumnBatch columns;  // decoded straight off the wire
+};
+
+/// v2 kCapRenegotiate: request a codec switch for an attached session.
+/// An empty codec asks the server's renegotiation policy to pick from
+/// its palette. Refusals are answered with ERROR (kRenegotiateRefused /
+/// kBadConfig), success with RENEGOTIATE_ACK.
+struct RenegotiateRequest {
+  std::uint64_t session_id = 0;
+  std::string codec;  // "" = server policy's choice
+};
+
+struct RenegotiateReply {
+  std::uint64_t session_id = 0;
+  /// Lifetime admitted-access index the switch is pinned to — the exact
+  /// contract of the adaptive codec's ESC line: both ends replay the
+  /// decision from this index alone.
+  std::uint64_t switch_index = 0;
+  std::string codec;  // the codec that will be active from switch_index
 };
 
 struct DrainStatsRequest {
@@ -275,6 +348,12 @@ struct StatsReply {
   std::uint64_t readmissions = 0;
   std::uint64_t rejected_batches = 0;
   std::uint64_t peak_queue_depth = 0;
+  /// kCapRenegotiate extension: the applied switch schedule (pinned
+  /// lifetime indices + factory names, stream order) and the active
+  /// codec — with reset_points this is everything a client needs to
+  /// replay EvaluateWithSchedule bit-for-bit.
+  std::vector<CodecSwitchPoint> renegotiations;
+  std::string active_codec;
 };
 
 struct CloseRequest {
@@ -305,21 +384,51 @@ OpenReply DecodeOpenOk(std::span<const std::uint8_t> payload);
 std::vector<std::uint8_t> EncodeAttach(const AttachRequest& attach);
 AttachRequest DecodeAttach(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> EncodeAttachOk(const AttachReply& reply);
-AttachReply DecodeAttachOk(std::span<const std::uint8_t> payload);
+// ATTACH_OK, SUBMIT_ACK and STATS carry kCapRenegotiate-gated trailing
+// fields; encoder and decoder must agree on the connection's negotiated
+// capabilities (strict both ways: the extension is present iff the
+// capability is in force — ExpectEnd still rejects any other shape).
+std::vector<std::uint8_t> EncodeAttachOk(const AttachReply& reply,
+                                         std::uint32_t capabilities = 0);
+AttachReply DecodeAttachOk(std::span<const std::uint8_t> payload,
+                           std::uint32_t capabilities = 0);
 
 std::vector<std::uint8_t> EncodeSubmit(std::uint64_t session_id,
                                        std::span<const BusAccess> batch);
 SubmitRequest DecodeSubmit(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> EncodeSubmitAck(const SubmitAck& ack);
-SubmitAck DecodeSubmitAck(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> EncodeSubmitAck(const SubmitAck& ack,
+                                          std::uint32_t capabilities = 0);
+SubmitAck DecodeSubmitAck(std::span<const std::uint8_t> payload,
+                          std::uint32_t capabilities = 0);
+
+std::vector<std::uint8_t> EncodeSubmitStream(const SubmitStreamRequest& request);
+/// Pointer-column overload: encodes straight from caller-owned columns
+/// (e.g. a ViewColumns slice of an mmap-backed `.ctrace`), so a bulk
+/// replay never materializes a ColumnBatch per frame.
+std::vector<std::uint8_t> EncodeSubmitStream(std::uint64_t session_id,
+                                             std::uint64_t offset,
+                                             bool want_ack,
+                                             const Word* addresses,
+                                             const std::uint8_t* sel,
+                                             std::size_t count);
+/// Decodes the columns by bulk move into the returned ColumnBatch — the
+/// zero-copy entry into Session::SubmitColumns.
+SubmitStreamRequest DecodeSubmitStream(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> EncodeRenegotiate(const RenegotiateRequest& request);
+RenegotiateRequest DecodeRenegotiate(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> EncodeRenegotiateAck(const RenegotiateReply& reply);
+RenegotiateReply DecodeRenegotiateAck(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> EncodeDrainStats(const DrainStatsRequest& request);
 DrainStatsRequest DecodeDrainStats(std::span<const std::uint8_t> payload);
 
-std::vector<std::uint8_t> EncodeStats(const StatsReply& stats);
-StatsReply DecodeStats(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> EncodeStats(const StatsReply& stats,
+                                      std::uint32_t capabilities = 0);
+StatsReply DecodeStats(std::span<const std::uint8_t> payload,
+                       std::uint32_t capabilities = 0);
 
 std::vector<std::uint8_t> EncodeClose(const CloseRequest& request);
 CloseRequest DecodeClose(std::span<const std::uint8_t> payload);

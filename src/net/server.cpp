@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <map>
@@ -37,6 +38,8 @@ void SetNonBlocking(int fd) {
 struct Server::Conn {
   int fd = -1;
   bool hello_done = false;
+  std::uint16_t version = kProtocolVersion;  // negotiated at HELLO
+  std::uint32_t caps = 0;                    // capabilities in force
   bool close_after_flush = false;  // fatal error sent; drop once flushed
   std::vector<std::uint8_t> in;
   std::vector<std::uint8_t> out;
@@ -92,6 +95,7 @@ class Server::Loop {
     s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
     s.submitted_accesses =
         submitted_accesses_.load(std::memory_order_relaxed);
+    s.renegotiations = renegotiations_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -154,6 +158,7 @@ class Server::Loop {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) return;  // EAGAIN or transient failure: next poll
       SetNonBlocking(fd);
+      SetNoDelay(fd);
       Conn conn;
       conn.fd = fd;
       conn.last_in = Clock::now();
@@ -229,20 +234,30 @@ class Server::Loop {
                   "HELLO magic mismatch (not an abenc client?)");
         return;
       }
-      if (kProtocolVersion < hello.version_min ||
-          kProtocolVersion > hello.version_max) {
+      // Highest version both sides speak; no overlap is fatal.
+      if (hello.version_min > kProtocolVersion ||
+          hello.version_max < kProtocolVersionMin) {
         SendError(conn, Status::kBadVersion,
-                  "server speaks version " +
+                  "server speaks versions [" +
+                      std::to_string(kProtocolVersionMin) + ", " +
                       std::to_string(kProtocolVersion) +
-                      ", client supports [" +
+                      "], client supports [" +
                       std::to_string(hello.version_min) + ", " +
                       std::to_string(hello.version_max) + "]");
         return;
       }
       conn.hello_done = true;
+      conn.version = std::min(kProtocolVersion, hello.version_max);
+      // Capabilities exist from v2 on and only where both sides agree;
+      // a v1 negotiation leaves every v2 frame/field off this
+      // connection for good.
+      conn.caps = conn.version >= 2
+                      ? (hello.capabilities & config_.capabilities)
+                      : 0;
       HelloReply reply;
-      reply.version = kProtocolVersion;
+      reply.version = conn.version;
       reply.max_frame_bytes = config_.max_frame_bytes;
+      reply.capabilities = conn.caps;
       SendFrame(conn, FrameType::kHelloOk, EncodeHelloOk(reply));
       return;
     }
@@ -252,12 +267,31 @@ class Server::Loop {
       case FrameType::kSubmit:     HandleSubmit(conn, frame); return;
       case FrameType::kDrainStats: HandleDrainStats(conn, frame); return;
       case FrameType::kClose:      HandleClose(conn, frame); return;
+      case FrameType::kRenegotiate:
+        RequireCap(conn, kCapRenegotiate, "RENEGOTIATE");
+        HandleRenegotiate(conn, frame);
+        return;
+      case FrameType::kSubmitStream:
+        RequireCap(conn, kCapPipeline, "SUBMIT_STREAM");
+        HandleSubmitStream(conn, frame);
+        return;
       case FrameType::kHello:
         throw WireError(Status::kBadFrame, "repeated HELLO");
       default:
         throw WireError(Status::kBadFrame,
                         "unexpected frame type " +
                             std::to_string(static_cast<int>(frame.type)));
+    }
+  }
+
+  /// A frame gated on a capability the connection did not negotiate is
+  /// a framing violation, exactly like an unknown frame type — fatal.
+  void RequireCap(const Conn& conn, std::uint32_t cap,
+                  const char* frame_name) {
+    if ((conn.caps & cap) == 0) {
+      throw WireError(Status::kBadFrame,
+                      std::string(frame_name) +
+                          " without the negotiated capability");
     }
   }
 
@@ -342,7 +376,17 @@ class Server::Loop {
     AttachReply reply;
     reply.session_id = attach.session_id;
     reply.accepted = slot.accepted;
-    SendFrame(conn, FrameType::kAttachOk, EncodeAttachOk(reply));
+    if ((conn.caps & kCapRenegotiate) != 0) {
+      // Resume context: whether switches the client acked before the
+      // disconnect actually landed, and the codec encoding right now.
+      const service::SessionReport report =
+          service_.Report(attach.session_id);
+      reply.renegotiations =
+          static_cast<std::uint32_t>(report.renegotiations.size());
+      reply.active_codec = report.active_codec;
+    }
+    SendFrame(conn, FrameType::kAttachOk,
+              EncodeAttachOk(reply, conn.caps));
   }
 
   /// Shared SUBMIT/DRAIN_STATS/CLOSE precondition: the session exists
@@ -376,11 +420,103 @@ class Server::Loop {
       submitted_accesses_.fetch_add(request.batch.size(),
                                     std::memory_order_relaxed);
     }
+    SendSubmitAck(conn, request.session_id, AdmissionToStatus(admission),
+                  slot->accepted);
+  }
+
+  /// kCapPipeline: the streaming/pipelined submission path. The offset
+  /// guard makes in-flight rejection safe — a frame whose expected
+  /// lifetime admitted count disagrees with the server's is rejected
+  /// whole (an earlier pipelined frame must have been rejected), so a
+  /// rejection can never punch a gap into the admitted stream.
+  void HandleSubmitStream(Conn& conn, const Frame& frame) {
+    SubmitStreamRequest request = DecodeSubmitStream(frame.payload);
+    SessionSlot* slot = RequireAttached(conn, request.session_id);
+    if (slot == nullptr) return;
+    const std::size_t count = request.columns.size();
+    Status status;
+    if (request.offset != slot->accepted) {
+      status = Status::kRejected;  // stale offset: nothing queued
+    } else {
+      const service::Admission admission = service_.SubmitColumns(
+          request.session_id, std::move(request.columns));
+      status = AdmissionToStatus(admission);
+      if (admission == service::Admission::kAccepted ||
+          admission == service::Admission::kSlowDown) {
+        slot->accepted += count;
+        submitted_accesses_.fetch_add(count, std::memory_order_relaxed);
+      }
+    }
+    // One ack per requested window; any non-kOk verdict is always acked
+    // so the sender can rewind from the authoritative count.
+    if (request.want_ack || status != Status::kOk) {
+      SendSubmitAck(conn, request.session_id, status, slot->accepted);
+    }
+  }
+
+  /// kCapRenegotiate: switch an attached session's codec, pinned to the
+  /// lifetime admitted index. An empty codec asks the server policy.
+  void HandleRenegotiate(Conn& conn, const Frame& frame) {
+    const RenegotiateRequest request = DecodeRenegotiate(frame.payload);
+    SessionSlot* slot = RequireAttached(conn, request.session_id);
+    if (slot == nullptr) return;
+    std::string codec = request.codec;
+    if (codec.empty()) {
+      codec = Recommendation(request.session_id);
+      if (codec.empty()) {
+        SendError(conn, Status::kRenegotiateRefused,
+                  "policy has no recommendation for session " +
+                      std::to_string(request.session_id));
+        return;
+      }
+    }
+    const service::RenegotiateOutcome outcome =
+        service_.Renegotiate(request.session_id, codec);
+    if (!outcome.ok()) {
+      const Status status =
+          outcome.status == service::RenegotiateStatus::kRefusedBadCodec
+              ? Status::kBadConfig
+              : Status::kRenegotiateRefused;
+      SendError(conn, status,
+                "renegotiation refused: " +
+                    service::RenegotiateStatusName(outcome.status));
+      return;
+    }
+    renegotiations_.fetch_add(1, std::memory_order_relaxed);
+    RenegotiateReply reply;
+    reply.session_id = request.session_id;
+    reply.switch_index = outcome.switch_index;
+    reply.codec = outcome.codec_name;
+    SendFrame(conn, FrameType::kRenegotiateAck,
+              EncodeRenegotiateAck(reply));
+  }
+
+  void SendSubmitAck(Conn& conn, std::uint64_t session_id, Status status,
+                     std::uint64_t accepted) {
     SubmitAck ack;
-    ack.session_id = request.session_id;
-    ack.status = AdmissionToStatus(admission);
-    ack.accepted = slot->accepted;
-    SendFrame(conn, FrameType::kSubmitAck, EncodeSubmitAck(ack));
+    ack.session_id = session_id;
+    ack.status = status;
+    ack.accepted = accepted;
+    if ((conn.caps & kCapRenegotiate) != 0) {
+      ack.recommended_codec = Recommendation(session_id);
+    }
+    SendFrame(conn, FrameType::kSubmitAck,
+              EncodeSubmitAck(ack, conn.caps));
+  }
+
+  /// The policy's advisory proposal for a session, or "" when the drain
+  /// lock is busy, the tracker has no completed window yet, or no switch
+  /// would currently be admissible anyway.
+  std::string Recommendation(std::uint64_t session_id) {
+    const std::optional<service::RenegotiationSnapshot> snapshot =
+        service_.StatsSnapshot(session_id);
+    if (!snapshot.has_value() || snapshot->windows_completed == 0 ||
+        snapshot->switch_pending || snapshot->degraded) {
+      return "";
+    }
+    return config_.renegotiation.Recommend(snapshot->window,
+                                           snapshot->width,
+                                           snapshot->active_codec);
   }
 
   void HandleDrainStats(Conn& conn, const Frame& frame) {
@@ -409,7 +545,8 @@ class Server::Loop {
                  const SessionSlot& slot) {
     const service::SessionReport report = service_.Report(session_id);
     SendFrame(conn, FrameType::kStats,
-              EncodeStats(StatsFromReport(report, slot.accepted)));
+              EncodeStats(StatsFromReport(report, slot.accepted),
+                          conn.caps));
   }
 
   /// Deferred DRAIN_STATS replies: answered as soon as the session's
@@ -519,6 +656,7 @@ class Server::Loop {
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> submitted_accesses_{0};
+  std::atomic<std::uint64_t> renegotiations_{0};
 };
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {

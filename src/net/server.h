@@ -40,6 +40,7 @@
 
 #include "net/protocol.h"
 #include "net/sockets.h"
+#include "service/renegotiation.h"
 #include "service/service.h"
 
 namespace abenc::net {
@@ -57,6 +58,13 @@ struct ServerConfig {
   /// Drop a connection whose pending replies make no progress for this
   /// long (peer stopped reading).
   std::chrono::milliseconds write_timeout{10000};
+  /// Capabilities this server is willing to grant; a connection's caps
+  /// in force are the intersection with what the client offered in a
+  /// v2 HELLO (v1 connections always negotiate zero).
+  std::uint32_t capabilities = kDefaultCapabilities;
+  /// Server-side codec recommendation policy (kCapRenegotiate): feeds
+  /// the SUBMIT_ACK hint and resolves an empty-codec RENEGOTIATE.
+  service::RenegotiationPolicy renegotiation;
   /// The underlying encoding service.
   service::ServiceConfig service;
   /// Test/soak hook: maps OPEN's fault_seed to a deterministic channel
@@ -75,6 +83,7 @@ struct ServerStats {
   std::uint64_t frames_received = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t submitted_accesses = 0;   // admitted into session queues
+  std::uint64_t renegotiations = 0;       // RENEGOTIATE_ACKs sent
 };
 
 class Server {

@@ -137,6 +137,7 @@ int DialEndpoint(const Endpoint& endpoint,
       throw NetError("cannot parse host '" + endpoint.host + "'");
     }
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) SetNoDelay(fd);
   }
   if (rc != 0) {
     const int saved = errno;
@@ -145,6 +146,12 @@ int DialEndpoint(const Endpoint& endpoint,
     FailErrno("connect " + endpoint.ToString());
   }
   return fd;
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Fails with EOPNOTSUPP on AF_UNIX sockets; that is the no-op case.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 void SendAll(int fd, const std::uint8_t* data, std::size_t size) {

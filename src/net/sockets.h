@@ -42,6 +42,13 @@ int ListenOn(Endpoint& endpoint);
 int DialEndpoint(const Endpoint& endpoint,
                  std::chrono::milliseconds io_timeout);
 
+/// Disable Nagle's algorithm (TCP_NODELAY). Without this, writing a
+/// second small frame while the first is still unacknowledged stalls
+/// until the peer's delayed ACK (~40ms) — fatal for pipelined
+/// SUBMIT_STREAM windows, harmless to enable everywhere. A no-op on
+/// non-TCP sockets.
+void SetNoDelay(int fd);
+
 /// Send every byte (MSG_NOSIGNAL); throws NetError on failure/timeout.
 void SendAll(int fd, const std::uint8_t* data, std::size_t size);
 

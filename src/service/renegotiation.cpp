@@ -1,0 +1,49 @@
+#include "service/renegotiation.h"
+
+#include <algorithm>
+
+namespace abenc::service {
+
+bool RenegotiationPolicy::InPalette(const std::string& codec_name) const {
+  return std::find(palette.begin(), palette.end(), codec_name) !=
+         palette.end();
+}
+
+std::string RenegotiationPolicy::Recommend(const AdaptiveWindowStats& window,
+                                           unsigned width,
+                                           const std::string& active) const {
+  if (window.accesses < min_window_accesses) return "";
+
+  const double accesses = static_cast<double>(window.accesses);
+  const double sel_fraction =
+      static_cast<double>(window.sel_high) / accesses;
+  const bool mixed_sel =
+      sel_fraction >= mixed_sel_low && sel_fraction <= mixed_sel_high;
+
+  std::string candidate;
+  if (window.in_sequence_percent() >= sequential_in_seq_percent) {
+    // Sequential regime: T0 freezes the bus on in-sequence steps; on a
+    // multiplexed stream the dual code keeps one history per source.
+    candidate = mixed_sel ? "dual-t0-bi" : "t0";
+  } else if (window.toggle_density() >
+             static_cast<double>(width) * dense_toggle_fraction) {
+    // Random-like regime: bus-invert bounds the per-cycle toggle count.
+    candidate = "bus-invert";
+  } else {
+    // Unit-stride counting that the configured stride misses: Gray's
+    // single-toggle increments. Steps observed = accesses - 1.
+    const auto unit = window.stride_histogram.find(Word{1});
+    if (unit != window.stride_histogram.end() && window.accesses > 1 &&
+        static_cast<double>(unit->second) >=
+            unit_stride_fraction * static_cast<double>(window.accesses - 1)) {
+      candidate = "gray";
+    }
+  }
+
+  if (candidate.empty() || candidate == active || !InPalette(candidate)) {
+    return "";
+  }
+  return candidate;
+}
+
+}  // namespace abenc::service

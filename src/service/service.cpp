@@ -75,6 +75,24 @@ Admission EncodingService::Submit(std::uint64_t session_id,
   return FindSession(sessions_, session_id, sessions_mutex_)->Submit(batch);
 }
 
+Admission EncodingService::SubmitColumns(std::uint64_t session_id,
+                                         ColumnBatch&& batch) {
+  return FindSession(sessions_, session_id, sessions_mutex_)
+      ->SubmitColumns(std::move(batch));
+}
+
+RenegotiateOutcome EncodingService::Renegotiate(
+    std::uint64_t session_id, const std::string& codec_name) {
+  return FindSession(sessions_, session_id, sessions_mutex_)
+      ->Renegotiate(codec_name);
+}
+
+std::optional<RenegotiationSnapshot> EncodingService::StatsSnapshot(
+    std::uint64_t session_id) const {
+  return FindSession(sessions_, session_id, sessions_mutex_)
+      ->StatsSnapshot();
+}
+
 void EncodingService::CloseSession(std::uint64_t session_id) {
   FindSession(sessions_, session_id, sessions_mutex_)->CloseInput();
 }

@@ -89,6 +89,20 @@ class EncodingService {
   Admission Submit(std::uint64_t session_id,
                    std::span<const BusAccess> batch);
 
+  /// Zero-copy submission of a columnar batch (Session::SubmitColumns).
+  Admission SubmitColumns(std::uint64_t session_id, ColumnBatch&& batch);
+
+  /// Request a codec switch for one session, pinned to its lifetime
+  /// admitted count (Session::Renegotiate). Unknown ids throw
+  /// std::out_of_range; refusals come back in the outcome.
+  RenegotiateOutcome Renegotiate(std::uint64_t session_id,
+                                 const std::string& codec_name);
+
+  /// Non-blocking policy snapshot of a session's windowed stream stats
+  /// (Session::StatsSnapshot); nullopt when the drain side is busy.
+  std::optional<RenegotiationSnapshot> StatsSnapshot(
+      std::uint64_t session_id) const;
+
   /// Close a session's input; queued work still drains.
   void CloseSession(std::uint64_t session_id);
 

@@ -2,9 +2,11 @@
 //
 // Spins up --sessions simultaneous sessions (codec, stream family and
 // fault models rotated deterministically from --seed), pushes every
-// stream through the bounded admission path from --clients threads,
-// drains, then verifies each session's accounting bit-for-bit against a
-// serial EvaluateWithResets() of the same stream and reconciles every
+// stream through the bounded admission path from --clients threads
+// (optionally via the zero-copy columnar path, and with mid-stream
+// codec renegotiations issued at deterministic thresholds), drains,
+// then verifies each session's accounting bit-for-bit against a serial
+// EvaluateWithSchedule() of the same stream and reconciles every
 // transport delivery (clean/corrected/recovered/degraded must sum to the
 // transfer count — no silent corruption).
 //
@@ -30,9 +32,10 @@ using abenc::service::SoakOutcome;
             << "usage: service_soak [--sessions N] [--length N]\n"
             << "  [--shards N] [--parallelism N] [--clients N] [--seed N]\n"
             << "  [--codec NAME] [--queue-cap N] [--watermark N]\n"
-            << "  [--chunk N] [--fault-fraction F] [--evict-idle N]\n"
-            << "  [--budget N] [--stall-shard] [--time-budget-s F]\n"
-            << "  [--metrics PATH]\n";
+            << "  [--chunk N] [--fault-fraction F]\n"
+            << "  [--renegotiate-fraction F] [--columnar-fraction F]\n"
+            << "  [--evict-idle N] [--budget N] [--stall-shard]\n"
+            << "  [--time-budget-s F] [--metrics PATH]\n";
   std::exit(2);
 }
 
@@ -82,6 +85,10 @@ int main(int argc, char** argv) {
         options.chunk = std::stoul(value);
       } else if (TakeValue(argc, argv, i, "--fault-fraction", value)) {
         options.fault_fraction = std::stod(value);
+      } else if (TakeValue(argc, argv, i, "--renegotiate-fraction", value)) {
+        options.renegotiate_fraction = std::stod(value);
+      } else if (TakeValue(argc, argv, i, "--columnar-fraction", value)) {
+        options.columnar_fraction = std::stod(value);
       } else if (TakeValue(argc, argv, i, "--evict-idle", value)) {
         options.idle_evict_steps = std::stoull(value);
       } else if (TakeValue(argc, argv, i, "--budget", value)) {
@@ -122,7 +129,11 @@ int main(int argc, char** argv) {
             << ", evicted: " << outcome.evicted_sessions
             << ", rejected batches (resubmitted): "
             << outcome.rejected_batches
-            << ", failovers: " << outcome.failovers << "\n";
+            << ", failovers: " << outcome.failovers << "\n"
+            << "  renegotiation: " << outcome.renegotiations
+            << " acked switches, " << outcome.renegotiate_refusals
+            << " clean refusals; columnar sessions: "
+            << outcome.columnar_sessions << "\n";
 
   if (!metrics_path.empty()) {
     abenc::obs::WriteMetricsFile(metrics_path, *registry);
@@ -142,6 +153,6 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
-  std::cout << "  bit-identity vs serial EvaluateWithResets: OK\n";
+  std::cout << "  bit-identity vs serial EvaluateWithSchedule: OK\n";
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -21,6 +23,20 @@ std::string SessionStateName(SessionState state) {
   switch (state) {
     case SessionState::kActive:  return "active";
     case SessionState::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+std::string RenegotiateStatusName(RenegotiateStatus status) {
+  switch (status) {
+    case RenegotiateStatus::kScheduled:         return "scheduled";
+    case RenegotiateStatus::kApplied:           return "applied";
+    case RenegotiateStatus::kRefusedBadCodec:   return "refused-bad-codec";
+    case RenegotiateStatus::kRefusedClosed:     return "refused-closed";
+    case RenegotiateStatus::kRefusedDegraded:   return "refused-degraded";
+    case RenegotiateStatus::kRefusedRecovering: return "refused-recovering";
+    case RenegotiateStatus::kRefusedPending:    return "refused-pending";
+    case RenegotiateStatus::kRefusedUnchanged:  return "refused-unchanged";
   }
   return "?";
 }
@@ -64,7 +80,10 @@ Session::Session(std::uint64_t id, SessionConfig config,
     : id_(id),
       config_(std::move(config)),
       metrics_(metrics),
-      mask_(LowMask(config_.codec_options.width)) {
+      mask_(LowMask(config_.codec_options.width)),
+      stats_tracker_(config_.codec_options.width, config_.stride_for_stats,
+                     config_.stats_window) {
+  active_codec_name_ = config_.codec_name;
   acc_codec_ = MakeCodec(config_.codec_name, config_.codec_options);
   counter_.emplace(acc_codec_->width(), acc_codec_->redundant_lines());
   folded_.codec_name = acc_codec_->name();
@@ -75,7 +94,7 @@ Session::Session(std::uint64_t id, SessionConfig config,
 
 void Session::BuildTransport() {
   ChannelConfig channel_config;
-  channel_config.codec_name = config_.codec_name;
+  channel_config.codec_name = active_codec_name_;
   channel_config.codec_options = config_.codec_options;
   channel_config.protection = config_.protection;
   channel_config.resync_period = config_.resync_period;
@@ -87,22 +106,43 @@ void Session::BuildTransport() {
 
 Admission Session::Submit(std::span<const BusAccess> batch) {
   if (batch.empty()) return Admission::kAccepted;
+  ColumnBatch columns;
+  columns.addresses.reserve(batch.size());
+  columns.sel.reserve(batch.size());
+  for (const BusAccess& access : batch) {
+    columns.addresses.push_back(access.address);
+    columns.sel.push_back(access.sel ? 1 : 0);
+  }
+  return SubmitColumns(std::move(columns));
+}
+
+Admission Session::SubmitColumns(ColumnBatch&& batch) {
+  if (batch.addresses.size() != batch.sel.size() || batch.offset != 0) {
+    throw std::invalid_argument(
+        "Session::SubmitColumns: malformed batch (column lengths " +
+        std::to_string(batch.addresses.size()) + "/" +
+        std::to_string(batch.sel.size()) + ", offset " +
+        std::to_string(batch.offset) + ")");
+  }
+  const std::size_t size = batch.size();
+  if (size == 0) return Admission::kAccepted;
   std::lock_guard<std::mutex> lock(queue_mutex_);
   if (input_closed_) return Admission::kClosed;
-  if (queue_.size() + batch.size() > config_.queue_capacity) {
+  if (queue_accesses_ + size > config_.queue_capacity) {
     ++rejected_batches_;
     Bump(metrics_->rejected_batches);
     return Admission::kRejected;
   }
-  queue_.insert(queue_.end(), batch.begin(), batch.end());
-  queued_.fetch_add(batch.size(), std::memory_order_release);
-  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
-  Bump(metrics_->submitted_accesses, batch.size());
+  queue_accesses_ += size;
+  queue_.push_back(std::move(batch));
+  queued_.fetch_add(size, std::memory_order_release);
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_accesses_);
+  Bump(metrics_->submitted_accesses, size);
   if (metrics_->queue_high_watermark) {
     metrics_->queue_high_watermark->UpdateMax(
-        static_cast<double>(queue_.size()));
+        static_cast<double>(queue_accesses_));
   }
-  if (queue_.size() > config_.slowdown_watermark) {
+  if (queue_accesses_ > config_.slowdown_watermark) {
     Bump(metrics_->slowdown_batches);
     return Admission::kSlowDown;
   }
@@ -119,43 +159,122 @@ void Session::CloseInput() {
 
 std::size_t Session::DrainStep(std::size_t max_accesses) {
   std::lock_guard<std::mutex> drain(drain_mutex_);
-  scratch_.clear();
+  drained_.clear();
+  std::size_t n = 0;
   {
     std::lock_guard<std::mutex> queue(queue_mutex_);
     if (queue_.empty()) {
       idle_steps_.fetch_add(1, std::memory_order_relaxed);
       return 0;
     }
-    const std::size_t n = std::min(max_accesses, queue_.size());
-    scratch_.assign(queue_.begin(),
-                    queue_.begin() + static_cast<std::ptrdiff_t>(n));
-    queue_.erase(queue_.begin(),
-                 queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    // Move whole batches out until the access budget is met; only the
+    // last can end up partially processed. The vectors move — the
+    // columns decoded off the wire are never copied again.
+    while (!queue_.empty() && n < max_accesses) {
+      const std::size_t remaining = queue_.front().remaining();
+      const std::size_t take = std::min(max_accesses - n, remaining);
+      n += take;
+      drained_.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (take < remaining) break;
+    }
+    // Free admission capacity for exactly the accesses this step will
+    // process; a partial batch's unprocessed tail stays counted until a
+    // later step takes it (same depths the flat row queue exposed).
+    queue_accesses_ -= n;
   }
   idle_steps_.store(0, std::memory_order_relaxed);
-  if (state_ == SessionState::kEvicted) Readmit();
-  for (const BusAccess& access : scratch_) ProcessOne(access);
-  Bump(metrics_->processed_accesses, scratch_.size());
-  queued_.fetch_sub(scratch_.size(), std::memory_order_release);
-  return scratch_.size();
+  if (state_ == SessionState::kEvicted) {
+    // A switch pinned exactly to the eviction index applies as a name
+    // change here, so Readmit builds the new codec once instead of the
+    // old one being rebuilt and immediately replaced.
+    if (pending_switch_ &&
+        pending_switch_->index ==
+            processed_.load(std::memory_order_relaxed)) {
+      const std::string codec = std::move(pending_switch_->codec_name);
+      pending_switch_.reset();
+      ApplySwitchLocked(codec);
+    }
+    Readmit();
+  }
+  std::size_t left = n;
+  for (ColumnBatch& batch : drained_) {
+    const std::size_t take = std::min(left, batch.remaining());
+    ProcessColumns(batch.addresses.data() + batch.offset,
+                   batch.sel.data() + batch.offset, take);
+    batch.offset += take;
+    left -= take;
+  }
+  Bump(metrics_->processed_accesses, n);
+  if (!drained_.empty() && drained_.back().remaining() > 0) {
+    std::lock_guard<std::mutex> queue(queue_mutex_);
+    queue_.push_front(std::move(drained_.back()));
+  }
+  drained_.clear();
+  queued_.fetch_sub(n, std::memory_order_release);
+  return n;
 }
 
-void Session::ProcessOne(const BusAccess& access) {
-  // Accounting: the transmitter-side FSM, exactly as Evaluate() runs it.
-  const BusState state = acc_codec_->Encode(access.address, access.sel);
-  counter_->Observe(state);
-  if (has_prev_ &&
-      (access.address & mask_) ==
-          ((prev_address_ + config_.stride_for_stats) & mask_)) {
-    ++in_seq_;
+void Session::ProcessColumns(const Word* addresses, const std::uint8_t* sel,
+                             std::size_t count) {
+  std::size_t i = 0;
+  while (i < count) {
+    std::size_t run = count - i;
+    if (pending_switch_) {
+      const std::uint64_t processed =
+          processed_.load(std::memory_order_relaxed);
+      if (processed == pending_switch_->index) {
+        const std::string codec = std::move(pending_switch_->codec_name);
+        pending_switch_.reset();
+        ApplySwitchLocked(codec);
+      } else if (processed < pending_switch_->index) {
+        run = std::min<std::size_t>(
+            run, static_cast<std::size_t>(pending_switch_->index - processed));
+      }
+    }
+    ProcessRun(addresses + i, sel + i, run);
+    i += run;
   }
-  prev_address_ = access.address;
-  has_prev_ = true;
-  processed_.fetch_add(1, std::memory_order_relaxed);
+  // A switch pinned exactly to the end of the processed prefix applies
+  // now — there may never be another access to trigger the split, and
+  // the schedule must not leave an acked switch forever pending.
+  if (pending_switch_ &&
+      processed_.load(std::memory_order_relaxed) == pending_switch_->index) {
+    const std::string codec = std::move(pending_switch_->codec_name);
+    pending_switch_.reset();
+    ApplySwitchLocked(codec);
+  }
+}
 
+void Session::ProcessRun(const Word* addresses, const std::uint8_t* sel,
+                         std::size_t count) {
+  // Accounting: the transmitter-side FSM through its columnar batched
+  // path (SIMD kernels), bit-identical to per-word Encode by the
+  // batched-identity property.
+  states_.resize(count);
+  acc_codec_->EncodeColumns(addresses, sel, count,
+                            std::span<BusState>(states_.data(), count));
+  for (std::size_t k = 0; k < count; ++k) {
+    counter_->Observe(states_[k]);
+    if (has_prev_ &&
+        (addresses[k] & mask_) ==
+            ((prev_address_ + config_.stride_for_stats) & mask_)) {
+      ++in_seq_;
+    }
+    prev_address_ = addresses[k];
+    has_prev_ = true;
+    stats_tracker_.Observe(addresses[k], sel[k] != 0);
+  }
+  processed_.fetch_add(count, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < count; ++k) {
+    TransferOne(addresses[k], sel[k] != 0);
+  }
+}
+
+void Session::TransferOne(Word address, bool sel) {
   // Delivery over the faultable transport, then the recovery ladder.
-  const Word expected = access.address & mask_;
-  Word got = channel_->Transfer(access.address, access.sel);
+  const Word expected = address & mask_;
+  Word got = channel_->Transfer(address, sel);
   const bool flagged = channel_->last_cycle_flagged();
   ++transport_.transfers;
   if (got == expected) {
@@ -181,7 +300,7 @@ void Session::ProcessOne(const BusAccess& access) {
       channel_->ForceResync();
       ++transport_.forced_resyncs;
       Bump(metrics_->forced_resyncs);
-      got = channel_->Transfer(access.address, access.sel);
+      got = channel_->Transfer(address, sel);
       if (got == expected) {
         ++transport_.recovered;
         Bump(metrics_->transfers_recovered);
@@ -218,8 +337,11 @@ void Session::Readmit() {
   // drain_mutex_ held. A fresh FSM encodes exactly like a Reset() one
   // (the reset-replay property), so accounting from here on is the next
   // EvaluateWithResets() segment.
-  acc_codec_ = MakeCodec(config_.codec_name, config_.codec_options);
-  counter_->Reset();
+  acc_codec_ = MakeCodec(active_codec_name_, config_.codec_options);
+  // A renegotiation while evicted may have changed the line geometry, so
+  // rebuild the counter rather than Reset() it.
+  counter_.emplace(acc_codec_->width(), acc_codec_->redundant_lines());
+  folded_.codec_name = acc_codec_->name();
   BuildTransport();
   {
     std::lock_guard<std::mutex> queue(queue_mutex_);
@@ -234,10 +356,102 @@ void Session::FoldSegment() {
   folded_.peak_transitions =
       std::max(folded_.peak_transitions, counter_->peak());
   const std::vector<long long>& segment = counter_->per_line();
-  for (std::size_t line = 0; line < folded_.per_line.size(); ++line) {
+  // Renegotiation can change the line geometry between segments; the
+  // lifetime histogram zero-extends to the widest one, exactly like
+  // EvaluateWithSchedule's fold.
+  if (segment.size() > folded_.per_line.size()) {
+    folded_.per_line.resize(segment.size(), 0);
+  }
+  for (std::size_t line = 0; line < segment.size(); ++line) {
     folded_.per_line[line] += segment[line];
   }
   counter_->Reset();
+}
+
+RenegotiateOutcome Session::Renegotiate(const std::string& codec_name) {
+  RenegotiateOutcome outcome;
+  outcome.codec_name = codec_name;
+  try {
+    (void)MakeCodec(codec_name, config_.codec_options);
+  } catch (const std::exception&) {
+    outcome.status = RenegotiateStatus::kRefusedBadCodec;
+    return outcome;
+  }
+  std::lock_guard<std::mutex> drain(drain_mutex_);
+  std::lock_guard<std::mutex> queue(queue_mutex_);
+  if (input_closed_) {
+    outcome.status = RenegotiateStatus::kRefusedClosed;
+    return outcome;
+  }
+  if (ever_degraded_) {
+    outcome.status = RenegotiateStatus::kRefusedDegraded;
+    return outcome;
+  }
+  if (pending_switch_) {
+    outcome.status = RenegotiateStatus::kRefusedPending;
+    return outcome;
+  }
+  // Mid-recovery the channel's demote/promote FSM owns the transport;
+  // tearing it down for a new codec would half-apply the ladder. Defer:
+  // the client retries once the channel promotes back.
+  if (channel_ && channel_->mode() == ChannelMode::kFallback) {
+    outcome.status = RenegotiateStatus::kRefusedRecovering;
+    return outcome;
+  }
+  if (codec_name == active_codec_name_) {
+    outcome.status = RenegotiateStatus::kRefusedUnchanged;
+    return outcome;
+  }
+  // Pin to the lifetime admitted count: with the drain lock held there
+  // is no in-flight batch, so processed + queued is exact, and every
+  // admitted access is unambiguously before or after the switch.
+  const std::uint64_t processed = processed_.load(std::memory_order_relaxed);
+  const std::uint64_t admitted = processed + queue_accesses_;
+  outcome.switch_index = admitted;
+  if (admitted == processed) {
+    ApplySwitchLocked(codec_name);
+    outcome.status = RenegotiateStatus::kApplied;
+  } else {
+    pending_switch_ = CodecSwitchPoint{
+        static_cast<std::size_t>(admitted), codec_name};
+    outcome.status = RenegotiateStatus::kScheduled;
+  }
+  return outcome;
+}
+
+void Session::ApplySwitchLocked(const std::string& codec_name) {
+  const std::uint64_t index = processed_.load(std::memory_order_relaxed);
+  if (state_ == SessionState::kActive) {
+    FoldSegment();
+    reset_points_.push_back(static_cast<std::size_t>(index));
+    active_codec_name_ = codec_name;
+    acc_codec_ = MakeCodec(codec_name, config_.codec_options);
+    counter_.emplace(acc_codec_->width(), acc_codec_->redundant_lines());
+    const std::size_t lines =
+        acc_codec_->width() + acc_codec_->redundant_lines();
+    if (folded_.per_line.size() < lines) folded_.per_line.resize(lines, 0);
+    folded_.codec_name = acc_codec_->name();
+    BuildTransport();
+  } else {
+    // Evicted: the FSMs are torn down and the eviction already logged
+    // this index as a reset point — Readmit builds the new codec.
+    active_codec_name_ = codec_name;
+  }
+  renegotiations_.push_back(
+      CodecSwitchPoint{static_cast<std::size_t>(index), codec_name});
+}
+
+std::optional<RenegotiationSnapshot> Session::StatsSnapshot() const {
+  std::unique_lock<std::mutex> drain(drain_mutex_, std::try_to_lock);
+  if (!drain.owns_lock()) return std::nullopt;
+  RenegotiationSnapshot snapshot;
+  snapshot.window = stats_tracker_.completed();
+  snapshot.windows_completed = stats_tracker_.windows_completed();
+  snapshot.width = stats_tracker_.width();
+  snapshot.active_codec = active_codec_name_;
+  snapshot.switch_pending = pending_switch_.has_value();
+  snapshot.degraded = ever_degraded_;
+  return snapshot;
 }
 
 SessionState Session::state() const {
@@ -256,6 +470,8 @@ SessionReport Session::Report() const {
   report.degraded = ever_degraded_;
   report.transport = transport_;
   report.reset_points = reset_points_;
+  report.renegotiations = renegotiations_;
+  report.active_codec = active_codec_name_;
   report.readmissions = readmissions_;
   report.rejected_batches = rejected_batches_;
   report.peak_queue_depth = peak_queue_depth_;
@@ -266,7 +482,10 @@ SessionReport Session::Report() const {
     result.peak_transitions =
         std::max(result.peak_transitions, counter_->peak());
     const std::vector<long long>& segment = counter_->per_line();
-    for (std::size_t line = 0; line < result.per_line.size(); ++line) {
+    if (segment.size() > result.per_line.size()) {
+      result.per_line.resize(segment.size(), 0);
+    }
+    for (std::size_t line = 0; line < segment.size(); ++line) {
       result.per_line[line] += segment[line];
     }
   }

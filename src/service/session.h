@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "channel/bus_channel.h"
+#include "core/adaptive_codec.h"
 #include "core/codec_factory.h"
 #include "core/stream_evaluator.h"
 #include "core/transition_counter.h"
@@ -92,6 +93,64 @@ enum class SessionState : unsigned char {
 };
 
 std::string SessionStateName(SessionState state);
+
+/// One submitted batch in columnar layout — the `.ctrace` / wire-SUBMIT
+/// shape (all addresses, then all SEL bytes). The queue holds these
+/// whole, and DrainStep moves them out and back (offset tracks the
+/// drained prefix of a partially processed batch), so a batch decoded
+/// straight off the wire reaches EncodeColumns without ever being
+/// rewritten as BusAccess rows.
+struct ColumnBatch {
+  std::vector<Word> addresses;
+  std::vector<std::uint8_t> sel;
+  std::size_t offset = 0;  // accesses already processed from this batch
+
+  std::size_t size() const { return addresses.size(); }
+  std::size_t remaining() const { return addresses.size() - offset; }
+};
+
+/// Outcome of a Renegotiate() request. Refusals are total: nothing about
+/// the session changed, and the client may retry later (e.g. once the
+/// channel's recovery FSM promotes back to active).
+enum class RenegotiateStatus : unsigned char {
+  kScheduled,         // pinned; applies exactly at switch_index
+  kApplied,           // queue was empty: applied immediately at switch_index
+  kRefusedBadCodec,   // unknown codec / invalid at this geometry
+  kRefusedClosed,     // input closed; the stream end is already pinned
+  kRefusedDegraded,   // transport permanently degraded to binary
+  kRefusedRecovering, // channel mid-recovery (fallback mode); retry later
+  kRefusedPending,    // an earlier switch has not applied yet
+  kRefusedUnchanged,  // requested codec is already active
+};
+
+std::string RenegotiateStatusName(RenegotiateStatus status);
+
+struct RenegotiateOutcome {
+  RenegotiateStatus status = RenegotiateStatus::kRefusedBadCodec;
+  /// Lifetime admitted-access index the switch is pinned to: every
+  /// access before it is encoded by the old codec, every access from it
+  /// on by the new one. Meaningful only when ok().
+  std::uint64_t switch_index = 0;
+  std::string codec_name;
+
+  bool ok() const {
+    return status == RenegotiateStatus::kScheduled ||
+           status == RenegotiateStatus::kApplied;
+  }
+};
+
+/// What the server-side renegotiation policy reads per session: the last
+/// completed AdaptiveWindowStats window plus enough state to know
+/// whether a proposal is even admissible. Taken with try-lock so the
+/// serving thread never blocks behind a long drain (nullopt then).
+struct RenegotiationSnapshot {
+  AdaptiveWindowStats window;  // last completed window
+  std::size_t windows_completed = 0;
+  unsigned width = 0;  // bus width the policy's density threshold scales with
+  std::string active_codec;
+  bool switch_pending = false;
+  bool degraded = false;
+};
 
 /// Per-session transport outcomes. Every processed access lands in
 /// exactly one of clean / corrected / recovered / degraded_deliveries,
@@ -163,6 +222,10 @@ struct SessionConfig {
   unsigned max_retries = 3;               // recovery ladder, per access
   std::uint64_t access_budget = 0;        // 0 = unlimited; else evictable
                                           // once processed >= budget
+
+  /// Window (in accesses) of the session's AdaptiveStatsTracker — the
+  /// stream-shape statistics the renegotiation policy reads.
+  std::size_t stats_window = 64;
 };
 
 /// Quiescent snapshot of a session (Report()).
@@ -178,6 +241,13 @@ struct SessionReport {
   TransportCounters transport;
   /// Stream indices where the codec FSM was torn down (evictions).
   std::vector<std::size_t> reset_points;
+  /// Applied codec switches in stream order — together with
+  /// reset_points this is the full schedule EvaluateWithSchedule()
+  /// replays serially.
+  std::vector<CodecSwitchPoint> renegotiations;
+  /// Factory name of the codec currently encoding the stream (the
+  /// OPENed codec until the first applied renegotiation).
+  std::string active_codec;
   std::uint64_t readmissions = 0;
   std::uint64_t rejected_batches = 0;
   std::size_t peak_queue_depth = 0;
@@ -199,11 +269,31 @@ class Session {
 
   // -- client side (any thread) --
 
-  /// All-or-nothing enqueue of a batch; see Admission.
+  /// All-or-nothing enqueue of a batch; see Admission. Converts the
+  /// rows to a ColumnBatch at the boundary (the only row walk left on
+  /// the submission path).
   Admission Submit(std::span<const BusAccess> batch);
+
+  /// Zero-copy enqueue: the columns (e.g. decoded straight from a wire
+  /// SUBMIT_STREAM frame or sliced off an mmap-backed `.ctrace`) are
+  /// moved into the queue whole. `batch.offset` must be 0 and the two
+  /// columns equally long (std::invalid_argument otherwise).
+  Admission SubmitColumns(ColumnBatch&& batch);
 
   /// No further submissions are admitted; queued work still drains.
   void CloseInput();
+
+  /// Request a codec switch, pinned to the current lifetime
+  /// admitted-access count so both ends of a wire conversation replay
+  /// the decision deterministically (docs/PROTOCOL.md). All-or-nothing:
+  /// a refusal changes nothing. With an empty queue the switch applies
+  /// immediately; otherwise it is scheduled and DrainStep splits
+  /// processing runs exactly at the pinned index.
+  RenegotiateOutcome Renegotiate(const std::string& codec_name);
+
+  /// Policy input (see RenegotiationSnapshot); nullopt when the drain
+  /// lock is busy — callers on the serving thread just skip the hint.
+  std::optional<RenegotiationSnapshot> StatsSnapshot() const;
 
   // -- shard side --
 
@@ -253,7 +343,21 @@ class Session {
   void BuildTransport();  // channel + fault models (drain_mutex_ held)
   void Readmit();         // fresh FSMs after eviction (drain_mutex_ held)
   void FoldSegment();     // live counter -> folded_ (drain_mutex_ held)
-  void ProcessOne(const BusAccess& access);
+  // Process `count` accesses, splitting runs at a pending codec switch
+  // (drain_mutex_ held).
+  void ProcessColumns(const Word* addresses, const std::uint8_t* sel,
+                      std::size_t count);
+  // One switch-free run: batched accounting via EncodeColumns, then the
+  // per-access transport ladder.
+  void ProcessRun(const Word* addresses, const std::uint8_t* sel,
+                  std::size_t count);
+  // Deliver one access over the channel and walk the recovery ladder.
+  void TransferOne(Word address, bool sel);
+  // Apply a codec switch at the current processed index: fold the
+  // segment, log the switch, rebuild the accounting FSM + transport on
+  // the new codec (drain_mutex_ held; a name change only when evicted —
+  // Readmit builds the new codec lazily).
+  void ApplySwitchLocked(const std::string& codec_name);
 
   const std::uint64_t id_;
   const SessionConfig config_;
@@ -262,7 +366,12 @@ class Session {
 
   // Client side.
   mutable std::mutex queue_mutex_;
-  std::deque<BusAccess> queue_;
+  std::deque<ColumnBatch> queue_;
+  /// Admission depth in accesses: batches resident in queue_ plus the
+  /// unprocessed tail of a batch DrainStep currently holds — exactly
+  /// the depth the flat row queue used to expose, so the admission
+  /// boundaries (capacity / watermark) are unchanged.
+  std::size_t queue_accesses_ = 0;
   bool input_closed_ = false;
   std::uint64_t rejected_batches_ = 0;
   std::size_t peak_queue_depth_ = 0;
@@ -273,7 +382,12 @@ class Session {
   std::unique_ptr<BusChannel> channel_;
   std::optional<TransitionCounter> counter_;  // live segment
   EvalResult folded_;                         // previous segments, summed
-  std::vector<BusAccess> scratch_;            // popped batch buffer
+  std::vector<ColumnBatch> drained_;          // popped batches (moved, not copied)
+  std::vector<BusState> states_;              // EncodeColumns output scratch
+  std::string active_codec_name_;             // factory name, post-switches
+  std::optional<CodecSwitchPoint> pending_switch_;
+  std::vector<CodecSwitchPoint> renegotiations_;  // applied switches
+  AdaptiveStatsTracker stats_tracker_;
   std::vector<std::size_t> reset_points_;
   TransportCounters transport_;
   SessionState state_ = SessionState::kActive;  // writers hold both locks

@@ -27,8 +27,25 @@ const char* const kCodecPalette[] = {"t0",      "gray",   "bus-invert",
                                      "inc-xor", "offset", "dual-t0-bi",
                                      "adaptive"};
 
+/// The renegotiation rotation: the same palette the network policy
+/// proposes from, so the in-process soak and the wire soak pin switches
+/// across identical geometry transitions (including the redundant-line
+/// bus-invert and the multiplexed dual code).
+const char* const kSwitchPalette[] = {"binary", "gray", "t0", "bus-invert",
+                                      "dual-t0-bi"};
+
+/// A planned mid-stream codec switch: issued once the client has
+/// submitted `at` accesses. `at == stream length` pins the switch to the
+/// exact end of the stream (the boundary the end-of-stream apply fixed).
+struct PlannedSwitch {
+  std::size_t at = 0;
+  std::string codec_name;
+};
+
 /// Everything about one synthetic session, fixed up front so the serial
 /// reference can be recomputed after the run from the same plan.
+/// Mutable progress fields are owned by exactly one client thread (plans
+/// are sliced by index), so they need no synchronisation.
 struct SessionPlan {
   std::size_t index = 0;
   std::uint64_t id = 0;  // assigned at OpenSession
@@ -37,6 +54,12 @@ struct SessionPlan {
   SessionConfig config;
   std::size_t submitted = 0;        // client progress, in accesses
   std::uint64_t backoff_us = 100;   // client-side rejection backoff
+  bool columnar = false;            // submit via zero-copy SubmitColumns
+  std::vector<PlannedSwitch> switch_plan;   // ascending by `at`
+  std::size_t next_switch = 0;
+  std::vector<CodecSwitchPoint> acked;      // ok() outcomes, in order
+  std::uint64_t refusals = 0;               // tolerated clean refusals
+  std::vector<std::string> renegotiate_failures;  // hard failures
 };
 
 /// Deterministic fault palette for one session; `salt` tells apart the
@@ -189,6 +212,29 @@ SoakOutcome RunSoak(const SoakOptions& options) {
         default: plan.config.protection = Protection::kNone; break;
       }
     }
+    plan.columnar =
+        options.columnar_fraction > 0.0 &&
+        static_cast<double>(Draw(sub_seed, 6) % 10000) <
+            options.columnar_fraction * 10000.0;
+    const bool renegotiates =
+        options.renegotiate_fraction > 0.0 &&
+        static_cast<double>(Draw(sub_seed, 7) % 10000) <
+            options.renegotiate_fraction * 10000.0;
+    if (renegotiates && !plan.stream.empty()) {
+      const std::size_t length = plan.stream.size();
+      const std::size_t palette =
+          std::size(kSwitchPalette);
+      plan.switch_plan.push_back(
+          {length / 4, kSwitchPalette[Draw(sub_seed, 8) % palette]});
+      plan.switch_plan.push_back(
+          {(3 * length) / 5, kSwitchPalette[Draw(sub_seed, 9) % palette]});
+      if (Draw(sub_seed, 10) % 2 == 0) {
+        // Pin one switch to the exact end of the stream: the schedule
+        // must still apply it even though no further access arrives.
+        plan.switch_plan.push_back(
+            {length, kSwitchPalette[Draw(sub_seed, 11) % palette]});
+      }
+    }
     plan.id = service.OpenSession(plan.config);
   }
 
@@ -207,15 +253,52 @@ SoakOutcome RunSoak(const SoakOptions& options) {
         work_left = false;
         for (std::size_t i = c; i < plans.size(); i += clients) {
           SessionPlan& plan = plans[i];
+          // Issue every switch whose submission threshold has been
+          // crossed — including one pinned past the final access, which
+          // this pass reaches because the submitting pass before it left
+          // work_left set.
+          while (plan.next_switch < plan.switch_plan.size() &&
+                 plan.submitted >= plan.switch_plan[plan.next_switch].at) {
+            const PlannedSwitch& planned =
+                plan.switch_plan[plan.next_switch];
+            const RenegotiateOutcome outcome =
+                service.Renegotiate(plan.id, planned.codec_name);
+            if (outcome.ok()) {
+              plan.acked.push_back(
+                  {outcome.switch_index, outcome.codec_name});
+            } else if (outcome.status ==
+                       RenegotiateStatus::kRefusedBadCodec) {
+              // The palette is all factory codecs — a bad-codec refusal
+              // here means validation itself regressed.
+              plan.renegotiate_failures.push_back(
+                  Describe(plan, "renegotiation refused as bad codec"));
+            } else {
+              ++plan.refusals;
+            }
+            ++plan.next_switch;
+          }
           if (plan.submitted >= plan.stream.size()) continue;
           work_left = true;
           const std::size_t n = std::min(
               options.chunk == 0 ? std::size_t{64} : options.chunk,
               plan.stream.size() - plan.submitted);
-          const Admission admission = service.Submit(
-              plan.id,
-              std::span<const BusAccess>(plan.stream)
-                  .subspan(plan.submitted, n));
+          Admission admission;
+          if (plan.columnar) {
+            ColumnBatch batch;
+            batch.addresses.reserve(n);
+            batch.sel.reserve(n);
+            for (std::size_t j = 0; j < n; ++j) {
+              const BusAccess& access = plan.stream[plan.submitted + j];
+              batch.addresses.push_back(access.address);
+              batch.sel.push_back(access.sel ? 1 : 0);
+            }
+            admission = service.SubmitColumns(plan.id, std::move(batch));
+          } else {
+            admission = service.Submit(
+                plan.id,
+                std::span<const BusAccess>(plan.stream)
+                    .subspan(plan.submitted, n));
+          }
           switch (admission) {
             case Admission::kAccepted:
               plan.submitted += n;
@@ -273,8 +356,10 @@ SoakOutcome RunSoak(const SoakOptions& options) {
 
   service.Stop();
 
-  // Serial verification: every session against EvaluateWithResets on the
-  // identical stream, faults and scheduling notwithstanding.
+  // Serial verification: every session against EvaluateWithSchedule on
+  // the identical stream (replaying the acked switch schedule; an empty
+  // schedule degenerates to EvaluateWithResets), faults and scheduling
+  // notwithstanding.
   outcome.sessions = plans.size();
   outcome.rejected_batches =
       rejected_total.load(std::memory_order_relaxed);
@@ -286,14 +371,29 @@ SoakOutcome RunSoak(const SoakOptions& options) {
     outcome.degraded_transfers += report.transport.degraded_deliveries;
     if (report.degraded) ++outcome.degraded_sessions;
     if (!report.reset_points.empty()) ++outcome.evicted_sessions;
+    if (plan.columnar) ++outcome.columnar_sessions;
+    outcome.renegotiations += plan.acked.size();
+    outcome.renegotiate_refusals += plan.refusals;
+    for (const std::string& failure : plan.renegotiate_failures) {
+      outcome.failures.push_back(failure);
+    }
 
     if (report.result.stream_length != plan.stream.size()) {
       outcome.failures.push_back(Describe(plan, "stream length mismatch"));
       continue;
     }
-    CodecPtr reference = MakeCodec(plan.codec_name, plan.config.codec_options);
-    const EvalResult expected = EvaluateWithResets(
-        *reference, plan.stream, report.reset_points,
+    // Every switch the session acked must have applied — in order, at
+    // its pinned index — and nothing else may have applied. A mismatch
+    // here means an acked switch was dropped (or applied off-index),
+    // which would desynchronise any decoder replaying the schedule.
+    if (report.renegotiations != plan.acked) {
+      outcome.failures.push_back(Describe(
+          plan, "applied switch schedule != the acked renegotiations"));
+      continue;
+    }
+    const EvalResult expected = EvaluateWithSchedule(
+        plan.codec_name, plan.config.codec_options, plan.stream,
+        report.renegotiations, report.reset_points,
         plan.config.stride_for_stats);
     if (report.result.transitions != expected.transitions) {
       outcome.failures.push_back(Describe(plan, "transition count diverged"));

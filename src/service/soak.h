@@ -1,8 +1,10 @@
 // The service soak harness: thousands of simultaneous synthetic
 // sessions, driven by concurrent client threads through the full
-// backpressure path, under composable per-session fault injection — then
-// every session's accounting is checked bit-for-bit against a serial
-// EvaluateWithResets() of the same stream.
+// backpressure path, under composable per-session fault injection and
+// (optionally) mid-stream codec renegotiation — then every session's
+// accounting is checked bit-for-bit against a serial
+// EvaluateWithSchedule() of the same stream, replaying the acked switch
+// schedule (an empty schedule degenerates to EvaluateWithResets).
 //
 // What one soak run proves (the ISSUE's acceptance bar):
 //  - bit-identity: per-session transitions, peak, per-line histogram,
@@ -65,6 +67,15 @@ struct SoakOptions {
   std::size_t chunk = 64;               // client submission batch size
   /// Fraction of sessions with fault models installed on their channel.
   double fault_fraction = 0.5;
+  /// Fraction of sessions issuing mid-stream Renegotiate() requests
+  /// (palette-drawn target codecs at deterministic submission
+  /// thresholds, including one pinned to the exact end of the stream);
+  /// the oracle then replays the acked switch schedule via
+  /// EvaluateWithSchedule.
+  double renegotiate_fraction = 0.0;
+  /// Fraction of sessions submitting through the zero-copy columnar
+  /// path (SubmitColumns) instead of the row-wise Submit span.
+  double columnar_fraction = 0.0;
   /// Shard policy: evict a session after this many idle drain passes
   /// (0 = never) — exercises mid-stream eviction + lazy re-admission.
   std::uint64_t idle_evict_steps = 0;
@@ -89,6 +100,9 @@ struct SoakOutcome {
   std::uint64_t corrected_transfers = 0;
   std::uint64_t degraded_transfers = 0;
   std::uint64_t rejected_batches = 0;   // backpressure hits (resubmitted)
+  std::uint64_t renegotiations = 0;        // acked codec switches
+  std::uint64_t renegotiate_refusals = 0;  // clean refusals (tolerated)
+  std::size_t columnar_sessions = 0;       // sessions on SubmitColumns
   std::uint64_t failovers = 0;
   double elapsed_s = 0.0;
   bool timed_out = false;

@@ -202,6 +202,208 @@ TEST(NetProtocolTest, HostileLengthPrefixRejectedFromPrefixAlone) {
   }
 }
 
+TEST(NetProtocolTest, FrameCapBoundaryIsExact) {
+  // The framing cap at its exact edges: the length word counts the type
+  // byte plus payload, a frame of exactly the cap is admitted, one byte
+  // over is rejected from the 4-byte prefix alone, one byte under
+  // passes. Pinned because an off-by-one here either rejects legal
+  // maximum-size frames or admits a frame the peer's cap refuses.
+  constexpr std::size_t kCap = 64;
+  const auto frame_of_length = [](std::uint32_t length) {
+    std::vector<std::uint8_t> bytes(kFrameLengthBytes + length, 0);
+    for (int i = 0; i < 4; ++i) {
+      bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((length >> (8 * i)) & 0xFF);
+    }
+    bytes[kFrameLengthBytes] = static_cast<std::uint8_t>(FrameType::kClose);
+    return bytes;
+  };
+
+  std::vector<std::uint8_t> at_cap = frame_of_length(kCap);
+  std::optional<Frame> frame = TryExtractFrame(at_cap, kCap);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.size(), kCap - 1);  // type byte peeled off
+  EXPECT_TRUE(at_cap.empty());
+
+  std::vector<std::uint8_t> under_cap = frame_of_length(kCap - 1);
+  EXPECT_TRUE(TryExtractFrame(under_cap, kCap).has_value());
+
+  std::vector<std::uint8_t> over_cap = frame_of_length(kCap + 1);
+  over_cap.resize(kFrameLengthBytes);  // the prefix alone must suffice
+  try {
+    TryExtractFrame(over_cap, kCap);
+    FAIL() << "cap+1 admitted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.status(), Status::kFrameTooLarge);
+  }
+}
+
+TEST(NetProtocolTest, ReaderBoundaryAtExactPayloadEnd) {
+  // The little-endian Reader at its end: consuming exactly the
+  // remaining bytes succeeds for every primitive width; one byte past
+  // throws kBadFrame instead of reading out of bounds.
+  Writer writer;
+  writer.U64(0x1122334455667788ULL);
+  writer.U32(0xA1B2C3D4u);
+  writer.U16(0xE5F6);
+  writer.U8(0x42);
+  const std::vector<std::uint8_t> bytes = writer.Take();
+  Reader reader(bytes);
+  EXPECT_EQ(reader.U64(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.U32(), 0xA1B2C3D4u);
+  EXPECT_EQ(reader.U16(), 0xE5F6);
+  EXPECT_EQ(reader.U8(), 0x42);
+  EXPECT_EQ(reader.remaining(), 0u);
+  reader.ExpectEnd();  // exactly consumed: no trailing-garbage error
+  try {
+    reader.U8();
+    FAIL() << "read past the payload end";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.status(), Status::kBadFrame);
+  }
+
+  // A multi-byte primitive must not half-read either: 7 bytes left, a
+  // U64 wanted — throws, and the position stays where it was.
+  Writer short_writer;
+  for (int i = 0; i < 7; ++i) short_writer.U8(static_cast<std::uint8_t>(i));
+  const std::vector<std::uint8_t> seven = short_writer.Take();
+  Reader short_reader(seven);
+  EXPECT_THROW(short_reader.U64(), WireError);
+  EXPECT_EQ(short_reader.remaining(), 7u);
+
+  // Str16 whose declared length exceeds the remaining bytes: rejected
+  // before any allocation.
+  Writer str_writer;
+  str_writer.U16(10);  // claims 10 bytes...
+  str_writer.U8('x');  // ...carries 1
+  const std::vector<std::uint8_t> torn = str_writer.Take();
+  Reader str_reader(torn);
+  EXPECT_THROW(str_reader.Str16(), WireError);
+}
+
+TEST(NetProtocolTest, RenegotiateFramesRoundTrip) {
+  RenegotiateRequest request;
+  request.session_id = 99;
+  request.codec = "bus-invert";
+  const RenegotiateRequest decoded_request =
+      DecodeRenegotiate(EncodeRenegotiate(request));
+  EXPECT_EQ(decoded_request.session_id, 99u);
+  EXPECT_EQ(decoded_request.codec, "bus-invert");
+
+  RenegotiateReply reply;
+  reply.session_id = 99;
+  reply.switch_index = 12345;
+  reply.codec = "gray";
+  const RenegotiateReply decoded_reply =
+      DecodeRenegotiateAck(EncodeRenegotiateAck(reply));
+  EXPECT_EQ(decoded_reply.session_id, 99u);
+  EXPECT_EQ(decoded_reply.switch_index, 12345u);
+  EXPECT_EQ(decoded_reply.codec, "gray");
+
+  // Truncation at every cut: throws, never half-applies.
+  const std::vector<std::uint8_t> full = EncodeRenegotiateAck(reply);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> torn(full.begin(), full.begin() + cut);
+    EXPECT_THROW(DecodeRenegotiateAck(torn), WireError) << "cut " << cut;
+  }
+}
+
+TEST(NetProtocolTest, SubmitStreamRoundTripAndCountGuard) {
+  SubmitStreamRequest request;
+  request.session_id = 7;
+  request.offset = 512;
+  request.want_ack = true;
+  for (int i = 0; i < 5; ++i) {
+    request.columns.addresses.push_back(static_cast<Word>(0x4000 + 4 * i));
+    request.columns.sel.push_back(i % 2);
+  }
+  const SubmitStreamRequest decoded =
+      DecodeSubmitStream(EncodeSubmitStream(request));
+  EXPECT_EQ(decoded.session_id, 7u);
+  EXPECT_EQ(decoded.offset, 512u);
+  EXPECT_TRUE(decoded.want_ack);
+  EXPECT_EQ(decoded.columns.addresses, request.columns.addresses);
+  EXPECT_EQ(decoded.columns.sel, request.columns.sel);
+
+  // A claimed count that disagrees with the payload size is rejected
+  // before any allocation.
+  Writer writer;
+  writer.U64(7);     // session
+  writer.U64(0);     // offset
+  writer.U8(1);      // want_ack
+  writer.U32(1000);  // claims 1000 accesses...
+  writer.U64(0);     // ...carries one
+  writer.U8(1);
+  EXPECT_THROW(DecodeSubmitStream(writer.Take()), WireError);
+}
+
+TEST(NetProtocolTest, CapabilityGatedExtensionsAreSelfConsistent) {
+  // HELLO: the capabilities word exists only when the client offers
+  // version 2; a v1 hello must stay byte-identical to the v1 layout.
+  HelloRequest v1;
+  v1.version_max = 1;
+  v1.capabilities = kDefaultCapabilities;  // must NOT be encoded
+  const HelloRequest v1_decoded = DecodeHello(EncodeHello(v1));
+  EXPECT_EQ(v1_decoded.capabilities, 0u);
+  HelloRequest v2;
+  v2.capabilities = kCapRenegotiate;
+  EXPECT_EQ(DecodeHello(EncodeHello(v2)).capabilities, kCapRenegotiate);
+
+  HelloReply ok;
+  ok.version = 1;
+  ok.capabilities = kDefaultCapabilities;
+  EXPECT_EQ(DecodeHelloOk(EncodeHelloOk(ok)).capabilities, 0u);
+  ok.version = kProtocolVersion;
+  EXPECT_EQ(DecodeHelloOk(EncodeHelloOk(ok)).capabilities,
+            kDefaultCapabilities);
+
+  // ATTACH_OK / SUBMIT_ACK / STATS grow trailing fields only under
+  // kCapRenegotiate, and both ends must agree on the caps word.
+  AttachReply attach;
+  attach.session_id = 3;
+  attach.accepted = 77;
+  attach.renegotiations = 2;
+  attach.active_codec = "gray";
+  const AttachReply bare =
+      DecodeAttachOk(EncodeAttachOk(attach, 0), 0);
+  EXPECT_EQ(bare.accepted, 77u);
+  EXPECT_EQ(bare.renegotiations, 0u);
+  EXPECT_TRUE(bare.active_codec.empty());
+  const AttachReply extended = DecodeAttachOk(
+      EncodeAttachOk(attach, kCapRenegotiate), kCapRenegotiate);
+  EXPECT_EQ(extended.renegotiations, 2u);
+  EXPECT_EQ(extended.active_codec, "gray");
+
+  SubmitAck ack;
+  ack.session_id = 3;
+  ack.accepted = 9;
+  ack.recommended_codec = "t0";
+  EXPECT_TRUE(DecodeSubmitAck(EncodeSubmitAck(ack, 0), 0)
+                  .recommended_codec.empty());
+  EXPECT_EQ(DecodeSubmitAck(EncodeSubmitAck(ack, kCapRenegotiate),
+                            kCapRenegotiate)
+                .recommended_codec,
+            "t0");
+
+  StatsReply stats;
+  stats.session_id = 3;
+  stats.renegotiations = {{64, "gray"}, {128, "bus-invert"}};
+  stats.active_codec = "bus-invert";
+  const StatsReply stats_bare = DecodeStats(EncodeStats(stats, 0), 0);
+  EXPECT_TRUE(stats_bare.renegotiations.empty());
+  const StatsReply stats_extended = DecodeStats(
+      EncodeStats(stats, kCapRenegotiate), kCapRenegotiate);
+  EXPECT_EQ(stats_extended.renegotiations, stats.renegotiations);
+  EXPECT_EQ(stats_extended.active_codec, "bus-invert");
+
+  // Caps mismatch (extension bytes present but decoder not expecting
+  // them, or vice versa) is a hard kBadFrame, not a silent skew.
+  EXPECT_THROW(DecodeAttachOk(EncodeAttachOk(attach, kCapRenegotiate), 0),
+               WireError);
+  EXPECT_THROW(
+      DecodeStats(EncodeStats(stats, 0), kCapRenegotiate), WireError);
+}
+
 TEST(NetProtocolTest, AdmissionMapsToStatus) {
   EXPECT_EQ(AdmissionToStatus(service::Admission::kAccepted), Status::kOk);
   EXPECT_EQ(AdmissionToStatus(service::Admission::kSlowDown),
@@ -608,7 +810,10 @@ TEST(NetSoakTest, MiniatureSoakPassesBitIdentity) {
     ADD_FAILURE() << failure;
   }
   EXPECT_FALSE(outcome.timed_out);
-  EXPECT_EQ(outcome.sessions, 7u);  // 6 planned + health check
+  // 6 planned + the post-fuzz health check, which runs twice: once on
+  // the current protocol version and once as a v1 legacy client.
+  EXPECT_EQ(outcome.sessions, 8u);
+  EXPECT_GE(outcome.old_version_sessions, 1u);
   EXPECT_GT(outcome.disconnects, 0u);
   EXPECT_EQ(outcome.disconnects, outcome.resumes);
   EXPECT_GT(outcome.fuzz_errors, 0u);

@@ -207,6 +207,65 @@ TEST(BackpressureTest, AdmissionBoundariesAreExact) {
   EXPECT_EQ(service.Report(id2).peak_queue_depth, 8u);
 }
 
+TEST(BackpressureTest, WindowStraddlingBatchAtTheWatermarkReconciles) {
+  // The boundary collision the bug sweep targets: a batch that lands
+  // exactly at the slow-down watermark while straddling an adaptive
+  // stats-window boundary. The batch must be admitted whole (all-or-
+  // nothing), the window tracker must roll exactly on the boundary
+  // inside the batch, and the transport accounting must still
+  // reconcile: clean + corrected + recovered + degraded == transfers.
+  EncodingService service(ManualMode());
+  SessionConfig config;
+  config.codec_name = "t0";
+  config.stats_window = 16;
+  config.queue_capacity = 32;
+  config.slowdown_watermark = 12;
+  config.protection = Protection::kSecded;
+  config.fault_installer = [](BusChannel& channel) {
+    // Stuck line from cycle 18: inside the straddling batch, corrected
+    // in-line by SECDED so the ladder contributes to the reconciliation
+    // without degrading.
+    channel.AddFault(std::make_unique<StuckAtFault>(3, true, 18));
+  };
+  const std::uint64_t id = service.OpenSession(config);
+  const std::vector<BusAccess> stream =
+      TestStream(verify::StreamFamily::kBranchHeavy, 41, 48);
+  const std::span<const BusAccess> span(stream);
+
+  // Just below the watermark...
+  ASSERT_EQ(service.Submit(id, span.subspan(0, 10)), Admission::kAccepted);
+  // ...then the straddling batch: [10, 24) crosses the stats-window
+  // boundary at 16 and lifts the depth past the watermark. Admitted
+  // whole, with the slow-down flag.
+  ASSERT_EQ(service.Submit(id, span.subspan(10, 14)), Admission::kSlowDown);
+  ASSERT_TRUE(service.Drain(std::chrono::milliseconds(5000)));
+
+  // Refill to exactly the watermark (not a slow-down) with a batch that
+  // straddles the second boundary at 32 from the other side.
+  ASSERT_EQ(service.Submit(id, span.subspan(24, 12)), Admission::kAccepted);
+  ASSERT_EQ(service.Submit(id, span.subspan(36, 12)), Admission::kSlowDown);
+  service.CloseSession(id);
+  ASSERT_TRUE(service.Drain(std::chrono::milliseconds(5000)));
+
+  const SessionReport report = service.Report(id);
+  EXPECT_EQ(report.result.stream_length, stream.size());
+  const TransportCounters& t = report.transport;
+  EXPECT_GE(t.corrected, 1u);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(t.clean + t.corrected + t.recovered + t.degraded_deliveries,
+            t.transfers);
+  EXPECT_EQ(t.transfers, stream.size());
+
+  // The window tracker rolled exactly 48 / 16 = 3 times, boundaries
+  // inside batches notwithstanding.
+  const auto snapshot = service.StatsSnapshot(id);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->windows_completed, 3u);
+
+  CodecPtr reference = MakeCodec("t0", config.codec_options);
+  ExpectSameEvalResult(report.result, Evaluate(*reference, stream));
+}
+
 TEST(EvictionTest, EvictAndReadmitReproducesEvaluateWithResets) {
   // The determinism contract: evicting at index k and re-admitting
   // mid-stream must make the lifetime accounting equal a serial

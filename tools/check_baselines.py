@@ -48,6 +48,25 @@ def compare_protection(name, baseline, result, tolerance, errors):
                     f"measured {measured!r} vs baseline {expected!r}")
 
 
+def compare_net_pipeline(name, baseline, result, tolerance, errors):
+    baseline_modes = [e["mode"] for e in baseline["modes"]]
+    result_modes = [e["mode"] for e in result.get("modes", [])]
+    if baseline_modes != result_modes:
+        errors.append(f"{name}: mode list {result_modes} "
+                      f"!= baseline {baseline_modes}")
+        return
+    for base_entry, result_entry in zip(baseline["modes"], result["modes"]):
+        mode = base_entry["mode"]
+        for field in ("accesses", "transitions", "peak_transitions",
+                      "switches"):
+            expected = base_entry[field]
+            measured = result_entry.get(field)
+            if measured is None or abs(measured - expected) > tolerance:
+                errors.append(
+                    f"{name}: {field} for mode {mode!r} deviates: "
+                    f"measured {measured!r} vs baseline {expected!r}")
+
+
 def compare_document(name, baseline, result, tolerance, errors):
     schema = baseline.get("schema")
     if result.get("schema") != schema:
@@ -56,6 +75,9 @@ def compare_document(name, baseline, result, tolerance, errors):
         return
     if schema == "abenc.protection.v1":
         compare_protection(name, baseline, result, tolerance, errors)
+        return
+    if schema == "abenc.net_pipeline.v1":
+        compare_net_pipeline(name, baseline, result, tolerance, errors)
         return
 
     baseline_codecs = [e["codec"] for e in baseline["average_savings"]]

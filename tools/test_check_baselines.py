@@ -30,6 +30,24 @@ def comparison_doc(savings, in_sequence=62.5):
     }
 
 
+def net_pipeline_doc(modes):
+    return {
+        "schema": "abenc.net_pipeline.v1",
+        "sessions": 12,
+        "length": 6000,
+        "modes": [
+            {
+                "mode": mode,
+                "accesses": 72000,
+                "transitions": transitions,
+                "peak_transitions": 300,
+                "switches": switches,
+            }
+            for mode, transitions, switches in modes
+        ],
+    }
+
+
 def protection_doc(transitions):
     return {
         "schema": "abenc.protection.v1",
@@ -147,6 +165,42 @@ class CheckBaselinesTest(unittest.TestCase):
         proc = self.run_tool()
         self.assertEqual(proc.returncode, 1)
         self.assertIn("outcome grid changed", proc.stderr)
+
+    def test_net_pipeline_identical_documents_pass(self):
+        doc = net_pipeline_doc([("submit", 484339, 0),
+                                ("pipelined", 511533, 12)])
+        self.write(self.baselines, "net.json", doc)
+        self.write(self.results, "net.json", doc)
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK: net.json", proc.stdout)
+
+    def test_net_pipeline_transition_drift_fails(self):
+        self.write(self.baselines, "net.json",
+                   net_pipeline_doc([("submit", 484339, 0)]))
+        self.write(self.results, "net.json",
+                   net_pipeline_doc([("submit", 484340, 0)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("transitions", proc.stderr)
+
+    def test_net_pipeline_mode_list_change_fails(self):
+        self.write(self.baselines, "net.json",
+                   net_pipeline_doc([("submit", 484339, 0)]))
+        self.write(self.results, "net.json",
+                   net_pipeline_doc([("mmap-stream", 484339, 0)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("mode list", proc.stderr)
+
+    def test_net_pipeline_switch_count_is_gated(self):
+        self.write(self.baselines, "net.json",
+                   net_pipeline_doc([("pipelined", 511533, 12)]))
+        self.write(self.results, "net.json",
+                   net_pipeline_doc([("pipelined", 511533, 11)]))
+        proc = self.run_tool()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("switches", proc.stderr)
 
     def test_empty_baseline_directory_is_a_usage_error(self):
         proc = self.run_tool()
